@@ -1,0 +1,152 @@
+//! Microbenchmarks of the simulator substrates: cache, MSHR, DRAM channel,
+//! crossbar and SIMT core. These track the per-cycle cost of each component
+//! so simulator-performance regressions are caught where they happen.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gmh_cache::{Cache, CacheConfig, Mshr};
+use gmh_dram::{DramChannel, DramConfig};
+use gmh_icnt::{Crossbar, IcntConfig};
+use gmh_simt::inst::{Inst, ScriptedSource};
+use gmh_simt::{CoreConfig, SimtCore};
+use gmh_types::{AccessKind, LineAddr, MemFetch, Xoshiro256};
+use std::hint::black_box;
+
+fn load(id: u64, line: u64) -> MemFetch {
+    MemFetch::new(id, 0, 0, AccessKind::Load, LineAddr::new(line), 0)
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("hit", |b| {
+        let mut cache = Cache::new(CacheConfig::fermi_l1());
+        // Warm one line.
+        cache.access_read(load(0, 7), 0);
+        cache.fill(LineAddr::new(7), 0);
+        let mut id = 1;
+        b.iter(|| {
+            let (r, f) = cache.access_read(load(id, 7), 0);
+            id += 1;
+            black_box((r, f))
+        })
+    });
+
+    g.bench_function("miss_fill_cycle", |b| {
+        let mut cache = Cache::new(CacheConfig::fermi_l1());
+        let mut rng = Xoshiro256::seeded(1);
+        let mut id = 0;
+        b.iter(|| {
+            let line = rng.below(1 << 20);
+            let (r, _) = cache.access_read(load(id, line), 0);
+            id += 1;
+            cache.pop_miss();
+            let waiters = cache.fill(LineAddr::new(line), 0);
+            black_box((r, waiters))
+        })
+    });
+    g.finish();
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    c.bench_function("mshr_allocate_release", |b| {
+        let mut m: Mshr<u64> = Mshr::new(32, 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            let line = LineAddr::new(i % 31);
+            i += 1;
+            m.allocate(line).expect("space");
+            black_box(m.release(line))
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("streaming_cycle", |b| {
+        let mut ch = DramChannel::new(DramConfig::gtx480(), 0);
+        let mut now = 0u64;
+        let mut id = 0u64;
+        b.iter(|| {
+            if ch.can_accept() {
+                ch.push(load(id, id * 6), now).expect("space");
+                id += 1;
+            }
+            ch.cycle(now);
+            now += 1;
+            black_box(ch.pop_response())
+        })
+    });
+
+    g.bench_function("random_cycle", |b| {
+        let mut ch = DramChannel::new(DramConfig::gtx480(), 0);
+        let mut rng = Xoshiro256::seeded(2);
+        let mut now = 0u64;
+        let mut id = 0u64;
+        b.iter(|| {
+            if ch.can_accept() {
+                ch.push(load(id, rng.below(1 << 16) * 6), now)
+                    .expect("space");
+                id += 1;
+            }
+            ch.cycle(now);
+            now += 1;
+            black_box(ch.pop_response())
+        })
+    });
+    g.finish();
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    c.bench_function("crossbar_15x12_cycle", |b| {
+        let mut xbar = Crossbar::new(IcntConfig::baseline_32_32(), 15, 12);
+        let mut rng = Xoshiro256::seeded(3);
+        let mut id = 0u64;
+        b.iter(|| {
+            let src = (rng.below(15)) as usize;
+            let dst = (rng.below(12)) as usize;
+            if xbar.request().can_inject(src, 8) {
+                let _ = xbar.request_mut().inject(src, dst, load(id, id), 8);
+                id += 1;
+            }
+            xbar.cycle();
+            for d in 0..12 {
+                black_box(xbar.request_mut().pop_eject(d));
+            }
+        })
+    });
+}
+
+fn bench_simt_core(c: &mut Criterion) {
+    c.bench_function("core_cycle_48_warps", |b| {
+        // A long ALU program: benches the fetch/issue machinery itself.
+        let prog = vec![Inst::alu(4); 100_000];
+        let src = ScriptedSource::new(vec![prog; 48]).with_code_lines(1);
+        let mut core = SimtCore::new(0, CoreConfig::gtx480(), Box::new(src));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            core.cycle(t * 1000);
+            // Serve instruction-cache misses instantly so the core stays
+            // busy for the whole measurement.
+            while let Some(f) = core.pop_outgoing() {
+                if f.kind.wants_response() && core.can_accept_response() {
+                    core.push_response(f).expect("space");
+                }
+            }
+            black_box(core.stats().insts_issued)
+        })
+    });
+}
+
+criterion_group!(
+    components,
+    bench_cache,
+    bench_mshr,
+    bench_dram,
+    bench_crossbar,
+    bench_simt_core
+);
+criterion_main!(components);

@@ -1,0 +1,182 @@
+//! Criterion benches mirroring the paper's evaluation artifacts.
+//!
+//! Each bench group corresponds to one table/figure and times the
+//! simulation that regenerates (a down-scaled slice of) it, so `cargo
+//! bench` both exercises every experiment code path and tracks simulator
+//! performance regressions. The *full-size* numbers are produced by the
+//! `gmh-exp` binaries (`cargo run --release -p gmh-exp --bin
+//! all_experiments`); these benches use 4-core slices with shortened
+//! kernels to stay within a benchmarking time budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmh_core::{GpuConfig, GpuSim, MemoryModel};
+use gmh_workloads::{catalog, WorkloadSpec};
+use std::hint::black_box;
+
+/// A 4-core slice of the baseline with kernels shortened ~8x.
+fn slice(cfg: GpuConfig, name: &str) -> (GpuConfig, WorkloadSpec) {
+    let mut cfg = cfg;
+    cfg.n_cores = 4;
+    cfg.max_core_cycles = 500_000;
+    let mut wl = catalog::by_name(name).expect("catalog workload");
+    wl.warps_per_core = wl.warps_per_core.min(16);
+    wl.insts_per_warp /= 8;
+    (cfg, wl)
+}
+
+fn run(cfg: GpuConfig, wl: &WorkloadSpec) -> f64 {
+    GpuSim::new(cfg, wl).run().ipc
+}
+
+/// Fig. 1 / Figs. 4-5 / Figs. 7-9: the baseline characterization runs.
+fn bench_baseline_characterization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_baseline");
+    g.sample_size(10);
+    for name in ["mm", "lbm", "leukocyte"] {
+        let (cfg, wl) = slice(GpuConfig::gtx480_baseline(), name);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &wl, |b, wl| {
+            b.iter(|| black_box(run(cfg.clone(), wl)))
+        });
+    }
+    g.finish();
+}
+
+/// Table II: the ideal-memory models.
+fn bench_table2_ideal_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_ideal");
+    g.sample_size(10);
+    let (pinf_cfg, wl) = slice(GpuConfig::infinite_bw(), "nn");
+    g.bench_function("p_inf_nn", |b| {
+        b.iter(|| black_box(run(pinf_cfg.clone(), &wl)))
+    });
+    let (pdram_cfg, wl) = slice(GpuConfig::infinite_dram(), "nn");
+    g.bench_function("p_dram_nn", |b| {
+        b.iter(|| black_box(run(pdram_cfg.clone(), &wl)))
+    });
+    g.finish();
+}
+
+/// Fig. 3: the fixed-latency apparatus at three sweep points.
+fn bench_fig3_latency_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_latency");
+    g.sample_size(10);
+    for lat in [0u64, 400, 800] {
+        let (cfg, wl) = slice(GpuConfig::fixed_l1_miss_latency(lat), "sc");
+        g.bench_with_input(BenchmarkId::from_parameter(lat), &wl, |b, wl| {
+            b.iter(|| black_box(run(cfg.clone(), wl)))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 10: each scaled configuration on the most bandwidth-sensitive
+/// workload (mm).
+fn bench_fig10_design_space(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_scaling");
+    g.sample_size(10);
+    let b0 = GpuConfig::gtx480_baseline;
+    let configs = [
+        ("base", b0()),
+        ("l1x4", b0().scale_l1(4)),
+        ("l2x4", b0().scale_l2(4)),
+        ("dramx4", b0().scale_dram(4)),
+        ("all", b0().scale_l1(4).scale_l2(4).scale_dram(4)),
+    ];
+    for (label, cfg) in configs {
+        let (cfg, wl) = slice(cfg, "mm");
+        g.bench_with_input(BenchmarkId::from_parameter(label), &wl, |b, wl| {
+            b.iter(|| black_box(run(cfg.clone(), wl)))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 11: core-frequency endpoints.
+fn bench_fig11_frequency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_frequency");
+    g.sample_size(10);
+    for mhz in [1200u32, 1600] {
+        let (cfg, wl) = slice(GpuConfig::gtx480_baseline().with_core_mhz(mhz), "bfs");
+        g.bench_with_input(BenchmarkId::from_parameter(mhz), &wl, |b, wl| {
+            b.iter(|| black_box(run(cfg.clone(), wl)))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 12: the asymmetric-crossbar cost-effective configurations.
+fn bench_fig12_cost_effective(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_cost_effective");
+    g.sample_size(10);
+    let configs = [
+        ("16_48", GpuConfig::cost_effective_16_48()),
+        ("16_68", GpuConfig::cost_effective_16_68()),
+        ("32_52", GpuConfig::cost_effective_32_52()),
+        ("hbm", GpuConfig::hbm()),
+    ];
+    for (label, cfg) in configs {
+        let (cfg, wl) = slice(cfg, "mm");
+        g.bench_with_input(BenchmarkId::from_parameter(label), &wl, |b, wl| {
+            b.iter(|| black_box(run(cfg.clone(), wl)))
+        });
+    }
+    g.finish();
+}
+
+/// Table III / §VII-C: configuration construction and the area model
+/// (cheap, but covers the code path).
+fn bench_table3_and_overhead(c: &mut Criterion) {
+    c.bench_function("table3_overhead_model", |b| {
+        b.iter(|| {
+            let base = GpuConfig::gtx480_baseline();
+            let ce = GpuConfig::cost_effective_16_68();
+            black_box(gmh_core::area::overhead(&base, &ce).percent_of_die())
+        })
+    });
+    // Table II's workload catalog construction (validated specs).
+    c.bench_function("catalog_build", |b| {
+        b.iter(|| {
+            let all = catalog::all();
+            black_box(all.len())
+        })
+    });
+}
+
+/// An ideal-memory run, one per memory model, guarding against model drift
+/// (these run ~10x faster than the full hierarchy).
+fn bench_memory_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_models");
+    g.sample_size(10);
+    for (label, model) in [
+        ("full", MemoryModel::Full),
+        ("fixed300", MemoryModel::FixedL1MissLatency(300)),
+        (
+            "infinite_bw",
+            MemoryModel::InfiniteBw {
+                l2_hit: 120,
+                dram: 220,
+            },
+        ),
+        ("infinite_dram", MemoryModel::InfiniteDram { latency: 100 }),
+    ] {
+        let (mut cfg, wl) = slice(GpuConfig::gtx480_baseline(), "cfd");
+        cfg.memory_model = model;
+        g.bench_with_input(BenchmarkId::from_parameter(label), &wl, |b, wl| {
+            b.iter(|| black_box(run(cfg.clone(), wl)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    artifacts,
+    bench_baseline_characterization,
+    bench_table2_ideal_models,
+    bench_fig3_latency_sweep,
+    bench_fig10_design_space,
+    bench_fig11_frequency,
+    bench_fig12_cost_effective,
+    bench_table3_and_overhead,
+    bench_memory_models,
+);
+criterion_main!(artifacts);

@@ -1,0 +1,264 @@
+//! Miss Status Holding Registers.
+//!
+//! An MSHR entry tracks one outstanding miss line. The *first* request to a
+//! line allocates the entry and travels downstream; later requests to the
+//! same line *merge* into the entry (recorded as waiters) instead of
+//! generating duplicate traffic. Both the number of entries and the number
+//! of requests per entry are finite; exhausting either is a structural
+//! hazard (the paper attributes 41% of L1 stalls to MSHR scarcity, Fig. 9).
+
+use gmh_types::LineAddr;
+
+#[derive(Clone, Debug)]
+struct Entry<W> {
+    line: LineAddr,
+    /// Total requests recorded against the line, including the traveling
+    /// first miss (which is not stored as a waiter).
+    n_requests: usize,
+    waiters: Vec<W>,
+}
+
+/// Why an MSHR could not accept a new miss.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MshrReject {
+    /// No free entry for a new line.
+    Full,
+    /// The line is tracked but its merge list is at capacity.
+    MergeFull,
+}
+
+/// A finite MSHR file with per-entry merging.
+///
+/// `W` is the waiter payload stored for merged requests; the simulator uses
+/// [`gmh_types::MemFetch`] so merged responses can be routed on fill.
+///
+/// # Example
+///
+/// ```
+/// use gmh_cache::Mshr;
+/// use gmh_types::LineAddr;
+///
+/// let mut m: Mshr<u32> = Mshr::new(32, 8);
+/// m.allocate(LineAddr::new(4)).unwrap(); // first miss travels downstream
+/// m.merge(LineAddr::new(4), 17).unwrap(); // second request waits
+/// assert_eq!(m.release(LineAddr::new(4)), vec![17]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mshr<W> {
+    entries: Vec<Entry<W>>,
+    capacity: usize,
+    merge_capacity: usize,
+    peak_used: usize,
+}
+
+impl<W> Mshr<W> {
+    /// Creates an MSHR file with `capacity` entries, each able to record
+    /// `merge_capacity` requests (first miss + merges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(capacity: usize, merge_capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        assert!(merge_capacity > 0, "merge capacity must be non-zero");
+        Mshr {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merge_capacity,
+            peak_used: 0,
+        }
+    }
+
+    /// Number of entries in use.
+    pub fn used(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest simultaneous entry occupancy observed.
+    pub fn peak_used(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Whether no entries are free.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Whether `line` has an outstanding entry.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Number of merged waiters parked on `line` (0 if untracked).
+    pub fn waiters_len(&self, line: LineAddr) -> usize {
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .map_or(0, |e| e.waiters.len())
+    }
+
+    /// Whether a new request to `line` can be accepted, either as a fresh
+    /// entry or as a merge.
+    pub fn can_accept(&self, line: LineAddr) -> Result<(), MshrReject> {
+        if let Some(e) = self.entries.iter().find(|e| e.line == line) {
+            if e.n_requests >= self.merge_capacity {
+                Err(MshrReject::MergeFull)
+            } else {
+                Ok(())
+            }
+        } else if self.is_full() {
+            Err(MshrReject::Full)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Allocates a new entry for `line` (the first, traveling miss).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MshrReject::Full`] when no entry is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `line` is already tracked — merge instead.
+    pub fn allocate(&mut self, line: LineAddr) -> Result<(), MshrReject> {
+        debug_assert!(
+            !self.contains(line),
+            "allocate on tracked line; merge instead"
+        );
+        if self.is_full() {
+            return Err(MshrReject::Full);
+        }
+        self.entries.push(Entry {
+            line,
+            n_requests: 1,
+            waiters: Vec::new(),
+        });
+        self.peak_used = self.peak_used.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Merges a waiter into the existing entry for `line`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MshrReject::MergeFull`] when the entry is at request
+    /// capacity, or [`MshrReject::Full`] if the line is not tracked (callers
+    /// should have checked [`Mshr::contains`]).
+    pub fn merge(&mut self, line: LineAddr, waiter: W) -> Result<(), MshrReject> {
+        let Some(e) = self.entries.iter_mut().find(|e| e.line == line) else {
+            return Err(MshrReject::Full);
+        };
+        if e.n_requests >= self.merge_capacity {
+            return Err(MshrReject::MergeFull);
+        }
+        e.n_requests += 1;
+        e.waiters.push(waiter);
+        Ok(())
+    }
+
+    /// Releases the entry for `line` (its fill arrived) and returns all
+    /// merged waiters in arrival order. Returns an empty vec if the line was
+    /// not tracked.
+    pub fn release(&mut self, line: LineAddr) -> Vec<W> {
+        if let Some(i) = self.entries.iter().position(|e| e.line == line) {
+            self.entries.swap_remove(i).waiters
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut m: Mshr<u32> = Mshr::new(2, 2);
+        m.allocate(line(1)).unwrap();
+        assert!(m.contains(line(1)));
+        assert!(m.release(line(1)).is_empty());
+        assert!(!m.contains(line(1)));
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m: Mshr<u32> = Mshr::new(2, 2);
+        m.allocate(line(1)).unwrap();
+        m.allocate(line(2)).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.allocate(line(3)), Err(MshrReject::Full));
+        assert_eq!(m.can_accept(line(3)), Err(MshrReject::Full));
+    }
+
+    #[test]
+    fn merge_capacity_counts_first_miss() {
+        let mut m: Mshr<u32> = Mshr::new(1, 3);
+        m.allocate(line(5)).unwrap(); // request 1 of 3
+        m.merge(line(5), 1).unwrap(); // 2 of 3
+        m.merge(line(5), 2).unwrap(); // 3 of 3
+        assert_eq!(m.merge(line(5), 3), Err(MshrReject::MergeFull));
+        assert_eq!(m.can_accept(line(5)), Err(MshrReject::MergeFull));
+        assert_eq!(m.release(line(5)), vec![1, 2]);
+    }
+
+    #[test]
+    fn can_accept_merge_even_when_full() {
+        let mut m: Mshr<u32> = Mshr::new(1, 4);
+        m.allocate(line(9)).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.can_accept(line(10)), Err(MshrReject::Full));
+        assert_eq!(m.can_accept(line(9)), Ok(()));
+    }
+
+    #[test]
+    fn merge_untracked_rejected() {
+        let mut m: Mshr<u32> = Mshr::new(1, 1);
+        assert_eq!(m.merge(line(7), 0), Err(MshrReject::Full));
+    }
+
+    #[test]
+    fn release_untracked_is_empty() {
+        let mut m: Mshr<u32> = Mshr::new(1, 1);
+        assert!(m.release(line(3)).is_empty());
+    }
+
+    #[test]
+    fn peak_used_tracks_high_water() {
+        let mut m: Mshr<u32> = Mshr::new(4, 1);
+        m.allocate(line(1)).unwrap();
+        m.allocate(line(2)).unwrap();
+        m.release(line(1));
+        m.allocate(line(3)).unwrap();
+        assert_eq!(m.peak_used(), 2);
+        assert_eq!(m.used(), 2);
+    }
+
+    #[test]
+    fn waiters_preserve_order() {
+        let mut m: Mshr<&'static str> = Mshr::new(1, 8);
+        m.allocate(line(0)).unwrap();
+        m.merge(line(0), "a").unwrap();
+        m.merge(line(0), "b").unwrap();
+        m.merge(line(0), "c").unwrap();
+        assert_eq!(m.release(line(0)), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _: Mshr<u32> = Mshr::new(0, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cache data-port occupancy model.
+//!
+//! The baseline L2 moves data through a 32-byte port (Table I), so reading
+//! or filling a 128-byte line occupies the port for four L2 cycles. An
+//! occupied port delays subsequent hits — the "port" slice of the paper's
+//! Fig. 8 (12% of L2 stalls on average) — and is one of the Type '+'
+//! parameters scaled in the design-space exploration.
+
+use gmh_types::Cycle;
+
+/// A time-multiplexed data port of configurable byte width.
+///
+/// # Example
+///
+/// ```
+/// use gmh_cache::DataPort;
+///
+/// let mut port = DataPort::new(32);
+/// assert!(port.try_occupy(128, 10)); // 128 B over 32 B/cycle: busy 4 cycles
+/// assert!(!port.is_free(13));
+/// assert!(port.is_free(14));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DataPort {
+    width_bytes: u32,
+    busy_until: Cycle,
+}
+
+impl DataPort {
+    /// Creates a port transferring `width_bytes` per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bytes` is zero.
+    pub fn new(width_bytes: u32) -> Self {
+        assert!(width_bytes > 0, "port width must be non-zero");
+        DataPort {
+            width_bytes,
+            busy_until: 0,
+        }
+    }
+
+    /// Port width in bytes per cycle.
+    pub fn width_bytes(&self) -> u32 {
+        self.width_bytes
+    }
+
+    /// Whether the port can start a new transfer at `now`.
+    pub fn is_free(&self, now: Cycle) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Cycles needed to move `bytes` through the port.
+    pub fn transfer_cycles(&self, bytes: u32) -> Cycle {
+        (bytes as Cycle).div_ceil(self.width_bytes as Cycle)
+    }
+
+    /// Attempts to occupy the port for a `bytes`-sized transfer starting at
+    /// `now`. Returns `false` (and changes nothing) if the port is busy.
+    pub fn try_occupy(&mut self, bytes: u32, now: Cycle) -> bool {
+        if !self.is_free(now) {
+            return false;
+        }
+        self.busy_until = now + self.transfer_cycles(bytes);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cycles_round_up() {
+        let p = DataPort::new(32);
+        assert_eq!(p.transfer_cycles(128), 4);
+        assert_eq!(p.transfer_cycles(130), 5);
+        assert_eq!(p.transfer_cycles(1), 1);
+    }
+
+    #[test]
+    fn wide_port_is_single_cycle() {
+        let p = DataPort::new(128);
+        assert_eq!(p.transfer_cycles(128), 1);
+    }
+
+    #[test]
+    fn occupy_blocks_until_done() {
+        let mut p = DataPort::new(32);
+        assert!(p.try_occupy(128, 0));
+        assert!(!p.try_occupy(128, 3));
+        assert!(p.try_occupy(128, 4));
+    }
+
+    #[test]
+    fn busy_attempt_does_not_extend() {
+        let mut p = DataPort::new(32);
+        assert!(p.try_occupy(128, 0));
+        let _ = p.try_occupy(128, 1); // rejected
+        assert!(p.is_free(4), "rejected attempt must not extend busy time");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_panics() {
+        let _ = DataPort::new(0);
+    }
+}

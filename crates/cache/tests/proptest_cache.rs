@@ -1,0 +1,236 @@
+//! Property-based tests of the cache: resource conservation, MSHR
+//! model-equivalence and allocate-on-miss invariants under arbitrary
+//! access/fill interleavings.
+
+use gmh_cache::{AccessResult, Cache, CacheConfig, Mshr, WriteOutcome, WritePolicy};
+use gmh_types::{AccessKind, LineAddr, MemFetch};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+fn load(id: u64, line: u64) -> MemFetch {
+    MemFetch::new(
+        id,
+        0,
+        (id % 48) as usize,
+        AccessKind::Load,
+        LineAddr::new(line),
+        0,
+    )
+}
+
+fn store(id: u64, line: u64) -> MemFetch {
+    MemFetch::new(
+        id,
+        0,
+        (id % 48) as usize,
+        AccessKind::Store,
+        LineAddr::new(line),
+        0,
+    )
+}
+
+fn small_cfg(policy: WritePolicy) -> CacheConfig {
+    CacheConfig {
+        size_bytes: 8 * 128,
+        assoc: 2,
+        mshr_entries: 4,
+        mshr_merge: 4,
+        miss_queue_len: 4,
+        write_policy: policy,
+        set_stride: 1,
+    }
+}
+
+/// An operation against the cache: access a line or deliver an outstanding
+/// fill.
+#[derive(Clone, Debug)]
+enum Op {
+    Read(u64),
+    Write(u64),
+    Fill,
+    Drain,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..24).prop_map(Op::Read),
+        (0u64..24).prop_map(Op::Write),
+        Just(Op::Fill),
+        Just(Op::Drain),
+    ]
+}
+
+proptest! {
+    /// Conservation: every load is either a hit, a merge, a new miss or a
+    /// rejection; fills release exactly the merged waiters; the cache never
+    /// leaks or duplicates fetches.
+    #[test]
+    fn cache_conserves_fetches(ops in prop::collection::vec(arb_op(), 1..300)) {
+        let mut cache = Cache::new(small_cfg(WritePolicy::WriteEvict));
+        // Lines with outstanding (traveling) misses, FIFO of unfilled ones.
+        let mut outstanding: VecDeque<LineAddr> = VecDeque::new();
+        // Expected waiters per line.
+        let mut waiters: HashMap<LineAddr, u64> = HashMap::new();
+        let mut id = 0u64;
+        let mut hits = 0u64;
+        let mut returned_waiters = 0u64;
+        let mut merged = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Read(l) => {
+                    id += 1;
+                    let line = LineAddr::new(l);
+                    match cache.access_read(load(id, l), 0) {
+                        (AccessResult::Hit, Some(_)) => hits += 1,
+                        (AccessResult::MissIssued, None) => {
+                            prop_assert!(!outstanding.contains(&line));
+                        }
+                        (AccessResult::MissMerged, None) => {
+                            merged += 1;
+                            *waiters.entry(line).or_insert(0) += 1;
+                        }
+                        (AccessResult::Blocked(_), Some(_)) => {}
+                        other => prop_assert!(false, "impossible outcome {other:?}"),
+                    }
+                }
+                Op::Write(l) => {
+                    id += 1;
+                    match cache.access_write(store(id, l), 0) {
+                        (WriteOutcome::Forwarded, None) => {}
+                        (WriteOutcome::Blocked(_), Some(_)) => {}
+                        other => prop_assert!(false, "write-evict gave {other:?}"),
+                    }
+                }
+                Op::Drain => {
+                    if let Some(f) = cache.pop_miss() {
+                        if f.kind == AccessKind::Load {
+                            outstanding.push_back(f.line);
+                        }
+                    }
+                }
+                Op::Fill => {
+                    if let Some(line) = outstanding.pop_front() {
+                        let got = cache.fill(line, 0);
+                        let expect = waiters.remove(&line).unwrap_or(0);
+                        prop_assert_eq!(got.len() as u64, expect,
+                            "fill must return exactly the merged waiters");
+                        returned_waiters += got.len() as u64;
+                        for w in got {
+                            prop_assert_eq!(w.line, line);
+                        }
+                    }
+                }
+            }
+        }
+        // Whatever was merged is either already returned or still parked
+        // behind an unfilled outstanding miss.
+        let parked: u64 = waiters.values().sum();
+        prop_assert_eq!(merged, returned_waiters + parked);
+        prop_assert_eq!(cache.stats().read_hits, hits);
+    }
+
+    /// The MSHR behaves exactly like a bounded multimap model.
+    #[test]
+    fn mshr_matches_model(ops in prop::collection::vec((0u8..3, 0u64..12), 1..200)) {
+        let capacity = 3;
+        let merge_cap = 3;
+        let mut mshr: Mshr<u64> = Mshr::new(capacity, merge_cap);
+        let mut model: HashMap<u64, Vec<u64>> = HashMap::new(); // line -> waiters
+        let mut next = 0u64;
+        for (op, line) in ops {
+            let la = LineAddr::new(line);
+            match op {
+                0 => {
+                    // allocate
+                    if model.contains_key(&line) {
+                        continue; // allocate on tracked line is a caller bug
+                    }
+                    let r = mshr.allocate(la);
+                    if model.len() < capacity {
+                        prop_assert!(r.is_ok());
+                        model.insert(line, vec![]);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                1 => {
+                    // merge
+                    next += 1;
+                    let r = mshr.merge(la, next);
+                    match model.get_mut(&line) {
+                        Some(w) if w.len() + 1 < merge_cap => {
+                            prop_assert!(r.is_ok());
+                            w.push(next);
+                        }
+                        _ => prop_assert!(r.is_err()),
+                    }
+                }
+                _ => {
+                    // release
+                    let got = mshr.release(la);
+                    let expect = model.remove(&line).unwrap_or_default();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(mshr.used(), model.len());
+            for l in model.keys() {
+                prop_assert!(mshr.contains(LineAddr::new(*l)));
+            }
+        }
+    }
+
+    /// Allocate-on-miss: the number of reserved lines in any set never
+    /// exceeds the associativity, and a blocked access leaves all counters
+    /// unchanged.
+    #[test]
+    fn reservations_bounded_by_assoc(lines in prop::collection::vec(0u64..16, 1..120)) {
+        let cfg = small_cfg(WritePolicy::WriteEvict);
+        let assoc = cfg.assoc;
+        let mut cache = Cache::new(cfg);
+        let mut id = 0;
+        for l in lines {
+            id += 1;
+            let before = (cache.mshr_used(), cache.miss_queue_len());
+            let (r, _) = cache.access_read(load(id, l), 0);
+            if matches!(r, AccessResult::Blocked(_)) {
+                prop_assert_eq!((cache.mshr_used(), cache.miss_queue_len()), before);
+            }
+            prop_assert!(cache.tags().reserved_in_set(LineAddr::new(l)) <= assoc);
+            // Randomly drain to keep things moving.
+            if id % 3 == 0 {
+                cache.pop_miss();
+            }
+        }
+    }
+
+    /// Write-back caches absorb every write they accept and only emit
+    /// write-back traffic for dirty victims (never for clean ones).
+    #[test]
+    fn writeback_traffic_only_from_dirty_victims(
+        ops in prop::collection::vec((any::<bool>(), 0u64..32), 1..200)
+    ) {
+        let mut cache = Cache::new(small_cfg(WritePolicy::WriteBack));
+        let mut dirtied: HashSet<u64> = HashSet::new();
+        let mut id = 0;
+        for (is_write, l) in ops {
+            id += 1;
+            if is_write {
+                if let (WriteOutcome::Absorbed, None) = cache.access_write(store(id, l), 0) {
+                    dirtied.insert(l);
+                }
+            } else {
+                let _ = cache.access_read(load(id, l), 0);
+            }
+            while let Some(f) = cache.pop_miss() {
+                if f.kind == AccessKind::L2WriteBack {
+                    prop_assert!(dirtied.contains(&f.line.index()),
+                        "write-back of a never-dirtied line {:?}", f.line);
+                } else if f.kind == AccessKind::Load {
+                    // Fill immediately to keep the cache making progress.
+                    cache.fill(f.line, 0);
+                }
+            }
+        }
+    }
+}

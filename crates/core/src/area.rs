@@ -1,0 +1,152 @@
+//! Area/cost model (the paper's §VII-C overhead analysis).
+//!
+//! Substitutes GPUWattch with the paper's own published coefficients:
+//! 94 KB of additional storage costs 7.48 mm² at 40 nm; each buffer entry
+//! is 128 bytes while miss-queue, MSHR and memory-pipeline entries are 8
+//! bytes; the baseline 32+32 crossbar occupies 27 mm² of which the
+//! point-to-point wires are 11.6 mm² for 64 bytes of width; the baseline
+//! die is 700 mm².
+
+use crate::config::GpuConfig;
+
+/// Storage area coefficient: mm² per KB at 40 nm (7.48 mm² / 94 KB).
+pub const A_STORAGE_MM2_PER_KB: f64 = 7.48 / 94.0;
+/// Crossbar wire area per byte of point-to-point width (11.6 mm² / 64 B).
+pub const A_WIRE_MM2_PER_BYTE: f64 = 11.6 / 64.0;
+/// Baseline processor die area in mm² (GTX 480 at 40 nm).
+pub const BASELINE_DIE_MM2: f64 = 700.0;
+/// Bytes per *buffer* entry (queues holding full packets/lines).
+pub const BUFFER_ENTRY_BYTES: u64 = 128;
+/// Bytes per miss-queue / MSHR / memory-pipeline entry.
+pub const TRACKER_ENTRY_BYTES: u64 = 8;
+
+/// Itemized area overhead of a configuration relative to a baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AreaReport {
+    /// Additional storage in KB (buffers + MSHRs + queues).
+    pub storage_kb: f64,
+    /// Area of the additional storage in mm².
+    pub storage_mm2: f64,
+    /// Additional crossbar wire area in mm².
+    pub wire_mm2: f64,
+}
+
+impl AreaReport {
+    /// Total additional area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.storage_mm2 + self.wire_mm2
+    }
+
+    /// Overhead as a percentage of the baseline die.
+    pub fn percent_of_die(&self) -> f64 {
+        100.0 * self.total_mm2() / BASELINE_DIE_MM2
+    }
+}
+
+/// Total storage bytes implied by a configuration's queues and MSHRs
+/// (the structures Table III scales).
+fn storage_bytes(cfg: &GpuConfig) -> u64 {
+    let n_cores = cfg.n_cores as u64;
+    let n_banks = cfg.n_l2_banks as u64;
+    let n_channels = cfg.n_channels as u64;
+
+    // Per-core trackers: L1 miss queue, L1D MSHRs, memory pipeline.
+    let l1 = n_cores
+        * TRACKER_ENTRY_BYTES
+        * (cfg.core.l1d.miss_queue_len as u64
+            + cfg.core.l1d.mshr_entries as u64
+            + cfg.core.mem_pipeline_width as u64);
+
+    // Per-bank L2: access + response queues are full-line buffers; miss
+    // queue and MSHRs are trackers.
+    let l2 = n_banks
+        * (BUFFER_ENTRY_BYTES * (cfg.l2_access_queue as u64 + cfg.l2_response_queue as u64)
+            + TRACKER_ENTRY_BYTES
+                * (cfg.l2_bank.miss_queue_len as u64 + cfg.l2_bank.mshr_entries as u64));
+
+    // Per-channel DRAM: the scheduler queue holds full requests.
+    let dram = n_channels * BUFFER_ENTRY_BYTES * cfg.dram.sched_queue as u64;
+
+    l1 + l2 + dram
+}
+
+/// Computes the area overhead of `cfg` relative to `baseline`.
+pub fn overhead(baseline: &GpuConfig, cfg: &GpuConfig) -> AreaReport {
+    let delta_bytes = storage_bytes(cfg).saturating_sub(storage_bytes(baseline));
+    let storage_kb = delta_bytes as f64 / 1024.0;
+    let storage_mm2 = storage_kb * A_STORAGE_MM2_PER_KB;
+    let base_width = baseline.icnt.total_width_bytes() as f64;
+    let cfg_width = cfg.icnt.total_width_bytes() as f64;
+    let wire_mm2 = ((cfg_width - base_width).max(0.0)) * A_WIRE_MM2_PER_BYTE;
+    AreaReport {
+        storage_kb,
+        storage_mm2,
+        wire_mm2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_zero_overhead() {
+        let b = GpuConfig::gtx480_baseline();
+        let r = overhead(&b, &b);
+        assert_eq!(r.total_mm2(), 0.0);
+        assert_eq!(r.percent_of_die(), 0.0);
+    }
+
+    #[test]
+    fn cost_effective_16_48_is_about_one_percent() {
+        // The paper reports ~94 KB storage -> 7.48 mm² -> ~1.1% of die for
+        // the 16+48 configuration (zero wire overhead).
+        let b = GpuConfig::gtx480_baseline();
+        let r = overhead(&b, &GpuConfig::cost_effective_16_48());
+        assert_eq!(r.wire_mm2, 0.0, "16+48 keeps total width at 64 B");
+        assert!(
+            r.storage_kb > 60.0 && r.storage_kb < 110.0,
+            "storage = {} KB",
+            r.storage_kb
+        );
+        assert!(
+            r.percent_of_die() > 0.6 && r.percent_of_die() < 1.4,
+            "overhead = {}%",
+            r.percent_of_die()
+        );
+    }
+
+    #[test]
+    fn wider_crossbars_pay_wire_area() {
+        // +20 B of width costs 11.6/64*20 = 3.625 mm² (paper: 3.62 mm²).
+        let b = GpuConfig::gtx480_baseline();
+        let r68 = overhead(&b, &GpuConfig::cost_effective_16_68());
+        let r52 = overhead(&b, &GpuConfig::cost_effective_32_52());
+        assert!((r68.wire_mm2 - 3.625).abs() < 0.01);
+        assert!((r52.wire_mm2 - 3.625).abs() < 0.01);
+        // Paper: ~1.6% total for these two configurations.
+        assert!(
+            r68.percent_of_die() > 1.0 && r68.percent_of_die() < 2.0,
+            "overhead = {}%",
+            r68.percent_of_die()
+        );
+    }
+
+    #[test]
+    fn scaling_up_only_adds_area() {
+        let b = GpuConfig::gtx480_baseline();
+        let r = overhead(&b, &GpuConfig::gtx480_baseline().scale_l2(4));
+        assert!(r.storage_mm2 > 0.0);
+        assert!(r.wire_mm2 > 0.0);
+    }
+
+    #[test]
+    fn narrower_crossbar_never_negative() {
+        let b = GpuConfig::gtx480_baseline();
+        let mut narrow = GpuConfig::gtx480_baseline();
+        narrow.icnt.req_flit_bytes = 16;
+        narrow.icnt.rep_flit_bytes = 16;
+        let r = overhead(&b, &narrow);
+        assert_eq!(r.wire_mm2, 0.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Full-GPU configuration and the paper's design-space presets (Table III).
+
+use gmh_cache::CacheConfig;
+use gmh_dram::DramConfig;
+use gmh_icnt::IcntConfig;
+use gmh_simt::CoreConfig;
+
+/// How the memory system below the L1 behaves.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MemoryModel {
+    /// The full hierarchy: crossbar + banked L2 + GDDR5 channels.
+    Full,
+    /// Every L1 miss returns after a fixed number of core cycles, with no
+    /// bandwidth limits anywhere (the Fig. 3 latency-sweep apparatus).
+    FixedL1MissLatency(u64),
+    /// Infinite-bandwidth memory system (Table II's P∞): L1 misses return
+    /// in `l2_hit` core cycles when a functional L2 would hit, `dram` when
+    /// it would miss. No congestion anywhere.
+    InfiniteBw {
+        /// Uncongested L2 round trip in core cycles (the paper uses 120).
+        l2_hit: u64,
+        /// Uncongested DRAM round trip in core cycles (the paper uses 220).
+        dram: u64,
+    },
+    /// Real cache hierarchy and interconnect, but DRAM replaced by an
+    /// infinite-bandwidth pipe with a fixed latency in core cycles
+    /// (Table II's P_DRAM; the paper uses 100).
+    InfiniteDram {
+        /// DRAM access latency in core cycles.
+        latency: u64,
+    },
+}
+
+/// Complete configuration of the simulated GPU.
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Number of SIMT cores (SMs).
+    pub n_cores: usize,
+    /// Core clock in MHz.
+    pub core_mhz: u32,
+    /// Crossbar + L2 clock in MHz.
+    pub icnt_mhz: u32,
+    /// DRAM command clock in MHz.
+    pub dram_mhz: u32,
+    /// Per-core configuration (L1 caches, memory pipeline, warps).
+    pub core: CoreConfig,
+    /// Crossbar configuration.
+    pub icnt: IcntConfig,
+    /// Number of L2 banks (each with an independent crossbar port).
+    pub n_l2_banks: usize,
+    /// Per-bank L2 configuration; `size_bytes` is per bank and
+    /// `miss_queue_len` is the paper's "L2 miss queue".
+    pub l2_bank: CacheConfig,
+    /// L2 access-queue depth per bank (requests buffered from the
+    /// crossbar; the queue Fig. 4 measures).
+    pub l2_access_queue: usize,
+    /// L2 response-queue depth per bank (replies buffered toward the
+    /// crossbar).
+    pub l2_response_queue: usize,
+    /// L2 data-port width in bytes per L2 cycle.
+    pub l2_data_port_bytes: u32,
+    /// L2 lookup pipeline latency in L2 (icnt-domain) cycles.
+    pub l2_latency: u64,
+    /// Number of DRAM channels (memory partitions).
+    pub n_channels: usize,
+    /// Per-channel DRAM configuration.
+    pub dram: DramConfig,
+    /// Memory model (full hierarchy or an ideal variant).
+    pub memory_model: MemoryModel,
+    /// Safety cap on simulated core cycles.
+    pub max_core_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The baseline simulated GTX 480 (Table I).
+    pub fn gtx480_baseline() -> Self {
+        GpuConfig {
+            n_cores: 15,
+            core_mhz: 1400,
+            icnt_mhz: 700,
+            dram_mhz: 924,
+            core: CoreConfig::gtx480(),
+            icnt: IcntConfig::baseline_32_32(),
+            n_l2_banks: 12,
+            l2_bank: CacheConfig::fermi_l2_bank(),
+            l2_access_queue: 8,
+            l2_response_queue: 8,
+            l2_data_port_bytes: 32,
+            l2_latency: 40,
+            n_channels: 6,
+            dram: DramConfig::gtx480(),
+            memory_model: MemoryModel::Full,
+            max_core_cycles: 3_000_000,
+        }
+    }
+
+    /// Validates cross-component consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cores == 0 {
+            return Err("need at least one core".into());
+        }
+        if self.n_l2_banks == 0 || !self.n_l2_banks.is_multiple_of(self.n_channels) {
+            return Err(format!(
+                "L2 banks ({}) must be a positive multiple of channels ({})",
+                self.n_l2_banks, self.n_channels
+            ));
+        }
+        if self.dram.n_channels != self.n_channels {
+            return Err("dram.n_channels must match n_channels".into());
+        }
+        if self.l2_bank.set_stride != self.n_l2_banks {
+            return Err("l2_bank.set_stride must equal n_l2_banks".into());
+        }
+        self.dram.timing.validate()
+    }
+
+    // ---- Table III design-space knobs (4x scaled column) -------------------
+
+    /// Scales the L1 Type '='/'+' parameters by `f` (Table III group c):
+    /// L1 miss queue, L1D MSHRs, memory pipeline width.
+    pub fn scale_l1(mut self, f: usize) -> Self {
+        self.core.l1d.miss_queue_len *= f;
+        self.core.l1d.mshr_entries *= f;
+        self.core.l1d.mshr_merge *= f;
+        self.core.mem_pipeline_width *= f;
+        self
+    }
+
+    /// Scales the L2 parameters by `f` (Table III group b): miss queue,
+    /// response queue, MSHRs, access queue, data port, crossbar flit sizes
+    /// and bank count (total L2 capacity unchanged).
+    pub fn scale_l2(mut self, f: usize) -> Self {
+        self.l2_bank.miss_queue_len *= f;
+        self.l2_response_queue *= f;
+        self.l2_bank.mshr_entries *= f;
+        self.l2_bank.mshr_merge *= f;
+        self.l2_access_queue *= f;
+        self.l2_data_port_bytes *= f as u32;
+        self.icnt.req_flit_bytes *= f as u32;
+        self.icnt.rep_flit_bytes *= f as u32;
+        // More banks, same total capacity: per-bank size shrinks.
+        self.l2_bank.size_bytes /= f as u64;
+        self.n_l2_banks *= f;
+        self.l2_bank.set_stride = self.n_l2_banks;
+        self
+    }
+
+    /// Scales the DRAM parameters by `f` (Table III group a): scheduler
+    /// queue, banks per chip (capacity constant) and bus width. At `f = 4`
+    /// this matches the bandwidth of an HBM stack, which the paper uses as
+    /// its HBM stand-in.
+    pub fn scale_dram(mut self, f: usize) -> Self {
+        self.dram.sched_queue *= f;
+        self.dram.response_queue *= f;
+        self.dram.n_banks *= f;
+        self.dram.bus_bytes_per_cycle *= f as u32;
+        self
+    }
+
+    /// The paper's HBM-class memory: baseline cache hierarchy with 4×
+    /// DRAM bandwidth (Fig. 10 "DRAM", Fig. 12 "HBM").
+    pub fn hbm() -> Self {
+        Self::gtx480_baseline().scale_dram(4)
+    }
+
+    // ---- cost-effective configurations (Table III last column) -------------
+
+    /// Shared non-crossbar part of the cost-effective configuration:
+    /// 32-entry L1/L2 miss queues, 48 L1 MSHRs, 32-entry L2 access and
+    /// response queues, 40-wide memory pipeline. DRAM and L2 data port stay
+    /// at baseline.
+    fn cost_effective_base() -> Self {
+        let mut c = Self::gtx480_baseline();
+        c.core.l1d.miss_queue_len = 32;
+        c.core.l1d.mshr_entries = 48;
+        c.core.mem_pipeline_width = 40;
+        c.l2_bank.miss_queue_len = 32;
+        c.l2_response_queue = 32;
+        c.l2_access_queue = 32;
+        c
+    }
+
+    /// Cost-effective `16+48`: asymmetric crossbar with the same total
+    /// wire count as the baseline `32+32` (zero wire-area overhead).
+    pub fn cost_effective_16_48() -> Self {
+        let mut c = Self::cost_effective_base();
+        c.icnt = IcntConfig::asymmetric(16, 48);
+        c
+    }
+
+    /// Cost-effective `16+68`: 20 extra reply bytes of point-to-point width.
+    pub fn cost_effective_16_68() -> Self {
+        let mut c = Self::cost_effective_base();
+        c.icnt = IcntConfig::asymmetric(16, 68);
+        c
+    }
+
+    /// Cost-effective `32+52`: 20 extra reply bytes, wider request network.
+    pub fn cost_effective_32_52() -> Self {
+        let mut c = Self::cost_effective_base();
+        c.icnt = IcntConfig::asymmetric(32, 52);
+        c
+    }
+
+    // ---- ideal-memory models ------------------------------------------------
+
+    /// Table II's P∞ apparatus: infinite-bandwidth memory system with the
+    /// paper's uncongested latencies (120 cycles to L2, 220 to DRAM).
+    pub fn infinite_bw() -> Self {
+        let mut c = Self::gtx480_baseline();
+        c.memory_model = MemoryModel::InfiniteBw {
+            l2_hit: 120,
+            dram: 220,
+        };
+        c
+    }
+
+    /// Table II's P_DRAM apparatus: baseline cache hierarchy with an
+    /// infinite-bandwidth, 100-cycle DRAM.
+    pub fn infinite_dram() -> Self {
+        let mut c = Self::gtx480_baseline();
+        c.memory_model = MemoryModel::InfiniteDram { latency: 100 };
+        c
+    }
+
+    /// Fig. 3's apparatus: every L1 miss returns after exactly `latency`
+    /// core cycles.
+    pub fn fixed_l1_miss_latency(latency: u64) -> Self {
+        let mut c = Self::gtx480_baseline();
+        c.memory_model = MemoryModel::FixedL1MissLatency(latency);
+        c
+    }
+
+    /// Fig. 11's apparatus: the baseline with a different core clock.
+    /// Raising the core clock raises the L1 request rate against a fixed
+    /// L2/DRAM bandwidth, mimicking the real-chip overclocking experiment.
+    pub fn with_core_mhz(mut self, mhz: u32) -> Self {
+        self.core_mhz = mhz;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = GpuConfig::gtx480_baseline();
+        assert_eq!(c.n_cores, 15);
+        assert_eq!(c.core_mhz, 1400);
+        assert_eq!(c.icnt_mhz, 700);
+        assert_eq!(c.dram_mhz, 924);
+        assert_eq!(c.n_l2_banks, 12);
+        assert_eq!(c.n_channels, 6);
+        assert_eq!(c.l2_bank.size_bytes * c.n_l2_banks as u64, 768 * 1024);
+        assert_eq!(c.core.l1d.size_bytes, 16 * 1024);
+        assert_eq!(c.core.l1d.mshr_entries, 32);
+        assert_eq!(c.core.l1d.miss_queue_len, 8);
+        assert_eq!(c.icnt.req_flit_bytes, 32);
+        assert_eq!(c.dram.sched_queue, 16);
+        assert_eq!(c.dram.n_banks, 16);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scale_l1_matches_table3() {
+        let c = GpuConfig::gtx480_baseline().scale_l1(4);
+        assert_eq!(c.core.l1d.miss_queue_len, 32);
+        assert_eq!(c.core.l1d.mshr_entries, 128);
+        assert_eq!(c.core.mem_pipeline_width, 40);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scale_l2_matches_table3() {
+        let c = GpuConfig::gtx480_baseline().scale_l2(4);
+        assert_eq!(c.l2_bank.miss_queue_len, 32);
+        assert_eq!(c.l2_response_queue, 32);
+        assert_eq!(c.l2_bank.mshr_entries, 128);
+        assert_eq!(c.l2_access_queue, 32);
+        assert_eq!(c.l2_data_port_bytes, 128);
+        assert_eq!(c.icnt.req_flit_bytes, 128);
+        assert_eq!(c.icnt.rep_flit_bytes, 128);
+        assert_eq!(c.n_l2_banks, 48);
+        // Total L2 capacity unchanged.
+        assert_eq!(c.l2_bank.size_bytes * c.n_l2_banks as u64, 768 * 1024);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scale_dram_matches_table3() {
+        let c = GpuConfig::gtx480_baseline().scale_dram(4);
+        assert_eq!(c.dram.sched_queue, 64);
+        assert_eq!(c.dram.n_banks, 64);
+        assert_eq!(c.dram.bus_bytes_per_cycle, 128);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cost_effective_matches_table3() {
+        let c = GpuConfig::cost_effective_16_48();
+        assert_eq!(c.dram.sched_queue, 16, "DRAM stays at baseline");
+        assert_eq!(c.l2_bank.miss_queue_len, 32);
+        assert_eq!(c.l2_response_queue, 32);
+        assert_eq!(c.l2_bank.mshr_entries, 32, "L2 MSHRs stay at baseline");
+        assert_eq!(c.l2_access_queue, 32);
+        assert_eq!(c.l2_data_port_bytes, 32, "L2 port stays at baseline");
+        assert_eq!((c.icnt.req_flit_bytes, c.icnt.rep_flit_bytes), (16, 48));
+        assert_eq!(c.n_l2_banks, 12, "L2 banks stay at baseline");
+        assert_eq!(c.core.l1d.miss_queue_len, 32);
+        assert_eq!(c.core.l1d.mshr_entries, 48);
+        assert_eq!(c.core.mem_pipeline_width, 40);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn other_crossbar_variants() {
+        assert_eq!(
+            (
+                GpuConfig::cost_effective_16_68().icnt.req_flit_bytes,
+                GpuConfig::cost_effective_16_68().icnt.rep_flit_bytes
+            ),
+            (16, 68)
+        );
+        assert_eq!(
+            (
+                GpuConfig::cost_effective_32_52().icnt.req_flit_bytes,
+                GpuConfig::cost_effective_32_52().icnt.rep_flit_bytes
+            ),
+            (32, 52)
+        );
+    }
+
+    #[test]
+    fn synergistic_combos_compose() {
+        let c = GpuConfig::gtx480_baseline().scale_l1(4).scale_l2(4);
+        assert_eq!(c.core.l1d.mshr_entries, 128);
+        assert_eq!(c.n_l2_banks, 48);
+        assert!(c.validate().is_ok());
+        let c = GpuConfig::gtx480_baseline().scale_l2(4).scale_dram(4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn ideal_models() {
+        assert!(matches!(
+            GpuConfig::infinite_bw().memory_model,
+            MemoryModel::InfiniteBw {
+                l2_hit: 120,
+                dram: 220
+            }
+        ));
+        assert!(matches!(
+            GpuConfig::infinite_dram().memory_model,
+            MemoryModel::InfiniteDram { latency: 100 }
+        ));
+        assert!(matches!(
+            GpuConfig::fixed_l1_miss_latency(400).memory_model,
+            MemoryModel::FixedL1MissLatency(400)
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bank_channel_mismatch() {
+        let mut c = GpuConfig::gtx480_baseline();
+        c.n_l2_banks = 7;
+        c.l2_bank.set_stride = 7;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn core_mhz_override() {
+        let c = GpuConfig::gtx480_baseline().with_core_mhz(1600);
+        assert_eq!(c.core_mhz, 1600);
+    }
+}

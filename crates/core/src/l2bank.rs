@@ -1,0 +1,480 @@
+//! One bank of the shared L2, with its access queue, response queue and
+//! data port — the structure between the crossbar and the DRAM scheduler
+//! in Fig. 2 of the paper.
+
+use gmh_cache::{
+    AccessResult, BlockReason, Cache, CacheConfig, DataPort, L2StallCounters, L2StallKind,
+    ProbeResult, WriteOutcome,
+};
+use gmh_types::{BoundedQueue, Cycle, MemFetch, OccupancyHistogram, Picos};
+
+/// One L2 bank: cache slice + queues + port + stall attribution.
+#[derive(Clone, Debug)]
+pub struct L2Bank {
+    cache: Cache,
+    access_queue: BoundedQueue<MemFetch>,
+    /// Responses waiting to inject into the reply network, with the L2
+    /// cycle at which the lookup pipeline releases them.
+    response_queue: BoundedQueue<(Cycle, MemFetch)>,
+    port: DataPort,
+    latency: Cycle,
+    stalls: L2StallCounters,
+    now: Cycle,
+}
+
+impl L2Bank {
+    /// Builds a bank from its cache config, queue depths, port width and
+    /// lookup latency (in L2 cycles).
+    pub fn new(
+        cache_cfg: CacheConfig,
+        access_queue: usize,
+        response_queue: usize,
+        port_bytes: u32,
+        latency: Cycle,
+    ) -> Self {
+        L2Bank {
+            cache: Cache::new(cache_cfg),
+            access_queue: BoundedQueue::new(access_queue),
+            response_queue: BoundedQueue::new(response_queue),
+            port: DataPort::new(port_bytes),
+            latency,
+            stalls: L2StallCounters::default(),
+            now: 0,
+        }
+    }
+
+    /// The underlying cache (hit/miss statistics).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Per-kind stall counters (Fig. 8).
+    pub fn stalls(&self) -> &L2StallCounters {
+        &self.stalls
+    }
+
+    /// Occupancy histogram of the access queue (Fig. 4).
+    pub fn access_occupancy(&self) -> &OccupancyHistogram {
+        self.access_queue.occupancy()
+    }
+
+    /// Whether the access queue can take another request from the crossbar.
+    pub fn can_accept(&self) -> bool {
+        !self.access_queue.is_full()
+    }
+
+    /// Enqueues a request ejected from the crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fetch back if the access queue is full (it stays in the
+    /// crossbar ejection buffer, backing the network up).
+    pub fn push_access(&mut self, fetch: MemFetch) -> Result<(), MemFetch> {
+        self.access_queue.push(fetch)
+    }
+
+    /// Head of the miss queue (next request toward DRAM).
+    pub fn miss_queue_front(&self) -> Option<&MemFetch> {
+        self.cache.miss_queue_front()
+    }
+
+    /// Pops the miss queue once DRAM accepted the head.
+    pub fn pop_miss(&mut self) -> Option<MemFetch> {
+        self.cache.pop_miss()
+    }
+
+    /// The response ready to inject into the reply network, if its lookup
+    /// pipeline delay has elapsed.
+    pub fn response_ready(&self) -> Option<&MemFetch> {
+        match self.response_queue.front() {
+            Some((ready, f)) if *ready <= self.now => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Pops the ready response (after the crossbar accepted it).
+    pub fn pop_response(&mut self) -> Option<MemFetch> {
+        match self.response_queue.front() {
+            Some((ready, _)) if *ready <= self.now => self.response_queue.pop().map(|(_, f)| f),
+            _ => None,
+        }
+    }
+
+    /// Free slots in the response queue.
+    pub fn response_free(&self) -> usize {
+        self.response_queue.free()
+    }
+
+    /// Response slots a fill for `line` will need: the traveling fetch plus
+    /// every merged waiter. The sim checks this before popping a DRAM
+    /// response; shortage holds the fill in the channel (back-pressure).
+    pub fn fill_response_needs(&self, line: gmh_types::LineAddr) -> usize {
+        1 + self.cache.mshr_waiters(line)
+    }
+
+    /// Delivers a DRAM fill: the reserved line becomes valid, the port is
+    /// occupied by the fill, and the traveling fetch plus all merged
+    /// waiters are queued as responses.
+    ///
+    /// The caller must have verified `response_free() > waiter count`
+    /// before popping the DRAM response (otherwise back-pressure holds it
+    /// in the channel).
+    pub fn deliver_fill(&mut self, mut fetch: MemFetch, now_ps: Picos) {
+        fetch.serviced_by = gmh_types::fetch::ServicedBy::Dram;
+        fetch.time.dram_done = now_ps;
+        let waiters = self.cache.fill(fetch.line, now_ps);
+        // The fill transfer occupies the data port (best effort: if the
+        // port is busy this cycle the fill shares it next cycle; fills are
+        // not re-queued).
+        let _ = self.port.try_occupy(gmh_types::LINE_SIZE, self.now);
+        let ready = self.now + 1;
+        for mut w in waiters {
+            w.serviced_by = gmh_types::fetch::ServicedBy::Dram;
+            if w.kind.wants_response() {
+                self.response_queue
+                    .push((ready, w))
+                    .expect("caller reserved response space");
+            }
+        }
+        if fetch.kind.wants_response() {
+            self.response_queue
+                .push((ready, fetch))
+                .expect("caller reserved response space");
+        }
+    }
+
+    /// Whether all bank state has drained.
+    pub fn is_idle(&self) -> bool {
+        self.access_queue.is_empty()
+            && self.response_queue.is_empty()
+            && self.cache.miss_queue_len() == 0
+            && self.cache.mshr_used() == 0
+    }
+
+    /// Advances the bank one L2 (icnt-domain) cycle: samples the access
+    /// queue and processes its head.
+    pub fn cycle(&mut self, now_ps: Picos) {
+        self.now += 1;
+        self.access_queue.sample_occupancy();
+
+        let Some(head) = self.access_queue.front() else {
+            return;
+        };
+        let is_write = head.kind.is_write();
+        let line = head.line;
+
+        if is_write {
+            // Write path: needs the data port to absorb the line.
+            if !self.port.is_free(self.now) {
+                self.stalls.record(L2StallKind::Port);
+                return;
+            }
+            let fetch = self.access_queue.pop().expect("head exists");
+            match self.cache.access_write(fetch, now_ps) {
+                (WriteOutcome::Absorbed, _) => {
+                    self.port.try_occupy(gmh_types::LINE_SIZE, self.now);
+                }
+                (WriteOutcome::Forwarded, _) => {
+                    unreachable!("L2 is write-back; writes are absorbed")
+                }
+                (WriteOutcome::Blocked(reason), Some(fetch)) => {
+                    self.record_block(reason);
+                    self.access_queue
+                        .push_front(fetch)
+                        .unwrap_or_else(|_| panic!("slot just vacated"));
+                }
+                (WriteOutcome::Blocked(_), None) => unreachable!("blocked returns the fetch"),
+            }
+            return;
+        }
+
+        // Read path. Pre-probe so hit-side resources (port, response queue)
+        // are checked before any state changes.
+        match self.cache.tags().probe(line) {
+            ProbeResult::Hit => {
+                if !self.port.is_free(self.now) {
+                    self.stalls.record(L2StallKind::Port);
+                    return;
+                }
+                if self.response_queue.is_full() {
+                    self.stalls.record(L2StallKind::BpIcnt);
+                    return;
+                }
+                let mut fetch = self.access_queue.pop().expect("head exists");
+                let (r, back) = self.cache.access_read(fetch.clone(), now_ps);
+                debug_assert_eq!(r, AccessResult::Hit);
+                fetch = back.expect("hit returns the fetch");
+                fetch.serviced_by = gmh_types::fetch::ServicedBy::L2;
+                fetch.time.l2_done = now_ps;
+                self.port.try_occupy(gmh_types::LINE_SIZE, self.now);
+                self.response_queue
+                    .push((self.now + self.latency, fetch))
+                    .expect("fullness checked");
+            }
+            _ => {
+                let fetch = self.access_queue.pop().expect("head exists");
+                match self.cache.access_read(fetch, now_ps) {
+                    (AccessResult::MissIssued | AccessResult::MissMerged, _) => {}
+                    (AccessResult::Hit, _) => unreachable!("probe said miss"),
+                    (AccessResult::Blocked(reason), Some(fetch)) => {
+                        self.record_block(reason);
+                        self.access_queue
+                            .push_front(fetch)
+                            .unwrap_or_else(|_| panic!("slot just vacated"));
+                    }
+                    (AccessResult::Blocked(_), None) => unreachable!("blocked returns the fetch"),
+                }
+            }
+        }
+    }
+
+    fn record_block(&mut self, reason: BlockReason) {
+        let kind = match reason {
+            BlockReason::MshrFull | BlockReason::MshrMergeFull => L2StallKind::Mshr,
+            BlockReason::NoReplaceableLine => L2StallKind::Cache,
+            // The L2 miss queue is full because DRAM is not draining it.
+            BlockReason::MissQueueFull => L2StallKind::BpDram,
+        };
+        self.stalls.record(kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmh_types::{AccessKind, LineAddr};
+
+    fn bank() -> L2Bank {
+        L2Bank::new(CacheConfig::fermi_l2_bank(), 8, 8, 32, 4)
+    }
+
+    fn load(id: u64, line: u64) -> MemFetch {
+        // Lines multiple of 12 route to bank 0 under 12-bank interleave.
+        MemFetch::new(id, 0, 0, AccessKind::Load, LineAddr::new(line * 12), 0)
+    }
+
+    fn store(id: u64, line: u64) -> MemFetch {
+        MemFetch::new(id, 0, 0, AccessKind::Store, LineAddr::new(line * 12), 0)
+    }
+
+    #[test]
+    fn read_miss_reaches_miss_queue() {
+        let mut b = bank();
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        assert!(b.miss_queue_front().is_some());
+        assert!(b.response_ready().is_none());
+    }
+
+    #[test]
+    fn fill_then_hit_produces_response_after_latency() {
+        let mut b = bank();
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        let miss = b.pop_miss().unwrap();
+        b.deliver_fill(miss, 100);
+        // Response appears next cycle (fill path).
+        b.cycle(200);
+        let r = b.pop_response().expect("fill response ready");
+        assert_eq!(r.id, 0);
+        assert_eq!(r.serviced_by, gmh_types::fetch::ServicedBy::Dram);
+        // Second access to the same line: hit, released only after the
+        // lookup latency (plus any residual port occupancy from the fill).
+        b.push_access(load(1, 1)).unwrap();
+        b.cycle(300);
+        assert!(b.response_ready().is_none(), "lookup pipeline delay");
+        let mut waited = 0;
+        let r = loop {
+            b.cycle(300 + waited);
+            if let Some(r) = b.pop_response() {
+                break r;
+            }
+            waited += 1;
+            assert!(waited < 16, "hit response never released");
+        };
+        assert!(waited >= 3, "response released before the lookup latency");
+        assert_eq!(r.serviced_by, gmh_types::fetch::ServicedBy::L2);
+    }
+
+    #[test]
+    fn response_queue_full_stalls_with_bp_icnt() {
+        let mut b = L2Bank::new(CacheConfig::fermi_l2_bank(), 8, 1, 128, 0);
+        // Warm a line.
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        let miss = b.pop_miss().unwrap();
+        b.deliver_fill(miss, 0);
+        b.cycle(0);
+        // The fill response occupies the single response slot; never drain.
+        b.push_access(load(1, 1)).unwrap();
+        for _ in 0..5 {
+            b.cycle(0);
+        }
+        assert!(
+            b.stalls().bp_icnt.get() >= 4,
+            "bp-ICNT = {}",
+            b.stalls().bp_icnt.get()
+        );
+    }
+
+    #[test]
+    fn narrow_port_stalls_back_to_back_hits() {
+        // 32 B port: each hit occupies 4 cycles; two hits contend.
+        let mut b = bank();
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        let miss = b.pop_miss().unwrap();
+        b.deliver_fill(miss, 0);
+        b.cycle(0);
+        b.pop_response();
+        b.push_access(load(1, 1)).unwrap();
+        b.push_access(load(2, 1)).unwrap();
+        for _ in 0..8 {
+            b.cycle(0);
+        }
+        assert!(
+            b.stalls().port.get() >= 2,
+            "port stalls = {}",
+            b.stalls().port.get()
+        );
+    }
+
+    #[test]
+    fn wide_port_does_not_stall_hits() {
+        let mut b = L2Bank::new(CacheConfig::fermi_l2_bank(), 8, 8, 128, 0);
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        let miss = b.pop_miss().unwrap();
+        b.deliver_fill(miss, 0);
+        b.cycle(0);
+        b.pop_response();
+        b.push_access(load(1, 1)).unwrap();
+        b.push_access(load(2, 1)).unwrap();
+        for _ in 0..4 {
+            b.cycle(0);
+        }
+        assert_eq!(b.stalls().port.get(), 0);
+    }
+
+    #[test]
+    fn miss_queue_full_stalls_with_bp_dram() {
+        let mut cfg = CacheConfig::fermi_l2_bank();
+        cfg.miss_queue_len = 1;
+        let mut b = L2Bank::new(cfg, 8, 8, 32, 0);
+        b.push_access(load(0, 1)).unwrap();
+        b.push_access(load(1, 2)).unwrap();
+        b.push_access(load(2, 3)).unwrap();
+        for _ in 0..4 {
+            b.cycle(0); // never drain the miss queue: DRAM "not accepting"
+        }
+        assert!(
+            b.stalls().bp_dram.get() >= 2,
+            "bp-DRAM = {}",
+            b.stalls().bp_dram.get()
+        );
+    }
+
+    #[test]
+    fn writes_are_absorbed_and_occupy_port() {
+        let mut b = bank();
+        b.push_access(store(0, 1)).unwrap();
+        b.push_access(store(1, 2)).unwrap();
+        b.cycle(0);
+        assert_eq!(b.cache().stats().writes, 1);
+        // Port busy for 4 cycles: second store stalls.
+        b.cycle(0);
+        assert!(b.stalls().port.get() >= 1);
+        assert!(b.miss_queue_front().is_none(), "no write-through traffic");
+    }
+
+    #[test]
+    fn merged_waiters_all_get_responses() {
+        let mut b = bank();
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        b.push_access(load(1, 1)).unwrap(); // merges into the MSHR
+        b.cycle(0);
+        assert_eq!(b.cache().stats().read_merges, 1);
+        let miss = b.pop_miss().unwrap();
+        assert!(b.pop_miss().is_none(), "merge sends no duplicate");
+        b.deliver_fill(miss, 0);
+        b.cycle(0);
+        assert!(b.pop_response().is_some());
+        assert!(b.pop_response().is_some(), "waiter responds too");
+    }
+
+    #[test]
+    fn fill_response_needs_counts_waiters() {
+        let mut b = bank();
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        assert_eq!(b.fill_response_needs(LineAddr::new(12)), 1);
+        b.push_access(load(1, 1)).unwrap();
+        b.cycle(0); // merges
+        b.push_access(load(2, 1)).unwrap();
+        b.cycle(0); // merges again
+        assert_eq!(
+            b.fill_response_needs(LineAddr::new(12)),
+            3,
+            "traveling fetch + two waiters"
+        );
+    }
+
+    #[test]
+    fn inst_fetch_reads_share_the_read_path() {
+        let mut b = bank();
+        let ifetch = MemFetch::new(9, 3, 7, AccessKind::InstFetch, LineAddr::new(24), 0);
+        b.push_access(ifetch).unwrap();
+        b.cycle(0);
+        let miss = b.pop_miss().expect("ifetch misses to DRAM");
+        assert_eq!(miss.kind, AccessKind::InstFetch);
+        b.deliver_fill(miss, 0);
+        b.cycle(0);
+        let resp = b.pop_response().expect("ifetch gets a response");
+        assert_eq!(resp.kind, AccessKind::InstFetch);
+        assert_eq!(resp.core_id, 3, "response routes back to the fetching core");
+    }
+
+    #[test]
+    fn writeback_arrivals_are_absorbed_as_writes() {
+        // A write-back evicted from some other bank level never reaches an
+        // L2 access queue in the real topology, but stores do; verify the
+        // write path counts port occupancy.
+        let mut b = bank();
+        b.push_access(store(0, 1)).unwrap();
+        b.cycle(0);
+        assert_eq!(b.cache().stats().writes, 1);
+        assert!(b.miss_queue_front().is_none());
+    }
+
+    #[test]
+    fn responses_preserve_order_per_bank() {
+        let mut b = L2Bank::new(CacheConfig::fermi_l2_bank(), 8, 8, 128, 0);
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        b.push_access(load(1, 2)).unwrap();
+        b.cycle(0);
+        let m0 = b.pop_miss().unwrap();
+        let m1 = b.pop_miss().unwrap();
+        b.deliver_fill(m0, 0);
+        b.deliver_fill(m1, 0);
+        b.cycle(0);
+        assert_eq!(b.pop_response().unwrap().id, 0);
+        assert_eq!(b.pop_response().unwrap().id, 1);
+    }
+
+    #[test]
+    fn is_idle_tracks_state() {
+        let mut b = bank();
+        assert!(b.is_idle());
+        b.push_access(load(0, 1)).unwrap();
+        assert!(!b.is_idle());
+        b.cycle(0);
+        assert!(!b.is_idle(), "outstanding miss keeps the bank busy");
+        let miss = b.pop_miss().unwrap();
+        b.deliver_fill(miss, 0);
+        b.cycle(0);
+        b.pop_response();
+        assert!(b.is_idle());
+    }
+}

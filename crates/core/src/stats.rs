@@ -1,0 +1,90 @@
+//! Aggregate run statistics — one [`SimStats`] per simulation, carrying
+//! everything the paper's figures report.
+
+use gmh_cache::{L1StallCounters, L2StallCounters};
+use gmh_simt::IssueStallCounters;
+use gmh_types::OccupancyHistogram;
+
+/// Results of one simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Core cycles simulated.
+    pub core_cycles: u64,
+    /// Warp instructions issued across all cores.
+    pub insts: u64,
+    /// Instructions per core-cycle, summed over cores.
+    pub ipc: f64,
+    /// Issue-stall classification, merged over cores (Figs. 1, 7).
+    pub issue: IssueStallCounters,
+    /// L1 stall attribution, merged over cores (Fig. 9).
+    pub l1_stalls: L1StallCounters,
+    /// L2 stall attribution, merged over banks (Fig. 8).
+    pub l2_stalls: L2StallCounters,
+    /// Average memory latency of L1 misses, in core cycles (Fig. 1 AML).
+    pub aml_core_cycles: f64,
+    /// Median L1-miss round trip, in core cycles.
+    pub aml_p50: f64,
+    /// 90th-percentile L1-miss round trip, in core cycles.
+    pub aml_p90: f64,
+    /// 99th-percentile L1-miss round trip, in core cycles — the tail that
+    /// actually stalls warps.
+    pub aml_p99: f64,
+    /// Average L2-hit round trip, in core cycles (Fig. 1 L2-AHL).
+    pub l2_ahl_core_cycles: f64,
+    /// Fraction of runtime the cores were issue-stalled (Fig. 1 Stall).
+    pub stall_fraction: f64,
+    /// L2 access-queue occupancy, merged over banks (Fig. 4).
+    pub l2_access_occupancy: OccupancyHistogram,
+    /// DRAM scheduler-queue occupancy, merged over channels (Fig. 5).
+    pub dram_queue_occupancy: OccupancyHistogram,
+    /// DRAM bandwidth efficiency (busy / pending cycles), averaged over
+    /// channels (§IV-B.1).
+    pub dram_efficiency: f64,
+    /// L1D read miss rate (merges count as misses).
+    pub l1_miss_rate: f64,
+    /// L2 read miss rate (merges count as misses).
+    pub l2_miss_rate: f64,
+    /// Whether the run hit the core-cycle safety cap before draining.
+    pub hit_cycle_cap: bool,
+}
+
+impl SimStats {
+    /// Speedup of this run over a `baseline` run of the same workload
+    /// (ratio of IPCs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline IPC is zero.
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        assert!(baseline.ipc > 0.0, "baseline IPC must be non-zero");
+        self.ipc / baseline.ipc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_ipc_ratio() {
+        let a = SimStats {
+            ipc: 2.0,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            ipc: 0.5,
+            ..SimStats::default()
+        };
+        assert!((a.speedup_over(&b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_baseline_panics() {
+        let a = SimStats {
+            ipc: 1.0,
+            ..SimStats::default()
+        };
+        let _ = a.speedup_over(&SimStats::default());
+    }
+}

@@ -1,0 +1,115 @@
+//! GDDR5 timing constraints (Table I of the paper).
+//!
+//! All values are in DRAM command-clock cycles (924 MHz baseline).
+
+/// The timing constraints governing command scheduling in a GDDR5 channel.
+///
+/// Field names follow the paper's Table I row "DRAM Timing Constraints".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Column-to-column delay: minimum cycles between CAS commands.
+    pub ccd: u64,
+    /// Row-to-row activation delay: minimum cycles between ACT commands to
+    /// *different* banks of the same channel.
+    pub rrd: u64,
+    /// RAS-to-CAS delay: ACT to first CAS on the same bank.
+    pub rcd: u64,
+    /// Row-access strobe: minimum time a row stays open before precharge.
+    pub ras: u64,
+    /// Row precharge time: PRE to next ACT on the same bank.
+    pub rp: u64,
+    /// Row cycle: minimum time between ACTs on the same bank
+    /// (`rc >= ras + rp`).
+    pub rc: u64,
+    /// CAS (read) latency: CAS to first data beat.
+    pub cl: u64,
+    /// Write latency: CAS-write to first data beat.
+    pub wl: u64,
+    /// Write-to-read turnaround: last write data beat to next read CAS
+    /// ("CDLR" in GPGPU-Sim).
+    pub cdlr: u64,
+    /// Write recovery: last write data beat to precharge of the same bank.
+    pub wr: u64,
+}
+
+impl DramTiming {
+    /// Table I values for the simulated GTX 480:
+    /// `CCD=2, RRD=6, RCD=12, RAS=28, RP=12, RC=40, CL=12, WL=4, CDLR=5,
+    /// WR=12`.
+    pub const fn gtx480() -> Self {
+        DramTiming {
+            ccd: 2,
+            rrd: 6,
+            rcd: 12,
+            ras: 28,
+            rp: 12,
+            rc: 40,
+            cl: 12,
+            wl: 4,
+            cdlr: 5,
+            wr: 12,
+        }
+    }
+
+    /// Sanity-checks internal consistency (e.g. `rc >= ras + rp`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rc < self.ras + self.rp {
+            return Err(format!(
+                "tRC ({}) must be >= tRAS + tRP ({} + {})",
+                self.rc, self.ras, self.rp
+            ));
+        }
+        if self.ccd == 0 {
+            return Err("tCCD must be non-zero".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::gtx480()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx480_matches_table1() {
+        let t = DramTiming::gtx480();
+        assert_eq!(
+            (t.ccd, t.rrd, t.rcd, t.ras, t.rp, t.rc, t.cl, t.wl, t.cdlr, t.wr),
+            (2, 6, 12, 28, 12, 40, 12, 4, 5, 12)
+        );
+    }
+
+    #[test]
+    fn gtx480_is_consistent() {
+        assert!(DramTiming::gtx480().validate().is_ok());
+    }
+
+    #[test]
+    fn inconsistent_rc_rejected() {
+        let t = DramTiming {
+            rc: 10,
+            ..DramTiming::gtx480()
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn zero_ccd_rejected() {
+        let t = DramTiming {
+            ccd: 0,
+            ..DramTiming::gtx480()
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_gtx480() {
+        assert_eq!(DramTiming::default(), DramTiming::gtx480());
+    }
+}

@@ -1,0 +1,6 @@
+//! Single-knob design-space ablation (extends the paper's §V study).
+use gmh_exp::runner::Baselines;
+fn main() {
+    let baselines = Baselines::collect();
+    print!("{}", gmh_exp::experiments::ablation(&baselines));
+}

@@ -1,0 +1,72 @@
+//! Runs every experiment and prints a complete evaluation report.
+//!
+//! With `--write-md <path>`, also writes the report to a file (used to
+//! regenerate the measured sections of EXPERIMENTS.md).
+use gmh_exp::experiments as ex;
+use gmh_exp::runner::Baselines;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--write-md")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    eprintln!("[1/14] baselines (19 workloads)...");
+    let baselines = Baselines::collect();
+    let mut report = String::new();
+    report.push_str(&ex::table1());
+    report.push('\n');
+    eprintln!("[2/14] fig1...");
+    report.push_str(&ex::fig1(&baselines));
+    report.push('\n');
+    eprintln!("[3/14] table2 (P-inf / P_DRAM)...");
+    report.push_str(&ex::table2(&baselines));
+    report.push('\n');
+    eprintln!("[4/14] fig3 (latency sweep)...");
+    report.push_str(&ex::fig3(&baselines));
+    report.push('\n');
+    eprintln!("[5/14] fig4...");
+    report.push_str(&ex::fig4(&baselines));
+    report.push('\n');
+    eprintln!("[6/14] fig5...");
+    report.push_str(&ex::fig5(&baselines));
+    report.push('\n');
+    eprintln!("[7/14] fig6...");
+    report.push_str(&ex::fig6());
+    report.push('\n');
+    eprintln!("[8/14] fig7/8/9...");
+    report.push_str(&ex::fig7(&baselines));
+    report.push('\n');
+    report.push_str(&ex::fig8(&baselines));
+    report.push('\n');
+    report.push_str(&ex::fig9(&baselines));
+    report.push('\n');
+    eprintln!("[9/14] fig10 (design space)...");
+    report.push_str(&ex::fig10(&baselines));
+    report.push('\n');
+    eprintln!("[10/14] fig11 (frequency sweep)...");
+    report.push_str(&ex::fig11());
+    report.push('\n');
+    eprintln!("[11/14] fig12 (cost-effective)...");
+    report.push_str(&ex::fig12(&baselines));
+    report.push('\n');
+    eprintln!("[12/14] table3...");
+    report.push_str(&ex::table3());
+    report.push('\n');
+    eprintln!("[13/14] overhead...");
+    report.push_str(&ex::overhead());
+    report.push('\n');
+    eprintln!("[14/14] ablation...");
+    report.push_str(&ex::ablation(&baselines));
+
+    println!("{report}");
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(path) = out_path {
+        std::fs::write(&path, &report).expect("write report");
+        eprintln!("wrote {path}");
+    }
+}

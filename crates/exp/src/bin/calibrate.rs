@@ -1,0 +1,44 @@
+//! Calibration sweep: P-infinity / P_DRAM for all 19 workloads vs. the
+//! paper's Table II references.
+use gmh_core::GpuConfig;
+use gmh_exp::runner::{run_jobs, Job};
+use gmh_workloads::catalog;
+
+fn main() {
+    let specs = catalog::all();
+    let jobs: Vec<Job> = specs
+        .iter()
+        .flat_map(|w| {
+            [
+                Job::new(w.clone(), "base", GpuConfig::gtx480_baseline()),
+                Job::new(w.clone(), "pinf", GpuConfig::infinite_bw()),
+                Job::new(w.clone(), "pdram", GpuConfig::infinite_dram()),
+            ]
+        })
+        .collect();
+    let out = run_jobs(jobs);
+    println!(
+        "{:<11} {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5} {:>5} {:>4}",
+        "name", "Pinf", "ref", "Pdrm", "ref", "stall", "aml", "ahl", "l1mr", "l2mr", "eff"
+    );
+    let (mut si, mut sd) = (0.0, 0.0);
+    for (i, w) in specs.iter().enumerate() {
+        let base = &out[3 * i].stats;
+        let pinf = out[3 * i + 1].stats.speedup_over(base);
+        let pdram = out[3 * i + 2].stats.speedup_over(base);
+        let (ri, rd) = catalog::paper_reference(w.name).unwrap();
+        println!(
+            "{:<11} {:>5.2} {:>5.2} | {:>5.2} {:>5.2} | {:>4.0}% {:>5.0} {:>5.0} {:>5.2} {:>5.2} {:>4.2}",
+            w.name, pinf, ri, pdram, rd,
+            base.stall_fraction * 100.0, base.aml_core_cycles, base.l2_ahl_core_cycles,
+            base.l1_miss_rate, base.l2_miss_rate, base.dram_efficiency
+        );
+        si += pinf;
+        sd += pdram;
+    }
+    println!(
+        "AVG Pinf={:.2} (paper 2.37)  Pdram={:.2} (paper 1.15)",
+        si / 19.0,
+        sd / 19.0
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11 (core-frequency sweep).
+fn main() {
+    print!("{}", gmh_exp::experiments::fig11());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3 (IPC vs fixed L1 miss latency).
+use gmh_exp::runner::Baselines;
+fn main() {
+    let baselines = Baselines::collect();
+    print!("{}", gmh_exp::experiments::fig3(&baselines));
+}

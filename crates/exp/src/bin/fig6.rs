@@ -1,0 +1,4 @@
+//! Prints the Fig. 6 structural-hazard micro-trace.
+fn main() {
+    print!("{}", gmh_exp::experiments::fig6());
+}

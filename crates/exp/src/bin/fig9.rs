@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 9 from baseline/swept runs.
+use gmh_exp::runner::Baselines;
+fn main() {
+    let baselines = Baselines::collect();
+    print!("{}", gmh_exp::experiments::fig9(&baselines));
+}

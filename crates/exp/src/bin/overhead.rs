@@ -1,0 +1,4 @@
+//! Prints the area-overhead analysis (paper §VII-C).
+fn main() {
+    print!("{}", gmh_exp::experiments::overhead());
+}

@@ -1,0 +1,38 @@
+//! Diagnostic: run one workload on the baseline and dump every statistic.
+use gmh_core::{GpuConfig, GpuSim};
+use gmh_workloads::catalog;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(|s| s.as_str()).unwrap_or("nn");
+    let wl = catalog::by_name(name).expect("unknown workload; see catalog::names()");
+    let t0 = Instant::now();
+    let stats = GpuSim::new(GpuConfig::gtx480_baseline(), &wl).run();
+    let dt = t0.elapsed();
+    println!(
+        "{name}: cycles={} insts={} ipc={:.3} stall={:.1}% aml={:.0} ahl={:.0} l1mr={:.2} l2mr={:.2} dram_eff={:.2} cap={} wall={:.2}s",
+        stats.core_cycles, stats.insts, stats.ipc,
+        100.0 * stats.stall_fraction, stats.aml_core_cycles, stats.l2_ahl_core_cycles,
+        stats.l1_miss_rate, stats.l2_miss_rate, stats.dram_efficiency,
+        stats.hit_cycle_cap, dt.as_secs_f64()
+    );
+    println!(
+        "  aml percentiles: p50={:.0} p90={:.0} p99={:.0} core cycles",
+        stats.aml_p50, stats.aml_p90, stats.aml_p99
+    );
+    println!(
+        "  l2q_full={:.2} dramq_full={:.2} issue_dist(dM,dA,sM,sA,f)={:?}",
+        stats.l2_access_occupancy.full_fraction(),
+        stats.dram_queue_occupancy.full_fraction(),
+        stats.issue.distribution().map(|x| (x * 100.0).round()),
+    );
+    println!(
+        "  l1stalls(c,m,bp)={:?} l2stalls(bpI,p,c,m,bpD)={:?}",
+        {
+            let (a, b, c) = stats.l1_stalls.fractions();
+            [a, b, c].map(|x| (x * 100.0).round())
+        },
+        stats.l2_stalls.fractions().map(|x| (x * 100.0).round()),
+    );
+}

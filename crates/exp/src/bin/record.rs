@@ -1,0 +1,33 @@
+//! Records a workload's synthetic instruction stream to a `gmh-trace v1`
+//! file, replayable with `--bin replay` or any `GpuSim::from_sources` user.
+//!
+//! ```text
+//! cargo run --release -p gmh-exp --bin record -- <workload> <out.trace> [cores]
+//! ```
+use gmh_workloads::{catalog, TraceBundle};
+use std::fs::File;
+use std::io::BufWriter;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("mm");
+    let out = args.get(2).map(String::as_str).unwrap_or("workload.trace");
+    let cores: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let wl = catalog::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload {name:?}; available: {:?}",
+            catalog::names()
+        );
+        std::process::exit(1);
+    });
+    let bundle = TraceBundle::record(&wl, cores);
+    let f = File::create(out).expect("create trace file");
+    bundle.write(BufWriter::new(f)).expect("write trace");
+    eprintln!(
+        "recorded {} instructions of {} across {} cores to {}",
+        bundle.total_insts(),
+        name,
+        cores,
+        out
+    );
+}

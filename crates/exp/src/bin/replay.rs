@@ -1,0 +1,41 @@
+//! Replays a `gmh-trace v1` file on the baseline GTX 480 and prints the
+//! same statistics as `--bin probe`.
+//!
+//! ```text
+//! cargo run --release -p gmh-exp --bin replay -- <file.trace>
+//! ```
+use gmh_core::{GpuConfig, GpuSim};
+use gmh_workloads::TraceBundle;
+use std::fs::File;
+use std::io::BufReader;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: replay <file.trace>");
+        std::process::exit(1);
+    });
+    let f = File::open(&path).expect("open trace file");
+    let bundle = TraceBundle::parse(BufReader::new(f)).expect("parse trace");
+    eprintln!(
+        "replaying {} ({} insts, {} cores recorded)",
+        bundle.name(),
+        bundle.total_insts(),
+        bundle.cores()
+    );
+    let name = bundle.name().to_string();
+    let mut sim = GpuSim::from_sources(GpuConfig::gtx480_baseline(), &name, |c| {
+        Box::new(bundle.source_for_core(c))
+    });
+    let s = sim.run();
+    println!(
+        "{name}: cycles={} insts={} ipc={:.3} stall={:.1}% aml={:.0} l1mr={:.2} l2mr={:.2} cap={}",
+        s.core_cycles,
+        s.insts,
+        s.ipc,
+        100.0 * s.stall_fraction,
+        s.aml_core_cycles,
+        s.l1_miss_rate,
+        s.l2_miss_rate,
+        s.hit_cycle_cap
+    );
+}

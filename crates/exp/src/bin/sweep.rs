@@ -1,0 +1,19 @@
+//! Diagnostic: one workload across the Fig. 10 + Fig. 12 configurations.
+use gmh_core::{GpuConfig, GpuSim};
+use gmh_exp::experiments::{fig10_configs, fig12_configs};
+use gmh_workloads::catalog;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mm".into());
+    let wl = catalog::by_name(&name).expect("unknown workload");
+    let base = GpuSim::new(GpuConfig::gtx480_baseline(), &wl).run();
+    print!(
+        "{name}: base ipc={:.2} l2mr={:.2} |",
+        base.ipc, base.l2_miss_rate
+    );
+    for (label, cfg) in fig10_configs().into_iter().chain(fig12_configs()) {
+        let s = GpuSim::new(cfg, &wl).run();
+        print!(" {label}={:.2}", s.ipc / base.ipc);
+    }
+    println!();
+}

@@ -1,0 +1,4 @@
+//! Prints Table I (baseline architecture parameters).
+fn main() {
+    print!("{}", gmh_exp::experiments::table1());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II (P-infinity and P_DRAM speedups).
+use gmh_exp::runner::Baselines;
+fn main() {
+    let baselines = Baselines::collect();
+    print!("{}", gmh_exp::experiments::table2(&baselines));
+}

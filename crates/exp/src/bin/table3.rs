@@ -1,0 +1,4 @@
+//! Prints Table III (consolidated design space).
+fn main() {
+    print!("{}", gmh_exp::experiments::table3());
+}

@@ -1,0 +1,47 @@
+//! Diagnostic: dump the first instructions of a workload's stream, per
+//! warp, for inspecting what a synthetic model actually emits.
+//!
+//! ```text
+//! cargo run --release -p gmh-exp --bin trace -- <workload> [warp] [count]
+//! ```
+use gmh_simt::inst::{InstKind, InstSource};
+use gmh_workloads::catalog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("mm");
+    let warp: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let count: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let wl = catalog::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload {name:?}; available: {:?}",
+            catalog::names()
+        );
+        std::process::exit(1);
+    });
+    println!("{name} (core 0, warp {warp}), first {count} instructions:");
+    let mut src = wl.source_for_core(0);
+    for i in 0..count {
+        let Some(inst) = src.next_inst(warp) else {
+            println!("{i:>4}: <end of stream>");
+            break;
+        };
+        let deps = match (inst.wait_mem, inst.wait_alu) {
+            (true, true) => " [waits: mem+alu]",
+            (true, false) => " [waits: mem]",
+            (false, true) => " [waits: alu]",
+            (false, false) => "",
+        };
+        match inst.kind {
+            InstKind::Alu { latency } => println!("{i:>4}: ALU lat={latency}{deps}"),
+            InstKind::Load { lines } => {
+                let ls: Vec<String> = lines.iter().map(|l| format!("{l}")).collect();
+                println!("{i:>4}: LD  {}{}", ls.join(", "), deps);
+            }
+            InstKind::Store { lines } => {
+                let ls: Vec<String> = lines.iter().map(|l| format!("{l}")).collect();
+                println!("{i:>4}: ST  {}{}", ls.join(", "), deps);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # gmh-exp
+//!
+//! The experiment harness: one runner per table and figure of the paper's
+//! evaluation, built on [`gmh_core::GpuSim`] and the calibrated workload
+//! catalog in [`gmh_workloads`].
+//!
+//! Each artifact has a binary (`cargo run --release -p gmh-exp --bin
+//! fig10`) that prints the same rows/series the paper reports, with the
+//! paper's reference values alongside where available. The
+//! `all_experiments` binary runs everything and emits a complete
+//! EXPERIMENTS.md-style report.
+//!
+//! Heavy sweeps run jobs in parallel across `GMH_THREADS` threads
+//! (default: available parallelism).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use runner::{run_jobs, Baselines, Job, RunOutcome};

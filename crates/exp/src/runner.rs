@@ -1,0 +1,154 @@
+//! Parallel simulation-job execution.
+
+use gmh_core::{GpuConfig, GpuSim, SimStats};
+use gmh_workloads::{catalog, WorkloadSpec};
+use std::sync::Mutex;
+
+/// One simulation to run: a workload under a configuration.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// Label identifying the configuration ("base", "L2x4", ...).
+    pub label: String,
+    /// The GPU configuration.
+    pub config: GpuConfig,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(workload: WorkloadSpec, label: impl Into<String>, config: GpuConfig) -> Self {
+        Job {
+            workload,
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// The result of one job.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label.
+    pub label: String,
+    /// Run statistics.
+    pub stats: SimStats,
+}
+
+/// Worker-thread count: `GMH_THREADS` or the machine's parallelism.
+pub fn threads() -> usize {
+    std::env::var("GMH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+}
+
+/// Runs all jobs across worker threads; results come back in job order.
+pub fn run_jobs(jobs: Vec<Job>) -> Vec<RunOutcome> {
+    let n = jobs.len();
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let results: Mutex<Vec<Option<RunOutcome>>> = Mutex::new(vec![None; n]);
+    std::thread::scope(|s| {
+        for _ in 0..threads().min(n.max(1)) {
+            s.spawn(|| loop {
+                let Some((idx, job)) = queue.lock().expect("queue lock").next() else {
+                    break;
+                };
+                let stats = GpuSim::new(job.config, &job.workload).run();
+                results.lock().expect("results lock")[idx] = Some(RunOutcome {
+                    workload: job.workload.name.to_string(),
+                    label: job.label,
+                    stats,
+                });
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// Cached baseline runs of all 19 workloads — shared by Figs. 1, 4, 5, 7,
+/// 8 and 9, which all measure the baseline configuration.
+#[derive(Clone, Debug)]
+pub struct Baselines {
+    entries: Vec<(WorkloadSpec, SimStats)>,
+}
+
+impl Baselines {
+    /// Builds a cache from precomputed entries (used by unit tests to
+    /// exercise report formatting without running simulations).
+    pub fn from_entries(entries: Vec<(WorkloadSpec, SimStats)>) -> Self {
+        Baselines { entries }
+    }
+
+    /// Runs the 19 baselines (in parallel).
+    pub fn collect() -> Self {
+        let jobs = catalog::all()
+            .into_iter()
+            .map(|w| Job::new(w, "base", GpuConfig::gtx480_baseline()))
+            .collect();
+        let outcomes = run_jobs(jobs);
+        let entries = catalog::all()
+            .into_iter()
+            .zip(outcomes)
+            .map(|(w, o)| (w, o.stats))
+            .collect();
+        Baselines { entries }
+    }
+
+    /// Iterates `(workload, baseline stats)` in Table II order.
+    pub fn iter(&self) -> impl Iterator<Item = &(WorkloadSpec, SimStats)> {
+        self.entries.iter()
+    }
+
+    /// Baseline stats for one workload.
+    pub fn get(&self, name: &str) -> Option<&SimStats> {
+        self.entries
+            .iter()
+            .find(|(w, _)| w.name == name)
+            .map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_env_override() {
+        // Not set in tests normally; just ensure the default is sane.
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn run_jobs_preserves_order() {
+        let mut wl = catalog::by_name("leukocyte").unwrap();
+        wl.warps_per_core = 2;
+        wl.insts_per_warp = 40;
+        let mut cfg = GpuConfig::gtx480_baseline();
+        cfg.n_cores = 1;
+        let jobs = vec![
+            Job::new(wl.clone(), "a", cfg.clone()),
+            Job::new(wl.clone(), "b", cfg.clone()),
+            Job::new(wl, "c", cfg),
+        ];
+        let out = run_jobs(jobs);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].label, "a");
+        assert_eq!(out[1].label, "b");
+        assert_eq!(out[2].label, "c");
+        // Identical jobs give identical (deterministic) results.
+        assert_eq!(out[0].stats.core_cycles, out[1].stats.core_cycles);
+    }
+}

@@ -1,0 +1,493 @@
+//! One direction of the crossbar: input-queued flit switching.
+//!
+//! Each source node owns a bounded injection buffer (measured in flits).
+//! Every cycle, each output port grabs one flit from one eligible input
+//! (round-robin among inputs, head-of-line packet only), and each input may
+//! send at most one flit. A packet starts transferring only when its
+//! destination's ejection buffer has a free (reservable) slot, so full
+//! ejection buffers back-pressure through the switch to the injection
+//! buffers — and from there to the L1 miss queues / L2 response queues.
+
+use gmh_types::{Counter, Cycle, MemFetch};
+use std::collections::VecDeque;
+
+#[derive(Clone, Debug)]
+struct Packet {
+    fetch: MemFetch,
+    dst: usize,
+    flits_total: u32,
+    flits_sent: u32,
+    ready_at: Cycle,
+    reserved: bool,
+}
+
+/// Traffic statistics for one network direction.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkStats {
+    /// Flits moved through the switch.
+    pub flits: Counter,
+    /// Packets delivered to ejection buffers.
+    pub packets: Counter,
+    /// Injection attempts rejected for lack of buffer space.
+    pub inject_fails: Counter,
+    /// Cycles in which at least one input had a flit but no flit moved to
+    /// its output (contention or ejection back-pressure).
+    pub blocked_cycles: Counter,
+}
+
+/// One direction of the crossbar (see module docs).
+#[derive(Clone, Debug)]
+pub struct Network {
+    n_src: usize,
+    n_dst: usize,
+    flit_bytes: u32,
+    input_capacity_flits: usize,
+    router_latency: Cycle,
+    inputs: Vec<VecDeque<Packet>>,
+    input_flits: Vec<usize>,
+    outputs: Vec<VecDeque<MemFetch>>,
+    output_capacity: usize,
+    output_reserved: Vec<usize>,
+    rr: Vec<usize>,
+    output_speedup: usize,
+    now: Cycle,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Creates a network with `n_src` injection ports and `n_dst` ejection
+    /// ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or capacity is zero.
+    pub fn new(
+        n_src: usize,
+        n_dst: usize,
+        flit_bytes: u32,
+        input_buffer_flits: usize,
+        output_buffer_packets: usize,
+        router_latency: Cycle,
+    ) -> Self {
+        Self::with_speedup(
+            n_src,
+            n_dst,
+            flit_bytes,
+            input_buffer_flits,
+            output_buffer_packets,
+            router_latency,
+            1,
+        )
+    }
+
+    /// Like [`Network::new`] with an explicit output speedup: each ejection
+    /// port may accept up to `output_speedup` flits per cycle (from
+    /// distinct inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension, capacity or the speedup is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_speedup(
+        n_src: usize,
+        n_dst: usize,
+        flit_bytes: u32,
+        input_buffer_flits: usize,
+        output_buffer_packets: usize,
+        router_latency: Cycle,
+        output_speedup: usize,
+    ) -> Self {
+        assert!(output_speedup > 0, "output speedup must be non-zero");
+        assert!(
+            n_src > 0 && n_dst > 0,
+            "network dimensions must be non-zero"
+        );
+        assert!(flit_bytes > 0, "flit size must be non-zero");
+        assert!(input_buffer_flits > 0, "input buffer must be non-zero");
+        assert!(output_buffer_packets > 0, "output buffer must be non-zero");
+        Network {
+            n_src,
+            n_dst,
+            flit_bytes,
+            input_capacity_flits: input_buffer_flits,
+            router_latency,
+            inputs: vec![VecDeque::new(); n_src],
+            input_flits: vec![0; n_src],
+            outputs: vec![VecDeque::new(); n_dst],
+            output_capacity: output_buffer_packets,
+            output_reserved: vec![0; n_dst],
+            rr: vec![0; n_dst],
+            output_speedup,
+            now: 0,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Number of injection (source) ports.
+    pub fn n_src(&self) -> usize {
+        self.n_src
+    }
+
+    /// Number of ejection (destination) ports.
+    pub fn n_dst(&self) -> usize {
+        self.n_dst
+    }
+
+    /// Flit size in bytes.
+    pub fn flit_bytes(&self) -> u32 {
+        self.flit_bytes
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Flits a `bytes`-sized packet occupies on this network.
+    pub fn flits_for(&self, bytes: u32) -> u32 {
+        bytes.div_ceil(self.flit_bytes).max(1)
+    }
+
+    /// Whether source `src` has room for a packet of `bytes`.
+    pub fn can_inject(&self, src: usize, bytes: u32) -> bool {
+        self.input_flits[src] + self.flits_for(bytes) as usize <= self.input_capacity_flits
+    }
+
+    /// Injects a packet of `bytes` from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fetch back when the injection buffer lacks space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are out of range.
+    pub fn inject(
+        &mut self,
+        src: usize,
+        dst: usize,
+        fetch: MemFetch,
+        bytes: u32,
+    ) -> Result<(), MemFetch> {
+        assert!(src < self.n_src, "source out of range");
+        assert!(dst < self.n_dst, "destination out of range");
+        let flits = self.flits_for(bytes);
+        if self.input_flits[src] + flits as usize > self.input_capacity_flits {
+            self.stats.inject_fails.inc();
+            return Err(fetch);
+        }
+        self.input_flits[src] += flits as usize;
+        self.inputs[src].push_back(Packet {
+            fetch,
+            dst,
+            flits_total: flits,
+            flits_sent: 0,
+            ready_at: self.now + self.router_latency,
+            reserved: false,
+        });
+        Ok(())
+    }
+
+    /// Pops a delivered packet from ejection port `dst`.
+    pub fn pop_eject(&mut self, dst: usize) -> Option<MemFetch> {
+        let f = self.outputs[dst].pop_front();
+        if f.is_some() {
+            self.output_reserved[dst] -= 1;
+        }
+        f
+    }
+
+    /// Peeks the oldest delivered packet at `dst` without removing it.
+    pub fn peek_eject(&self, dst: usize) -> Option<&MemFetch> {
+        self.outputs[dst].front()
+    }
+
+    /// Whether any packets are buffered anywhere in the network.
+    pub fn is_idle(&self) -> bool {
+        self.inputs.iter().all(|q| q.is_empty()) && self.outputs.iter().all(|q| q.is_empty())
+    }
+
+    /// Advances the switch by one cycle: each output port pulls at most one
+    /// flit from one input, each input sends at most one flit.
+    pub fn cycle(&mut self) {
+        self.now += 1;
+        let mut input_used = vec![false; self.n_src];
+        let mut any_waiting = false;
+        let mut any_moved = false;
+
+        for dst in 0..self.n_dst {
+            // Round-robin arbitration over inputs for this output; with
+            // output speedup, repeat the grant up to `output_speedup` times.
+            for _pass in 0..self.output_speedup {
+                let start = self.rr[dst];
+                let mut granted = None;
+                for k in 0..self.n_src {
+                    let src = (start + k) % self.n_src;
+                    if input_used[src] {
+                        continue;
+                    }
+                    let Some(head) = self.inputs[src].front() else {
+                        continue;
+                    };
+                    any_waiting = true;
+                    if head.dst != dst || head.ready_at >= self.now {
+                        continue;
+                    }
+                    // A packet occupies an ejection slot from its first flit.
+                    if !head.reserved && self.output_reserved[dst] >= self.output_capacity {
+                        continue;
+                    }
+                    granted = Some(src);
+                    break;
+                }
+                let Some(src) = granted else { break };
+                input_used[src] = true;
+                any_moved = true;
+                self.rr[dst] = (src + 1) % self.n_src;
+                let head = self.inputs[src].front_mut().expect("granted head exists");
+                if !head.reserved {
+                    head.reserved = true;
+                    self.output_reserved[dst] += 1;
+                }
+                head.flits_sent += 1;
+                self.input_flits[src] -= 1;
+                self.stats.flits.inc();
+                if head.flits_sent == head.flits_total {
+                    let pkt = self.inputs[src].pop_front().expect("head exists");
+                    self.outputs[dst].push_back(pkt.fetch);
+                    self.stats.packets.inc();
+                }
+            }
+        }
+
+        if any_waiting && !any_moved {
+            self.stats.blocked_cycles.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmh_types::{AccessKind, LineAddr};
+
+    fn load(id: u64) -> MemFetch {
+        MemFetch::new(id, 0, 0, AccessKind::Load, LineAddr::new(id), 0)
+    }
+
+    fn net(n_src: usize, n_dst: usize, flit: u32) -> Network {
+        Network::new(n_src, n_dst, flit, 16, 4, 0)
+    }
+
+    #[test]
+    fn flit_count_rounds_up() {
+        let n = net(1, 1, 32);
+        assert_eq!(n.flits_for(8), 1);
+        assert_eq!(n.flits_for(32), 1);
+        assert_eq!(n.flits_for(33), 2);
+        assert_eq!(n.flits_for(136), 5);
+        assert_eq!(n.flits_for(0), 1, "zero-byte packets still need a flit");
+    }
+
+    #[test]
+    fn single_flit_packet_delivers_in_one_cycle() {
+        let mut n = net(1, 1, 32);
+        n.inject(0, 0, load(1), 8).unwrap();
+        n.cycle();
+        assert_eq!(n.pop_eject(0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn multi_flit_packet_takes_flit_count_cycles() {
+        let mut n = net(1, 1, 32);
+        n.inject(0, 0, load(1), 136).unwrap(); // 5 flits
+        for _ in 0..4 {
+            n.cycle();
+            assert!(n.peek_eject(0).is_none());
+        }
+        n.cycle();
+        assert_eq!(n.pop_eject(0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn wider_flits_deliver_faster() {
+        let mut narrow = net(1, 1, 32);
+        let mut wide = net(1, 1, 128);
+        narrow.inject(0, 0, load(1), 136).unwrap();
+        wide.inject(0, 0, load(1), 136).unwrap();
+        let mut t_narrow = 0;
+        while narrow.peek_eject(0).is_none() {
+            narrow.cycle();
+            t_narrow += 1;
+        }
+        let mut t_wide = 0;
+        while wide.peek_eject(0).is_none() {
+            wide.cycle();
+            t_wide += 1;
+        }
+        assert_eq!(t_narrow, 5);
+        assert_eq!(t_wide, 2);
+    }
+
+    #[test]
+    fn router_latency_delays_eligibility() {
+        let mut n = Network::new(1, 1, 32, 16, 4, 3);
+        n.inject(0, 0, load(1), 8).unwrap();
+        for _ in 0..3 {
+            n.cycle();
+            assert!(n.peek_eject(0).is_none());
+        }
+        n.cycle();
+        assert!(n.peek_eject(0).is_some());
+    }
+
+    #[test]
+    fn injection_buffer_capacity_in_flits() {
+        let mut n = Network::new(1, 1, 32, 6, 4, 0);
+        n.inject(0, 0, load(1), 136).unwrap(); // 5 flits
+        assert!(n.can_inject(0, 8)); // 1 more flit fits
+        assert!(!n.can_inject(0, 136)); // 5 more do not
+        assert!(n.inject(0, 0, load(2), 136).is_err());
+        assert_eq!(n.stats().inject_fails.get(), 1);
+    }
+
+    #[test]
+    fn output_contention_serializes() {
+        // Two inputs race for one output with single-flit packets: 2 cycles.
+        let mut n = net(2, 1, 32);
+        n.inject(0, 0, load(1), 8).unwrap();
+        n.inject(1, 0, load(2), 8).unwrap();
+        n.cycle();
+        assert!(n.pop_eject(0).is_some());
+        assert!(n.pop_eject(0).is_none());
+        n.cycle();
+        assert!(n.pop_eject(0).is_some());
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut n = net(2, 1, 32);
+        // Keep both inputs loaded; deliveries must alternate.
+        for i in 0..8 {
+            n.inject(0, 0, load(i * 2), 8).unwrap();
+            n.inject(1, 0, load(i * 2 + 1), 8).unwrap();
+        }
+        let mut from = Vec::new();
+        for _ in 0..8 {
+            n.cycle();
+            if let Some(f) = n.pop_eject(0) {
+                from.push(f.id % 2);
+            }
+        }
+        let zeros = from.iter().filter(|&&s| s == 0).count();
+        let ones = from.len() - zeros;
+        assert!(zeros >= 3 && ones >= 3, "unfair: {from:?}");
+    }
+
+    #[test]
+    fn distinct_outputs_transfer_in_parallel() {
+        let mut n = net(2, 2, 32);
+        n.inject(0, 0, load(1), 8).unwrap();
+        n.inject(1, 1, load(2), 8).unwrap();
+        n.cycle();
+        assert!(n.pop_eject(0).is_some());
+        assert!(n.pop_eject(1).is_some());
+    }
+
+    #[test]
+    fn one_flit_per_input_per_cycle() {
+        // One input, two outputs: packets to both outputs, but the single
+        // input link limits throughput to one flit per cycle — and FIFO
+        // order means output 1's packet waits behind output 0's.
+        let mut n = net(1, 2, 32);
+        n.inject(0, 0, load(1), 8).unwrap();
+        n.inject(0, 1, load(2), 8).unwrap();
+        n.cycle();
+        assert!(n.pop_eject(0).is_some());
+        assert!(n.pop_eject(1).is_none());
+        n.cycle();
+        assert!(n.pop_eject(1).is_some());
+    }
+
+    #[test]
+    fn ejection_backpressure_stalls_switch() {
+        let mut n = Network::new(1, 1, 32, 16, 1, 0);
+        n.inject(0, 0, load(1), 8).unwrap();
+        n.inject(0, 0, load(2), 8).unwrap();
+        n.cycle();
+        n.cycle();
+        // Output buffer holds 1 packet; the second must wait inside.
+        assert!(n.stats().blocked_cycles.get() >= 1);
+        assert_eq!(n.pop_eject(0).unwrap().id, 1);
+        n.cycle();
+        assert_eq!(n.pop_eject(0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        // Input 0's head targets a congested output; a later packet to a
+        // free output is blocked behind it (FIFO injection buffer).
+        let mut n = Network::new(2, 2, 32, 16, 1, 0);
+        // Congest output 0 with a packet from input 1.
+        n.inject(1, 0, load(9), 8).unwrap();
+        n.cycle();
+        // Output 0's buffer now full. Input 0: head -> output 0 (blocked),
+        // second packet -> output 1 (would be deliverable, but HOL-blocked).
+        n.inject(0, 0, load(1), 8).unwrap();
+        n.inject(0, 1, load(2), 8).unwrap();
+        n.cycle();
+        assert!(
+            n.peek_eject(1).is_none(),
+            "HOL blocking must hold back pkt 2"
+        );
+        // Drain output 0; everything flows.
+        assert_eq!(n.pop_eject(0).unwrap().id, 9);
+        n.cycle();
+        n.cycle();
+        assert_eq!(n.pop_eject(0).unwrap().id, 1);
+        assert_eq!(n.pop_eject(1).unwrap().id, 2);
+    }
+
+    #[test]
+    fn output_speedup_accepts_two_flits_per_cycle() {
+        // Two inputs race for one output; with speedup 2 both single-flit
+        // packets land in the same cycle.
+        let mut n = Network::with_speedup(2, 1, 32, 16, 4, 0, 2);
+        n.inject(0, 0, load(1), 8).unwrap();
+        n.inject(1, 0, load(2), 8).unwrap();
+        n.cycle();
+        assert!(n.pop_eject(0).is_some());
+        assert!(n.pop_eject(0).is_some(), "speedup 2 must deliver both");
+    }
+
+    #[test]
+    fn output_speedup_does_not_exceed_input_rate() {
+        // One input, speedup 2: the single input link still sends only one
+        // flit per cycle.
+        let mut n = Network::with_speedup(1, 1, 32, 16, 4, 0, 2);
+        n.inject(0, 0, load(1), 8).unwrap();
+        n.inject(0, 0, load(2), 8).unwrap();
+        n.cycle();
+        assert!(n.pop_eject(0).is_some());
+        assert!(n.pop_eject(0).is_none(), "input rate still 1 flit/cycle");
+    }
+
+    #[test]
+    fn is_idle_reflects_buffers() {
+        let mut n = net(1, 1, 32);
+        assert!(n.is_idle());
+        n.inject(0, 0, load(1), 8).unwrap();
+        assert!(!n.is_idle());
+        n.cycle();
+        assert!(!n.is_idle(), "packet sits in ejection buffer");
+        n.pop_eject(0);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "destination out of range")]
+    fn bad_destination_panics() {
+        let mut n = net(1, 1, 32);
+        let _ = n.inject(0, 5, load(1), 8);
+    }
+}

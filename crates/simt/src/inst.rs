@@ -1,0 +1,205 @@
+//! Warp-level instructions and the instruction source abstraction.
+
+use gmh_types::LineAddr;
+
+/// What a warp instruction does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstKind {
+    /// An arithmetic instruction whose result is ready after `latency`
+    /// core cycles.
+    Alu {
+        /// Execution latency in core cycles.
+        latency: u32,
+    },
+    /// A warp-level load, already coalesced into line-granularity accesses.
+    /// A dependent instruction waits until *all* of them return (the
+    /// paper's tail-request effect, §VI-A.1).
+    Load {
+        /// The distinct cache lines the warp's 32 lanes touch.
+        lines: Vec<LineAddr>,
+    },
+    /// A warp-level store, coalesced into line-granularity accesses.
+    /// Fire-and-forget past the L1 (write-evict), but consumes memory
+    /// pipeline, miss-queue and downstream bandwidth.
+    Store {
+        /// The distinct cache lines written.
+        lines: Vec<LineAddr>,
+    },
+}
+
+impl InstKind {
+    /// Whether this instruction goes to the load-store unit.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, InstKind::Load { .. } | InstKind::Store { .. })
+    }
+
+    /// Number of memory-pipeline slots the instruction needs (0 for ALU).
+    pub fn accesses(&self) -> usize {
+        match self {
+            InstKind::Alu { .. } => 0,
+            InstKind::Load { lines } | InstKind::Store { lines } => lines.len(),
+        }
+    }
+}
+
+/// One warp instruction with its (simplified) scoreboard dependences.
+///
+/// Instead of tracking architectural registers, the model records whether
+/// the instruction reads the result of an earlier, possibly still pending
+/// load (`wait_mem`) or ALU operation (`wait_alu`). Workload models control
+/// latency tolerance by how many independent instructions they place
+/// between a load and its first consumer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inst {
+    /// Operation.
+    pub kind: InstKind,
+    /// Cannot issue while the warp has outstanding loads (RAW on a load).
+    pub wait_mem: bool,
+    /// Cannot issue while the warp has a pending ALU result (RAW on ALU).
+    pub wait_alu: bool,
+}
+
+impl Inst {
+    /// An independent ALU instruction.
+    pub fn alu(latency: u32) -> Self {
+        Inst {
+            kind: InstKind::Alu { latency },
+            wait_mem: false,
+            wait_alu: false,
+        }
+    }
+
+    /// An independent load of the given lines.
+    pub fn load(lines: Vec<LineAddr>) -> Self {
+        Inst {
+            kind: InstKind::Load { lines },
+            wait_mem: false,
+            wait_alu: false,
+        }
+    }
+
+    /// An independent store of the given lines.
+    pub fn store(lines: Vec<LineAddr>) -> Self {
+        Inst {
+            kind: InstKind::Store { lines },
+            wait_mem: false,
+            wait_alu: false,
+        }
+    }
+
+    /// Marks the instruction as consuming an earlier load's result.
+    pub fn after_load(mut self) -> Self {
+        self.wait_mem = true;
+        self
+    }
+
+    /// Marks the instruction as consuming an earlier ALU result.
+    pub fn after_alu(mut self) -> Self {
+        self.wait_alu = true;
+        self
+    }
+}
+
+/// Produces the dynamic instruction stream of every warp on one core.
+///
+/// Implementations live in `gmh-workloads`; the tests in this crate use
+/// small scripted sources. Streams must be deterministic.
+pub trait InstSource {
+    /// The next instruction for `warp`, or `None` once the warp's kernel
+    /// slice is complete. Called once per fetched instruction; implementors
+    /// advance their per-warp state.
+    fn next_inst(&mut self, warp: usize) -> Option<Inst>;
+
+    /// Kernel code footprint in 128-byte lines, used to drive the L1I
+    /// cache. Defaults to a small 1 KB kernel.
+    fn code_lines(&self) -> u64 {
+        8
+    }
+}
+
+/// A scripted instruction source replaying fixed per-warp programs;
+/// used by unit tests and the Fig. 6 structural-hazard illustration.
+#[derive(Clone, Debug)]
+pub struct ScriptedSource {
+    programs: Vec<Vec<Inst>>,
+    pos: Vec<usize>,
+    code_lines: u64,
+}
+
+impl ScriptedSource {
+    /// Creates a source where warp `w` executes `programs[w]` then finishes.
+    /// Warps beyond the script length finish immediately.
+    pub fn new(programs: Vec<Vec<Inst>>) -> Self {
+        let pos = vec![0; programs.len()];
+        ScriptedSource {
+            programs,
+            pos,
+            code_lines: 8,
+        }
+    }
+
+    /// Overrides the kernel code footprint.
+    pub fn with_code_lines(mut self, lines: u64) -> Self {
+        self.code_lines = lines;
+        self
+    }
+}
+
+impl InstSource for ScriptedSource {
+    fn next_inst(&mut self, warp: usize) -> Option<Inst> {
+        let prog = self.programs.get(warp)?;
+        let p = self.pos.get_mut(warp)?;
+        let inst = prog.get(*p)?.clone();
+        *p += 1;
+        Some(inst)
+    }
+
+    fn code_lines(&self) -> u64 {
+        self.code_lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(!InstKind::Alu { latency: 4 }.is_mem());
+        assert!(InstKind::Load { lines: vec![] }.is_mem());
+        assert!(InstKind::Store { lines: vec![] }.is_mem());
+        assert_eq!(InstKind::Alu { latency: 4 }.accesses(), 0);
+        assert_eq!(
+            InstKind::Load {
+                lines: vec![LineAddr::new(0), LineAddr::new(1)]
+            }
+            .accesses(),
+            2
+        );
+    }
+
+    #[test]
+    fn builders_set_dependences() {
+        let i = Inst::alu(4).after_load();
+        assert!(i.wait_mem);
+        assert!(!i.wait_alu);
+        let i = Inst::store(vec![LineAddr::new(0)]).after_alu();
+        assert!(i.wait_alu);
+    }
+
+    #[test]
+    fn scripted_source_replays_and_ends() {
+        let mut s = ScriptedSource::new(vec![vec![Inst::alu(1), Inst::alu(2)], vec![]]);
+        assert_eq!(s.next_inst(0), Some(Inst::alu(1)));
+        assert_eq!(s.next_inst(0), Some(Inst::alu(2)));
+        assert_eq!(s.next_inst(0), None);
+        assert_eq!(s.next_inst(1), None);
+        assert_eq!(s.next_inst(7), None, "unscripted warps finish immediately");
+    }
+
+    #[test]
+    fn scripted_source_code_lines() {
+        let s = ScriptedSource::new(vec![]).with_code_lines(64);
+        assert_eq!(s.code_lines(), 64);
+    }
+}

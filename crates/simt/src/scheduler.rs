@@ -1,0 +1,221 @@
+//! Greedy-then-oldest warp scheduling (Table I).
+//!
+//! GTO keeps issuing from the warp that issued most recently (*greedy*); when
+//! that warp cannot issue, it falls back to the *oldest* ready warp (lowest
+//! id, as warps are assigned in age order). GTO preserves intra-warp locality
+//! and is GPGPU-Sim's default for the GTX 480 model.
+
+/// A greedy-then-oldest issue-order generator.
+#[derive(Clone, Debug)]
+pub struct GtoScheduler {
+    n_warps: usize,
+    greedy: Option<usize>,
+}
+
+impl GtoScheduler {
+    /// Creates a scheduler for `n_warps` warps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_warps` is zero.
+    pub fn new(n_warps: usize) -> Self {
+        assert!(n_warps > 0, "need at least one warp");
+        GtoScheduler {
+            n_warps,
+            greedy: None,
+        }
+    }
+
+    /// The warp that would be tried first this cycle.
+    pub fn greedy(&self) -> Option<usize> {
+        self.greedy
+    }
+
+    /// Yields candidate warp ids in GTO priority order: the greedy warp
+    /// first (if any), then all warps oldest-first.
+    pub fn order(&self) -> impl Iterator<Item = usize> + '_ {
+        let greedy = self.greedy;
+        greedy
+            .into_iter()
+            .chain((0..self.n_warps).filter(move |&w| Some(w) != greedy))
+    }
+
+    /// Records that `warp` issued this cycle; it becomes the greedy warp.
+    pub fn issued(&mut self, warp: usize) {
+        debug_assert!(warp < self.n_warps);
+        self.greedy = Some(warp);
+    }
+
+    /// Records that no warp issued; greedy preference persists (the greedy
+    /// warp resumes as soon as its hazard clears).
+    pub fn stalled(&mut self) {}
+}
+
+/// Warp-scheduling policy.
+///
+/// GTO is the baseline (Table I); loose round-robin is provided for
+/// ablation — the paper cites cache-conscious scheduling work
+/// (Rogers et al.) motivated exactly by GTO-vs-LRR locality differences.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WarpSchedPolicy {
+    /// Greedy-then-oldest (baseline).
+    #[default]
+    Gto,
+    /// Loose round-robin: start from the warp after the last issuer.
+    Lrr,
+}
+
+/// A policy-selectable warp scheduler.
+///
+/// # Example
+///
+/// ```
+/// use gmh_simt::scheduler::{WarpSchedPolicy, WarpScheduler};
+///
+/// let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr, 4);
+/// s.issued(1);
+/// let mut buf = Vec::new();
+/// s.fill_order(&mut buf);
+/// assert_eq!(buf, vec![2, 3, 0, 1]); // round-robin resumes after warp 1
+/// ```
+#[derive(Clone, Debug)]
+pub struct WarpScheduler {
+    policy: WarpSchedPolicy,
+    n_warps: usize,
+    greedy: Option<usize>,
+    rr: usize,
+}
+
+impl WarpScheduler {
+    /// Creates a scheduler over `n_warps` warps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_warps` is zero.
+    pub fn new(policy: WarpSchedPolicy, n_warps: usize) -> Self {
+        assert!(n_warps > 0, "need at least one warp");
+        WarpScheduler {
+            policy,
+            n_warps,
+            greedy: None,
+            rr: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> WarpSchedPolicy {
+        self.policy
+    }
+
+    /// Writes this cycle's candidate order into `buf` (reused, no
+    /// allocation in steady state).
+    pub fn fill_order(&self, buf: &mut Vec<usize>) {
+        buf.clear();
+        match self.policy {
+            WarpSchedPolicy::Gto => {
+                if let Some(g) = self.greedy {
+                    buf.push(g);
+                }
+                buf.extend((0..self.n_warps).filter(|&w| Some(w) != self.greedy));
+            }
+            WarpSchedPolicy::Lrr => {
+                buf.extend((self.rr..self.n_warps).chain(0..self.rr));
+            }
+        }
+    }
+
+    /// Records that `warp` issued this cycle.
+    pub fn issued(&mut self, warp: usize) {
+        debug_assert!(warp < self.n_warps);
+        self.greedy = Some(warp);
+        self.rr = (warp + 1) % self.n_warps;
+    }
+
+    /// Records a cycle with no issue.
+    pub fn stalled(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_scheduler_gto_matches_gto() {
+        let mut a = GtoScheduler::new(5);
+        let mut b = WarpScheduler::new(WarpSchedPolicy::Gto, 5);
+        let mut buf = Vec::new();
+        for &w in &[2usize, 4, 4, 1] {
+            a.issued(w);
+            b.issued(w);
+            b.fill_order(&mut buf);
+            assert_eq!(a.order().collect::<Vec<_>>(), buf);
+        }
+    }
+
+    #[test]
+    fn lrr_rotates_fairly() {
+        let mut s = WarpScheduler::new(WarpSchedPolicy::Lrr, 3);
+        let mut buf = Vec::new();
+        s.fill_order(&mut buf);
+        assert_eq!(buf, vec![0, 1, 2]);
+        s.issued(0);
+        s.fill_order(&mut buf);
+        assert_eq!(buf, vec![1, 2, 0]);
+        s.issued(2);
+        s.fill_order(&mut buf);
+        assert_eq!(buf, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn policies_differ_after_issue() {
+        let mut gto = WarpScheduler::new(WarpSchedPolicy::Gto, 3);
+        let mut lrr = WarpScheduler::new(WarpSchedPolicy::Lrr, 3);
+        gto.issued(1);
+        lrr.issued(1);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        gto.fill_order(&mut a);
+        lrr.fill_order(&mut b);
+        assert_eq!(a, vec![1, 0, 2], "GTO stays greedy on warp 1");
+        assert_eq!(b, vec![2, 0, 1], "LRR moves on to warp 2");
+    }
+
+    #[test]
+    fn initial_order_is_oldest_first() {
+        let s = GtoScheduler::new(4);
+        assert_eq!(s.order().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn greedy_warp_moves_to_front() {
+        let mut s = GtoScheduler::new(4);
+        s.issued(2);
+        assert_eq!(s.order().collect::<Vec<_>>(), vec![2, 0, 1, 3]);
+        assert_eq!(s.greedy(), Some(2));
+    }
+
+    #[test]
+    fn greedy_persists_across_stalls() {
+        let mut s = GtoScheduler::new(3);
+        s.issued(1);
+        s.stalled();
+        assert_eq!(s.order().next(), Some(1));
+    }
+
+    #[test]
+    fn no_duplicate_candidates() {
+        let mut s = GtoScheduler::new(4);
+        s.issued(0);
+        let order: Vec<_> = s.order().collect();
+        assert_eq!(order.len(), 4);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn zero_warps_panics() {
+        let _ = GtoScheduler::new(0);
+    }
+}

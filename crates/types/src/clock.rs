@@ -1,0 +1,239 @@
+//! Multi-frequency clock domains.
+//!
+//! The simulated GPU runs three clock domains (Table I): the SIMT cores at
+//! 1.4 GHz, the crossbar and L2 at 700 MHz, and the GDDR5 command clock at
+//! 924 MHz. [`ClockDomains`] advances simulated time to the next tick of the
+//! earliest-due domain, exactly like GPGPU-Sim's top-level `cycle()`
+//! interleaving, so components in different domains observe correct relative
+//! rates.
+//!
+//! Time is kept in integer picoseconds for bit-exact determinism.
+
+/// Simulated time in picoseconds.
+pub type Picos = u64;
+
+/// Identifies one of the three clock domains of the simulated GPU.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DomainId {
+    /// SIMT cores and their private L1 caches (1.4 GHz baseline).
+    Core,
+    /// Crossbar interconnect and shared L2 banks (700 MHz baseline).
+    Icnt,
+    /// DRAM command clock (924 MHz baseline).
+    Dram,
+}
+
+/// A single clock domain: a frequency plus the time of its next tick.
+#[derive(Clone, Debug)]
+pub struct ClockDomain {
+    period_ps: Picos,
+    next_tick: Picos,
+    cycles: u64,
+}
+
+impl ClockDomain {
+    /// Creates a domain running at `mhz` megahertz, first tick at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn new(mhz: u32) -> Self {
+        assert!(mhz > 0, "clock frequency must be non-zero");
+        ClockDomain {
+            period_ps: 1_000_000 / mhz as Picos,
+            next_tick: 0,
+            cycles: 0,
+        }
+    }
+
+    /// The tick period in picoseconds.
+    pub fn period_ps(&self) -> Picos {
+        self.period_ps
+    }
+
+    /// Number of ticks taken so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Time of the next tick.
+    pub fn next_tick(&self) -> Picos {
+        self.next_tick
+    }
+
+    fn tick(&mut self) {
+        self.cycles += 1;
+        self.next_tick += self.period_ps;
+    }
+}
+
+/// The set of three clock domains, advanced in lock-step simulated time.
+///
+/// # Example
+///
+/// ```
+/// use gmh_types::{ClockDomains, DomainId};
+///
+/// let mut clocks = ClockDomains::new(1400, 700, 924);
+/// // Advance until the core domain has run 1400 cycles (1 µs): the 700 MHz
+/// // interconnect domain must have run half as many.
+/// while clocks.domain(DomainId::Core).cycles() < 1400 {
+///     clocks.advance();
+/// }
+/// assert!((699..=701).contains(&clocks.domain(DomainId::Icnt).cycles()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClockDomains {
+    core: ClockDomain,
+    icnt: ClockDomain,
+    dram: ClockDomain,
+    now: Picos,
+}
+
+/// Which domains fired on a given [`ClockDomains::advance`] call.
+///
+/// Multiple domains can tick at the same instant (e.g. at time 0 all three
+/// fire). Components must be ticked for every set flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TickSet {
+    /// The core domain ticked.
+    pub core: bool,
+    /// The interconnect/L2 domain ticked.
+    pub icnt: bool,
+    /// The DRAM domain ticked.
+    pub dram: bool,
+}
+
+impl ClockDomains {
+    /// Creates the three domains from their frequencies in MHz.
+    pub fn new(core_mhz: u32, icnt_mhz: u32, dram_mhz: u32) -> Self {
+        ClockDomains {
+            core: ClockDomain::new(core_mhz),
+            icnt: ClockDomain::new(icnt_mhz),
+            dram: ClockDomain::new(dram_mhz),
+            now: 0,
+        }
+    }
+
+    /// Current simulated time in picoseconds.
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Borrow a domain by id.
+    pub fn domain(&self, id: DomainId) -> &ClockDomain {
+        match id {
+            DomainId::Core => &self.core,
+            DomainId::Icnt => &self.icnt,
+            DomainId::Dram => &self.dram,
+        }
+    }
+
+    /// Advances simulated time to the next tick instant and returns which
+    /// domains tick there. Domains sharing the instant all fire.
+    pub fn advance(&mut self) -> TickSet {
+        let t = self
+            .core
+            .next_tick
+            .min(self.icnt.next_tick)
+            .min(self.dram.next_tick);
+        self.now = t;
+        let mut fired = TickSet::default();
+        if self.core.next_tick == t {
+            self.core.tick();
+            fired.core = true;
+        }
+        if self.icnt.next_tick == t {
+            self.icnt.tick();
+            fired.icnt = true;
+        }
+        if self.dram.next_tick == t {
+            self.dram.tick();
+            fired.dram = true;
+        }
+        fired
+    }
+
+    /// Converts a span of picoseconds into (fractional) core cycles.
+    ///
+    /// Latency statistics in the paper (AML, L2-AHL) are reported in core
+    /// cycles; requests timestamp in picoseconds and convert at the end.
+    pub fn ps_to_core_cycles(&self, ps: Picos) -> f64 {
+        ps as f64 / self.core.period_ps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_fire_at_time_zero() {
+        let mut c = ClockDomains::new(1400, 700, 924);
+        let t = c.advance();
+        assert_eq!(
+            t,
+            TickSet {
+                core: true,
+                icnt: true,
+                dram: true
+            }
+        );
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn relative_rates_match_frequencies() {
+        let mut c = ClockDomains::new(1400, 700, 924);
+        for _ in 0..100_000 {
+            c.advance();
+        }
+        let core = c.domain(DomainId::Core).cycles() as f64;
+        let icnt = c.domain(DomainId::Icnt).cycles() as f64;
+        let dram = c.domain(DomainId::Dram).cycles() as f64;
+        assert!(
+            (core / icnt - 2.0).abs() < 0.01,
+            "core:icnt = {}",
+            core / icnt
+        );
+        assert!(
+            (core / dram - 1400.0 / 924.0).abs() < 0.01,
+            "core:dram = {}",
+            core / dram
+        );
+    }
+
+    #[test]
+    fn time_is_monotonic() {
+        let mut c = ClockDomains::new(1400, 700, 924);
+        let mut last = 0;
+        for _ in 0..1000 {
+            c.advance();
+            assert!(c.now() >= last);
+            last = c.now();
+        }
+    }
+
+    #[test]
+    fn ps_to_core_cycles_converts() {
+        let c = ClockDomains::new(1000, 500, 500);
+        // 1 GHz -> period 1000 ps, so 5000 ps = 5 cycles.
+        assert_eq!(c.ps_to_core_cycles(5000), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = ClockDomain::new(0);
+    }
+
+    #[test]
+    fn equal_frequencies_tick_together() {
+        let mut c = ClockDomains::new(700, 700, 700);
+        for _ in 0..100 {
+            let t = c.advance();
+            assert_eq!(t.core, t.icnt);
+            assert_eq!(t.icnt, t.dram);
+        }
+    }
+}

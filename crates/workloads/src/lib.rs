@@ -1,0 +1,43 @@
+//! # gmh-workloads
+//!
+//! Synthetic models of the 19 memory-intensive benchmarks the paper
+//! evaluates (Table II): Rodinia v3.0, Parboil and Mars/MapReduce kernels.
+//!
+//! The real benchmarks are CUDA binaries executed inside GPGPU-Sim; this
+//! crate substitutes each with a parameterized instruction/address stream
+//! that reproduces the *memory-system-relevant signature* of the original —
+//! requests per instruction, coalescing degree, reuse distances at L1 and
+//! L2 (per-core vs. cross-core), DRAM row locality, write fraction,
+//! thread-level parallelism and kernel code footprint — because the paper's
+//! characterization depends only on that signature, not on computed values
+//! (see DESIGN.md §3 for the substitution argument).
+//!
+//! Every stream is deterministic: addresses and instruction mixes derive
+//! from a seeded [`gmh_types::Xoshiro256`] keyed by `(workload, core,
+//! warp)`.
+//!
+//! ## Example
+//!
+//! ```
+//! use gmh_workloads::{catalog, WorkloadSpec};
+//! use gmh_simt::InstSource;
+//!
+//! let all = catalog::all();
+//! assert_eq!(all.len(), 19);
+//! let mm = catalog::by_name("mm").unwrap();
+//! let mut source = mm.source_for_core(0);
+//! let inst = source.next_inst(0).unwrap();
+//! let _ = inst; // feed it to a SimtCore
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod gen;
+pub mod spec;
+pub mod trace;
+
+pub use gen::SyntheticSource;
+pub use spec::{AddressMix, Suite, WorkloadSpec};
+pub use trace::{ReplaySource, TraceBundle};

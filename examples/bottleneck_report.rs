@@ -1,0 +1,89 @@
+//! Bottleneck report: the paper's §IV characterization for one workload.
+//!
+//! Runs a benchmark on the baseline and prints where every stall cycle
+//! went, at all three levels of the hierarchy — the per-benchmark slice of
+//! Figs. 7, 8 and 9 — plus the congestion indicators of Figs. 4 and 5.
+//!
+//! ```text
+//! cargo run --release --example bottleneck_report [workload]
+//! ```
+
+use gmh::core::{GpuConfig, GpuSim};
+use gmh::workloads::catalog;
+
+fn bar(frac: f64) -> String {
+    let n = (frac * 40.0).round() as usize;
+    format!("{:<40}", "#".repeat(n))
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lbm".into());
+    let wl = catalog::by_name(&name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload {name:?}; available: {:?}",
+            catalog::names()
+        );
+        std::process::exit(1);
+    });
+
+    println!(
+        "bottleneck characterization for {} (baseline GTX 480)\n",
+        wl.name
+    );
+    let s = GpuSim::new(GpuConfig::gtx480_baseline(), &wl).run();
+
+    println!(
+        "runtime: {} core cycles, IPC {:.3}, {:.0}% of cycles issue-stalled\n",
+        s.core_cycles,
+        s.ipc,
+        100.0 * s.stall_fraction
+    );
+
+    println!("core issue stalls (Fig. 7):");
+    let d = s.issue.distribution();
+    for (label, frac) in [
+        ("data-MEM", d[0]),
+        ("data-ALU", d[1]),
+        ("str-MEM", d[2]),
+        ("str-ALU", d[3]),
+        ("fetch", d[4]),
+    ] {
+        println!("  {label:<9} {:>5.1}% {}", 100.0 * frac, bar(frac));
+    }
+
+    println!("\nL1 stalls (Fig. 9):");
+    let (c, m, bp) = s.l1_stalls.fractions();
+    for (label, frac) in [("cache", c), ("mshr", m), ("bp-L2", bp)] {
+        println!("  {label:<9} {:>5.1}% {}", 100.0 * frac, bar(frac));
+    }
+
+    println!("\nL2 stalls (Fig. 8):");
+    let f = s.l2_stalls.fractions();
+    for (label, frac) in [
+        ("bp-ICNT", f[0]),
+        ("port", f[1]),
+        ("cache", f[2]),
+        ("mshr", f[3]),
+        ("bp-DRAM", f[4]),
+    ] {
+        println!("  {label:<9} {:>5.1}% {}", 100.0 * frac, bar(frac));
+    }
+
+    println!("\ncongestion indicators:");
+    println!(
+        "  L2 access queues at 100% occupancy for {:.0}% of usage lifetime (Fig. 4)",
+        100.0 * s.l2_access_occupancy.full_fraction()
+    );
+    println!(
+        "  DRAM scheduler queues at 100% for {:.0}% of usage lifetime (Fig. 5)",
+        100.0 * s.dram_queue_occupancy.full_fraction()
+    );
+    println!(
+        "  DRAM bandwidth efficiency {:.0}%",
+        100.0 * s.dram_efficiency
+    );
+    println!(
+        "  AML {:.0} / L2-AHL {:.0} core cycles (uncongested would be ~220 / ~120)",
+        s.aml_core_cycles, s.l2_ahl_core_cycles
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: simulate one benchmark on the baseline GTX 480 and print
+//! the headline statistics the paper's Fig. 1 reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload]
+//! ```
+//!
+//! The optional argument is a Table II abbreviation (`mm`, `lbm`, `nn`,
+//! ...); default `mm`. Pass `--small` anywhere to run a reduced slice
+//! (useful in debug builds).
+
+use gmh::core::{GpuConfig, GpuSim};
+use gmh::workloads::catalog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let name = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("mm");
+
+    let mut workload = catalog::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload {name:?}; available: {:?}",
+            catalog::names()
+        );
+        std::process::exit(1);
+    });
+    if small {
+        workload.warps_per_core = workload.warps_per_core.min(8);
+        workload.insts_per_warp = workload.insts_per_warp.min(200);
+    }
+
+    println!(
+        "simulating {} ({} \"{}\") on the baseline GTX 480...",
+        workload.name,
+        workload.suite.label(),
+        workload.full_name
+    );
+    let stats = GpuSim::new(GpuConfig::gtx480_baseline(), &workload).run();
+
+    println!("  core cycles        {:>12}", stats.core_cycles);
+    println!("  instructions       {:>12}", stats.insts);
+    println!("  IPC                {:>12.3}", stats.ipc);
+    println!(
+        "  issue-stall        {:>11.1}%",
+        100.0 * stats.stall_fraction
+    );
+    println!(
+        "  AML                {:>9.0} core cycles",
+        stats.aml_core_cycles
+    );
+    println!(
+        "  L2-AHL             {:>9.0} core cycles",
+        stats.l2_ahl_core_cycles
+    );
+    println!("  L1 miss rate       {:>11.1}%", 100.0 * stats.l1_miss_rate);
+    println!("  L2 miss rate       {:>11.1}%", 100.0 * stats.l2_miss_rate);
+    println!(
+        "  DRAM efficiency    {:>11.1}%",
+        100.0 * stats.dram_efficiency
+    );
+    println!(
+        "  L2 access queues full for {:.0}% of their usage lifetime",
+        100.0 * stats.l2_access_occupancy.full_fraction()
+    );
+    println!(
+        "  DRAM queues full for {:.0}% of their usage lifetime",
+        100.0 * stats.dram_queue_occupancy.full_fraction()
+    );
+}

@@ -1,0 +1,84 @@
+//! The paper's Fig. 6 as a runnable micro-experiment: how a tiny MSHR file
+//! serializes independent instructions behind outstanding misses.
+//!
+//! A single warp executes four loads and an independent multiply against a
+//! fixed-latency memory. With a 2-entry MSHR the third load blocks the
+//! memory pipeline — delaying even the multiply, which needs no memory at
+//! all. With an ample MSHR file everything overlaps.
+//!
+//! ```text
+//! cargo run --release --example structural_hazard
+//! ```
+
+use gmh::simt::inst::{Inst, ScriptedSource};
+use gmh::simt::{CoreConfig, SimtCore};
+use gmh::types::{LineAddr, MemFetch};
+
+/// Drives one core against a fixed-latency memory, tracing issue progress.
+fn run(mshr_entries: usize, miss_latency: u64) -> (u64, Vec<(u64, u64)>) {
+    let program = vec![
+        Inst::load(vec![LineAddr::new(0x0100)]),
+        Inst::load(vec![LineAddr::new(0x0200)]),
+        Inst::load(vec![LineAddr::new(0x0300)]),
+        Inst::load(vec![LineAddr::new(0x0400)]),
+        Inst::alu(4), // the independent MULT of Fig. 6
+    ];
+    let mut cfg = CoreConfig::gtx480();
+    cfg.max_warps = 1;
+    cfg.l1d.mshr_entries = mshr_entries;
+    // A single-entry memory pipeline, as in the paper's illustration: a
+    // blocked L1 immediately backs up into the issue stage.
+    cfg.mem_pipeline_width = 1;
+    let source = ScriptedSource::new(vec![program]).with_code_lines(1);
+    let mut core = SimtCore::new(0, cfg, Box::new(source));
+
+    let mut in_flight: Vec<(u64, MemFetch)> = Vec::new();
+    let mut issue_trace = Vec::new();
+    let mut issued_seen = 0;
+    let mut t = 0u64;
+    while !core.done() && t < 10_000 {
+        t += 1;
+        core.cycle(t * 1000);
+        if core.stats().insts_issued > issued_seen {
+            issued_seen = core.stats().insts_issued;
+            issue_trace.push((issued_seen, t));
+        }
+        while let Some(f) = core.pop_outgoing() {
+            if f.kind.wants_response() {
+                in_flight.push((t + miss_latency, f));
+            }
+        }
+        let mut i = 0;
+        while i < in_flight.len() {
+            if in_flight[i].0 <= t && core.can_accept_response() {
+                let (_, f) = in_flight.remove(i);
+                core.push_response(f).expect("fifo space");
+            } else {
+                i += 1;
+            }
+        }
+    }
+    (t, issue_trace)
+}
+
+fn main() {
+    const LATENCY: u64 = 60;
+    println!("Fig. 6 micro-experiment: 4 loads + independent MULT, {LATENCY}-cycle misses\n");
+    for mshrs in [2usize, 32] {
+        let (done, trace) = run(mshrs, LATENCY);
+        println!("MSHR entries = {mshrs}:");
+        for (n, cycle) in &trace {
+            let what = match n {
+                1..=4 => format!("LD #{n}"),
+                _ => "MULT ".to_string(),
+            };
+            println!("  {what} issued at cycle {cycle}");
+        }
+        println!("  all memory drained at cycle {done}\n");
+    }
+    println!(
+        "With 2 MSHRs the third load stalls the load-store unit until the\n\
+         first fill returns, serializing the independent MULT behind it —\n\
+         the structural-hazard effect of the paper's Fig. 6."
+    );
+}

@@ -1,0 +1,100 @@
+//! Property-based tests over the full simulator: for arbitrary (small)
+//! workload signatures, the simulation drains, conserves instructions, and
+//! is deterministic.
+
+use gmh::core::{GpuConfig, GpuSim, MemoryModel};
+use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use proptest::prelude::*;
+
+fn tiny_gpu() -> GpuConfig {
+    let mut c = GpuConfig::gtx480_baseline();
+    c.n_cores = 2;
+    c.n_l2_banks = 2;
+    c.n_channels = 2;
+    c.dram.n_channels = 2;
+    c.l2_bank.set_stride = 2;
+    c.l2_bank.size_bytes = 128 * 1024 / 2;
+    c.max_core_cycles = 500_000;
+    c
+}
+
+prop_compose! {
+    fn arb_workload()(
+        seed in 0u64..1_000_000,
+        warps in 1usize..8,
+        insts in 20u64..120,
+        mem_pct in 0u32..=70,
+        write_pct in 0u32..=50,
+        ilp in 0u32..8,
+        accesses in 1u32..5,
+        stream_pct in 0u32..=100,
+        hot_of_rest_pct in 0u32..=100,
+        hot_lines in 8u64..512,
+        shared_lines in 8u64..2048,
+        coherent in any::<bool>(),
+    ) -> WorkloadSpec {
+        let stream = stream_pct as f64 / 100.0;
+        let hot = (1.0 - stream) * (hot_of_rest_pct as f64 / 100.0);
+        let shared = 1.0 - stream - hot;
+        WorkloadSpec {
+            name: "prop",
+            suite: Suite::Rodinia,
+            full_name: "property-generated workload",
+            warps_per_core: warps,
+            insts_per_warp: insts,
+            code_lines: 4,
+            mem_fraction: mem_pct as f64 / 100.0,
+            write_fraction: write_pct as f64 / 100.0,
+            ilp,
+            alu_latency: 6,
+            alu_dep_fraction: 0.1,
+            accesses_per_mem: accesses,
+            mix: AddressMix::new(stream, hot, shared),
+            hot_lines,
+            shared_lines,
+            coherent_stream: coherent,
+            seed,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated workload drains on the full model and issues exactly
+    /// its declared instruction count.
+    #[test]
+    fn full_model_drains_and_conserves(wl in arb_workload()) {
+        let stats = GpuSim::new(tiny_gpu(), &wl).run();
+        prop_assert!(!stats.hit_cycle_cap, "must drain");
+        prop_assert_eq!(stats.insts, wl.total_insts(2));
+        prop_assert!(stats.stall_fraction >= 0.0 && stats.stall_fraction <= 1.0);
+    }
+
+    /// Identical runs produce identical statistics (bit determinism).
+    #[test]
+    fn full_model_is_deterministic(wl in arb_workload()) {
+        let a = GpuSim::new(tiny_gpu(), &wl).run();
+        let b = GpuSim::new(tiny_gpu(), &wl).run();
+        prop_assert_eq!(a.core_cycles, b.core_cycles);
+        prop_assert_eq!(a.insts, b.insts);
+        prop_assert_eq!(a.issue.total_stalls(), b.issue.total_stalls());
+    }
+
+    /// The ideal models drain too, and P∞ at the uncongested latencies
+    /// never loses badly to the congestible baseline.
+    #[test]
+    fn ideal_models_drain(wl in arb_workload()) {
+        let mut fixed = tiny_gpu();
+        fixed.memory_model = MemoryModel::FixedL1MissLatency(100);
+        let f = GpuSim::new(fixed, &wl).run();
+        prop_assert!(!f.hit_cycle_cap);
+        prop_assert_eq!(f.insts, wl.total_insts(2));
+
+        let mut pdram = tiny_gpu();
+        pdram.memory_model = MemoryModel::InfiniteDram { latency: 100 };
+        let p = GpuSim::new(pdram, &wl).run();
+        prop_assert!(!p.hit_cycle_cap);
+        prop_assert_eq!(p.insts, wl.total_insts(2));
+    }
+}
