@@ -69,6 +69,11 @@ pub struct GpuConfig {
     pub memory_model: MemoryModel,
     /// Safety cap on simulated core cycles.
     pub max_core_cycles: u64,
+    /// Telemetry aggregation window in interconnect cycles: queue
+    /// occupancies, stall causes and flit rates are averaged over windows
+    /// of this width and exported as time series in
+    /// [`crate::SimStats::telemetry`].
+    pub telemetry_window: u64,
 }
 
 impl GpuConfig {
@@ -91,6 +96,7 @@ impl GpuConfig {
             dram: DramConfig::gtx480(),
             memory_model: MemoryModel::Full,
             max_core_cycles: 3_000_000,
+            telemetry_window: 512,
         }
     }
 
@@ -114,6 +120,9 @@ impl GpuConfig {
         }
         if self.l2_bank.set_stride != self.n_l2_banks {
             return Err("l2_bank.set_stride must equal n_l2_banks".into());
+        }
+        if self.telemetry_window == 0 {
+            return Err("telemetry_window must be non-zero".into());
         }
         self.dram.timing.validate()
     }

@@ -7,9 +7,60 @@ use gmh_cache::TagArray;
 use gmh_dram::DramChannel;
 use gmh_icnt::Crossbar;
 use gmh_simt::SimtCore;
-use gmh_types::{ClockDomains, DomainId, MemFetch, Picos};
+use gmh_types::{ClockDomains, DomainId, FetchAudit, MemFetch, Picos, SeriesId, Telemetry};
 use gmh_workloads::WorkloadSpec;
 use std::collections::VecDeque;
+
+/// Interned telemetry series handles, one per observed structure class
+/// (values aggregate across instances: all cores, all banks, all channels).
+#[derive(Clone, Copy)]
+struct SeriesIds {
+    l1_miss_queue: SeriesId,
+    core_response_fifo: SeriesId,
+    req_inject_flits: SeriesId,
+    req_eject_backlog: SeriesId,
+    req_flits_per_cycle: SeriesId,
+    rep_inject_flits: SeriesId,
+    rep_eject_backlog: SeriesId,
+    rep_flits_per_cycle: SeriesId,
+    l2_access_queue: SeriesId,
+    l2_miss_queue: SeriesId,
+    l2_response_queue: SeriesId,
+    l2_stall_bp_icnt: SeriesId,
+    l2_stall_port: SeriesId,
+    l2_stall_cache: SeriesId,
+    l2_stall_mshr: SeriesId,
+    l2_stall_bp_dram: SeriesId,
+    dram_sched_queue: SeriesId,
+    dram_response_queue: SeriesId,
+    ideal_in_flight: SeriesId,
+}
+
+impl SeriesIds {
+    fn register(t: &mut Telemetry) -> Self {
+        SeriesIds {
+            l1_miss_queue: t.series("l1.miss_queue"),
+            core_response_fifo: t.series("core.response_fifo"),
+            req_inject_flits: t.series("icnt.req.inject_flits"),
+            req_eject_backlog: t.series("icnt.req.eject_backlog"),
+            req_flits_per_cycle: t.series("icnt.req.flits_per_cycle"),
+            rep_inject_flits: t.series("icnt.rep.inject_flits"),
+            rep_eject_backlog: t.series("icnt.rep.eject_backlog"),
+            rep_flits_per_cycle: t.series("icnt.rep.flits_per_cycle"),
+            l2_access_queue: t.series("l2.access_queue"),
+            l2_miss_queue: t.series("l2.miss_queue"),
+            l2_response_queue: t.series("l2.response_queue"),
+            l2_stall_bp_icnt: t.series("l2.stall.bp_icnt"),
+            l2_stall_port: t.series("l2.stall.port"),
+            l2_stall_cache: t.series("l2.stall.cache"),
+            l2_stall_mshr: t.series("l2.stall.mshr"),
+            l2_stall_bp_dram: t.series("l2.stall.bp_dram"),
+            dram_sched_queue: t.series("dram.sched_queue"),
+            dram_response_queue: t.series("dram.response_queue"),
+            ideal_in_flight: t.series("ideal.in_flight"),
+        }
+    }
+}
 
 /// The simulated GPU: cores, crossbar, L2 banks and DRAM channels advanced
 /// under three clock domains.
@@ -32,6 +83,14 @@ pub struct GpuSim {
     ideal_dram: Vec<VecDeque<(Picos, MemFetch)>>,
     /// Functional whole-L2 tag array for [`MemoryModel::InfiniteBw`].
     functional_l2: Option<TagArray>,
+    telemetry: Telemetry,
+    ids: SeriesIds,
+    audit: FetchAudit,
+    /// Last-sampled flit counters, for per-cycle rate deltas.
+    prev_req_flits: u64,
+    prev_rep_flits: u64,
+    /// Last-sampled L2 stall totals (bp-ICNT, port, cache, MSHR, bp-DRAM).
+    prev_l2_stalls: [u64; 5],
     workload: String,
 }
 
@@ -100,6 +159,8 @@ impl GpuSim {
             }
             _ => None,
         };
+        let mut telemetry = Telemetry::new(cfg.telemetry_window);
+        let ids = SeriesIds::register(&mut telemetry);
         GpuSim {
             clocks: ClockDomains::new(cfg.core_mhz, cfg.icnt_mhz, cfg.dram_mhz),
             cores,
@@ -110,6 +171,12 @@ impl GpuSim {
             ideal_slow: VecDeque::new(),
             ideal_dram: vec![VecDeque::new(); cfg.n_l2_banks],
             functional_l2,
+            telemetry,
+            ids,
+            audit: FetchAudit::default(),
+            prev_req_flits: 0,
+            prev_rep_flits: 0,
+            prev_l2_stalls: [0; 5],
             workload: name.to_string(),
             cfg,
         }
@@ -166,8 +233,11 @@ impl GpuSim {
             }
             let fired = self.clocks.advance();
             let now_ps = self.clocks.now();
-            if fired.icnt && self.uses_hierarchy() {
-                self.icnt_tick(now_ps);
+            if fired.icnt {
+                if self.uses_hierarchy() {
+                    self.icnt_tick(now_ps);
+                }
+                self.sample_telemetry();
             }
             if fired.dram {
                 self.dram_tick();
@@ -176,7 +246,92 @@ impl GpuSim {
                 self.core_tick(now_ps);
             }
         }
-        self.collect(hit_cap)
+        let stats = self.collect(hit_cap);
+        // Conservation must hold on every run: a fetch that vanished (or
+        // returned twice, or traveled back in time) is a simulator bug.
+        // Cycle-capped runs may legitimately leave fetches in flight.
+        if let Err(e) = self.audit.finish(!hit_cap) {
+            panic!(
+                "fetch-conservation audit failed on workload {:?}: {e}",
+                self.workload
+            );
+        }
+        stats
+    }
+
+    /// Samples every observed queue/counter into the telemetry sink; runs
+    /// once per interconnect cycle.
+    fn sample_telemetry(&mut self) {
+        let ids = self.ids;
+        let l1_miss: usize = self.cores.iter().map(|c| c.miss_queue_len()).sum();
+        let resp_fifo: usize = self.cores.iter().map(|c| c.response_fifo_len()).sum();
+        self.telemetry.record(ids.l1_miss_queue, l1_miss as f64);
+        self.telemetry
+            .record(ids.core_response_fifo, resp_fifo as f64);
+
+        let req = self.xbar.request();
+        let rep = self.xbar.reply();
+        let (req_flits, rep_flits) = (req.stats().flits.get(), rep.stats().flits.get());
+        self.telemetry
+            .record(ids.req_inject_flits, req.buffered_flits() as f64);
+        self.telemetry
+            .record(ids.req_eject_backlog, req.ejection_backlog() as f64);
+        self.telemetry.record(
+            ids.req_flits_per_cycle,
+            (req_flits - self.prev_req_flits) as f64,
+        );
+        self.telemetry
+            .record(ids.rep_inject_flits, rep.buffered_flits() as f64);
+        self.telemetry
+            .record(ids.rep_eject_backlog, rep.ejection_backlog() as f64);
+        self.telemetry.record(
+            ids.rep_flits_per_cycle,
+            (rep_flits - self.prev_rep_flits) as f64,
+        );
+        self.prev_req_flits = req_flits;
+        self.prev_rep_flits = rep_flits;
+
+        let mut access_q = 0usize;
+        let mut miss_q = 0usize;
+        let mut resp_q = 0usize;
+        let mut stalls = [0u64; 5];
+        for b in &self.banks {
+            access_q += b.access_queue_len();
+            miss_q += b.miss_queue_len();
+            resp_q += b.response_queue_len();
+            let s = b.stalls();
+            stalls[0] += s.bp_icnt.get();
+            stalls[1] += s.port.get();
+            stalls[2] += s.cache.get();
+            stalls[3] += s.mshr.get();
+            stalls[4] += s.bp_dram.get();
+        }
+        self.telemetry.record(ids.l2_access_queue, access_q as f64);
+        self.telemetry.record(ids.l2_miss_queue, miss_q as f64);
+        self.telemetry.record(ids.l2_response_queue, resp_q as f64);
+        for (id, i) in [
+            (ids.l2_stall_bp_icnt, 0),
+            (ids.l2_stall_port, 1),
+            (ids.l2_stall_cache, 2),
+            (ids.l2_stall_mshr, 3),
+            (ids.l2_stall_bp_dram, 4),
+        ] {
+            self.telemetry
+                .record(id, (stalls[i] - self.prev_l2_stalls[i]) as f64);
+        }
+        self.prev_l2_stalls = stalls;
+
+        let sched: usize = self.channels.iter().map(|c| c.queue_len()).sum();
+        let dresp: usize = self.channels.iter().map(|c| c.response_queue_len()).sum();
+        self.telemetry.record(ids.dram_sched_queue, sched as f64);
+        self.telemetry.record(ids.dram_response_queue, dresp as f64);
+
+        let ideal: usize = self.ideal_fast.len()
+            + self.ideal_slow.len()
+            + self.ideal_dram.iter().map(|q| q.len()).sum::<usize>();
+        self.telemetry.record(ids.ideal_in_flight, ideal as f64);
+
+        self.telemetry.tick();
     }
 
     // ---- core domain --------------------------------------------------------
@@ -191,8 +346,12 @@ impl GpuSim {
             MemoryModel::FixedL1MissLatency(lat) => {
                 for i in 0..self.cores.len() {
                     while let Some(f) = self.cores[i].pop_outgoing() {
+                        self.audit.emitted(&f);
                         if f.kind.wants_response() {
                             self.ideal_fast.push_back((cyc + lat, f));
+                        } else {
+                            // Stores are absorbed by the ideal memory.
+                            self.audit.absorbed(&f);
                         }
                     }
                 }
@@ -201,6 +360,7 @@ impl GpuSim {
             MemoryModel::InfiniteBw { l2_hit, dram } => {
                 for i in 0..self.cores.len() {
                     while let Some(f) = self.cores[i].pop_outgoing() {
+                        self.audit.emitted(&f);
                         let tags = self.functional_l2.as_mut().expect("InfiniteBw has tags");
                         let hit = tags.access_functional(f.line, f.kind.is_write());
                         if f.kind.wants_response() {
@@ -209,6 +369,8 @@ impl GpuSim {
                             } else {
                                 self.ideal_slow.push_back((cyc + dram, f));
                             }
+                        } else {
+                            self.audit.absorbed(&f);
                         }
                     }
                 }
@@ -218,18 +380,29 @@ impl GpuSim {
     }
 
     fn deliver_ideal(&mut self, cyc: u64, now_ps: Picos) {
+        // Each queue is FIFO by ready time (constant latency per queue),
+        // but the queues are shared across cores: one core's full response
+        // FIFO must not hold back other cores' ready responses behind it.
+        // Scan past entries for blocked cores, preserving per-core order.
+        let mut blocked = vec![false; self.cores.len()];
         for q in [&mut self.ideal_fast, &mut self.ideal_slow] {
-            while let Some((ready, f)) = q.front() {
+            blocked.fill(false);
+            let mut i = 0;
+            while i < q.len() {
+                let (ready, f) = &q[i];
                 if *ready > cyc {
-                    break;
+                    break; // ready times are non-decreasing
                 }
                 let core = f.core_id;
-                if !self.cores[core].can_accept_response() {
-                    break;
+                if blocked[core] || !self.cores[core].can_accept_response() {
+                    blocked[core] = true;
+                    i += 1;
+                    continue;
                 }
-                let (_, mut f) = q.pop_front().expect("front exists");
+                let (_, mut f) = q.remove(i).expect("index in range");
                 f.serviced_by = gmh_types::fetch::ServicedBy::Ideal;
                 f.time.returned = now_ps;
+                self.audit.returned(&f, now_ps);
                 self.cores[core].push_response(f).expect("space checked");
             }
         }
@@ -245,6 +418,7 @@ impl GpuSim {
                 let dst = head.line.interleave(self.cfg.n_l2_banks);
                 if self.xbar.request().can_inject(c, bytes) {
                     let mut f = self.cores[c].pop_outgoing().expect("peeked");
+                    self.audit.emitted(&f);
                     f.time.icnt_inject = now_ps;
                     self.xbar
                         .request_mut()
@@ -267,6 +441,12 @@ impl GpuSim {
                 }
                 let mut f = self.xbar.request_mut().pop_eject(b).expect("peeked");
                 f.time.l2_arrive = now_ps;
+                if !f.kind.wants_response() {
+                    // A store reaching its L2 bank will be absorbed there
+                    // (the bank retries internally until it lands); this is
+                    // its terminal conservation event.
+                    self.audit.absorbed(&f);
+                }
                 self.banks[b].push_access(f).expect("can_accept checked");
             }
         }
@@ -365,6 +545,7 @@ impl GpuSim {
                     break;
                 }
                 let f = self.xbar.reply_mut().pop_eject(c).expect("peeked");
+                self.audit.returned(&f, now_ps);
                 self.cores[c].push_response(f).expect("space checked");
             }
         }
@@ -463,42 +644,10 @@ impl GpuSim {
         } else {
             eff_num as f64 / eff_den as f64
         };
-        stats
-    }
-}
 
-impl GpuSim {
-    /// Prints internal utilization counters (diagnostic aid).
-    pub fn debug_dump(&self) {
-        let icnt_cycles = self.clocks.domain(DomainId::Icnt).cycles();
-        let req = self.xbar.request().stats();
-        let rep = self.xbar.reply().stats();
-        println!(
-            "icnt_cycles={icnt_cycles} req(flits={} pkts={} blocked={} fails={}) rep(flits={} pkts={} blocked={} fails={})",
-            req.flits.get(), req.packets.get(), req.blocked_cycles.get(), req.inject_fails.get(),
-            rep.flits.get(), rep.packets.get(), rep.blocked_cycles.get(), rep.inject_fails.get(),
-        );
-        println!(
-            "rep util: {:.2} flits/cycle over {} cycles",
-            rep.flits.get() as f64 / icnt_cycles as f64,
-            icnt_cycles
-        );
-        for (i, ch) in self.channels.iter().enumerate() {
-            let st = ch.stats();
-            println!(
-                "ch{i}: reads={} writes={} acts={} eff={:.2} qlen={}",
-                st.reads,
-                st.writes,
-                st.activates,
-                st.efficiency.ratio(),
-                ch.queue_len()
-            );
-        }
-        let mut mshr_tot = 0;
-        for b in &self.banks {
-            mshr_tot += b.cache().mshr_used();
-        }
-        println!("l2 mshr used total = {mshr_tot}");
+        stats.telemetry = self.telemetry.snapshot();
+        stats.audit = self.audit.summary();
+        stats
     }
 }
 
@@ -653,6 +802,89 @@ mod tests {
         assert!(stats.l2_access_occupancy.lifetime() > 0);
         assert!(stats.dram_queue_occupancy.lifetime() > 0);
         assert!(stats.dram_efficiency > 0.0 && stats.dram_efficiency <= 1.0);
+    }
+
+    #[test]
+    fn ideal_delivery_skips_blocked_cores() {
+        use gmh_types::{AccessKind, LineAddr};
+        let wl = tiny_workload();
+        let mut cfg = small_cfg();
+        cfg.memory_model = MemoryModel::FixedL1MissLatency(10);
+        let mut sim = GpuSim::new(cfg, &wl);
+        // Saturate core 0's response FIFO.
+        let mut id = 1000;
+        while sim.cores[0].can_accept_response() {
+            let f = MemFetch::new(id, 0, 0, AccessKind::Load, LineAddr::new(id), 0);
+            sim.cores[0].push_response(f).unwrap();
+            id += 1;
+        }
+        // Ready responses in the shared queue: two for saturated core 0
+        // ahead of two for idle core 1.
+        for (id, core) in [(1, 0), (2, 0), (3, 1), (4, 1)] {
+            let f = MemFetch::new(id, core, 0, AccessKind::Load, LineAddr::new(id), 0);
+            sim.audit.emitted(&f);
+            sim.ideal_fast.push_back((0, f));
+        }
+        sim.deliver_ideal(0, 0);
+        assert_eq!(
+            sim.cores[1].response_fifo_len(),
+            2,
+            "idle core's ready responses must not be blocked behind a \
+             saturated core's"
+        );
+        assert_eq!(sim.ideal_fast.len(), 2, "blocked core's responses stay");
+        assert!(sim.ideal_fast.iter().all(|(_, f)| f.core_id == 0));
+        assert_eq!(
+            (sim.ideal_fast[0].1.id, sim.ideal_fast[1].1.id),
+            (1, 2),
+            "per-core order preserved"
+        );
+    }
+
+    #[test]
+    fn telemetry_series_are_populated_and_audit_balances() {
+        let wl = tiny_workload();
+        let stats = GpuSim::new(small_cfg(), &wl).run();
+        let snap = &stats.telemetry;
+        assert!(snap.window_cycles > 0);
+        let names: Vec<&str> = snap.series.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "l1.miss_queue",
+            "core.response_fifo",
+            "icnt.req.flits_per_cycle",
+            "icnt.rep.inject_flits",
+            "l2.access_queue",
+            "l2.miss_queue",
+            "l2.response_queue",
+            "l2.stall.bp_icnt",
+            "l2.stall.bp_dram",
+            "dram.sched_queue",
+            "dram.response_queue",
+        ] {
+            assert!(names.contains(&expected), "missing series {expected}");
+        }
+        let lens: Vec<usize> = snap.series.iter().map(|s| s.points.len()).collect();
+        assert!(lens[0] > 0, "series must have points");
+        assert!(
+            lens.iter().all(|&n| n == lens[0]),
+            "sampled in lock-step: {lens:?}"
+        );
+        let l2q = snap
+            .series
+            .iter()
+            .find(|s| s.name == "l2.access_queue")
+            .unwrap();
+        assert!(
+            l2q.points.iter().any(|&p| p > 0.0),
+            "a real run must exercise the L2 access queues"
+        );
+        assert!(stats.audit.emitted > 0);
+        assert_eq!(
+            stats.audit.emitted,
+            stats.audit.returned + stats.audit.absorbed,
+            "every emitted fetch must terminate exactly once"
+        );
+        assert_eq!(stats.audit.in_flight, 0);
     }
 
     #[test]

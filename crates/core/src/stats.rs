@@ -3,7 +3,7 @@
 
 use gmh_cache::{L1StallCounters, L2StallCounters};
 use gmh_simt::IssueStallCounters;
-use gmh_types::OccupancyHistogram;
+use gmh_types::{AuditSummary, OccupancyHistogram, TelemetrySnapshot};
 
 /// Results of one simulated run.
 #[derive(Clone, Debug, Default)]
@@ -46,6 +46,14 @@ pub struct SimStats {
     pub l2_miss_rate: f64,
     /// Whether the run hit the core-cycle safety cap before draining.
     pub hit_cycle_cap: bool,
+    /// Windowed time series of queue occupancies, stall causes and flit
+    /// rates at every level of the hierarchy (see
+    /// [`gmh_types::Telemetry`]); export with
+    /// [`TelemetrySnapshot::to_json`] / [`TelemetrySnapshot::to_csv`].
+    pub telemetry: TelemetrySnapshot,
+    /// Fetch-conservation ledger counts (every core-emitted fetch returned
+    /// or absorbed exactly once; verified at end of run).
+    pub audit: AuditSummary,
 }
 
 impl SimStats {

@@ -1,0 +1,237 @@
+//! A self-contained, offline re-implementation of the subset of the
+//! [`criterion`](https://docs.rs/criterion) API the `gmh-bench` crate uses.
+//!
+//! The build container has no crates.io access, so the real crate cannot be
+//! fetched; this shim keeps the bench sources compiling and producing
+//! useful wall-clock numbers. It measures each benchmark with a short
+//! calibrated loop and prints `name ... time/iter`, without the statistical
+//! machinery (outlier analysis, HTML reports) of the real crate.
+//!
+//! Passing `--test` (as `cargo test` does for `harness = false` bench
+//! targets) runs every benchmark body exactly once.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark.
+const BUDGET: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one("", id, self.test_mode, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not scale reports.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().0, self.test_mode, f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.0, self.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+
+    /// An id naming only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation (accepted, not reported, by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, scaled decimally in reports.
+    BytesDecimal(u64),
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under measurement.
+pub struct Bencher {
+    test_mode: bool,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing total elapsed time and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // One calibration call, then as many as fit in the budget.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let first = start.elapsed();
+        let remaining = BUDGET.saturating_sub(first);
+        let additional = if first.is_zero() {
+            1024
+        } else {
+            (remaining.as_nanos() / first.as_nanos().max(1)).min(1_000_000) as u64
+        };
+        for _ in 0..additional {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = 1 + additional;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, test_mode: bool, mut f: F) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut b = Bencher {
+        test_mode,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {label} ... ok");
+    } else if b.iters > 0 {
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("{label:<40} {:>12.1} ns/iter ({} iters)", per_iter, b.iters);
+    }
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(1));
+        let mut hits = 0;
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
+            b.iter(|| hits += x)
+        });
+        g.bench_function("f", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("n", 5).0, "n/5");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

@@ -215,6 +215,11 @@ impl DramChannel {
         Ok(())
     }
 
+    /// Completed reads waiting to fill the L2 (telemetry).
+    pub fn response_queue_len(&self) -> usize {
+        self.response.len()
+    }
+
     /// Pops a completed read response, if any.
     pub fn pop_response(&mut self) -> Option<MemFetch> {
         self.response.pop()

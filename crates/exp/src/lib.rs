@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod export;
 pub mod runner;
 
+pub use export::{report_json, write_report};
 pub use runner::{run_jobs, Baselines, Job, RunOutcome};

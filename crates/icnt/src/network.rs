@@ -202,6 +202,16 @@ impl Network {
         self.outputs[dst].front()
     }
 
+    /// Flits currently buffered in all injection queues (telemetry).
+    pub fn buffered_flits(&self) -> usize {
+        self.input_flits.iter().sum()
+    }
+
+    /// Delivered packets waiting in all ejection buffers (telemetry).
+    pub fn ejection_backlog(&self) -> usize {
+        self.outputs.iter().map(|q| q.len()).sum()
+    }
+
     /// Whether any packets are buffered anywhere in the network.
     pub fn is_idle(&self) -> bool {
         self.inputs.iter().all(|q| q.is_empty()) && self.outputs.iter().all(|q| q.is_empty())

@@ -1,0 +1,73 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::for_case("a", 0);
+        let mut t = false;
+        let mut f = false;
+        for _ in 0..64 {
+            if bool::arbitrary(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+
+    #[test]
+    fn u64_spreads() {
+        let mut rng = TestRng::for_case("a", 1);
+        let a = u64::arbitrary(&mut rng);
+        let b = u64::arbitrary(&mut rng);
+        assert_ne!(a, b);
+    }
+}

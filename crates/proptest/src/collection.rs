@@ -1,0 +1,75 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Length specification for [`vec()`]: an exact length or a half-open range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into(),
+    }
+}
+
+/// See [`vec()`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.len.hi - self.len.lo) as u64;
+        let n = self.len.lo + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_in_range() {
+        let s = vec(0u8..5, 3..10);
+        let mut rng = TestRng::for_case("c", 0);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..10).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 5));
+        }
+    }
+
+    #[test]
+    fn exact_length() {
+        let s = vec(0u8..5, 4);
+        let mut rng = TestRng::for_case("c", 1);
+        assert_eq!(s.generate(&mut rng).len(), 4);
+    }
+}

@@ -1,0 +1,193 @@
+//! A self-contained, offline re-implementation of the subset of the
+//! [`proptest`](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The container building this repository has no network access to
+//! crates.io, so the real crate cannot be vendored. This shim keeps the
+//! test sources byte-for-byte compatible: `proptest!`, `prop_compose!`,
+//! `prop_assert*!`, `prop_oneof!`, `any::<T>()`, range strategies, tuple
+//! strategies, `prop::collection::vec` and `prop::sample::select`.
+//!
+//! Differences from the real crate:
+//! - **No shrinking.** A failing case panics with the generated inputs via
+//!   the assertion message; cases are deterministic (seeded from the test
+//!   name and case index), so failures reproduce exactly.
+//! - Cases default to 64 per test (the real default is 256); override with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` as usual.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of `proptest::prop` paths used via the prelude
+/// (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! Everything a proptest-based test file needs.
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines a function returning a composed strategy, mirroring
+/// `proptest::prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+            ($($var:pat_param in $strat:expr),+ $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::fn_strategy(move |__rng| {
+                $(let $var = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($var:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                for __case in 0..__cfg.cases {
+                    let __rng = &mut $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $var = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        A(u64),
+        B,
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u64..10, b in 0u64..10) -> (u64, u64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..=4, z in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            let _ = z;
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u8..4, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn oneof_covers_arms(op in prop_oneof![(0u64..5).prop_map(Op::A), Just(Op::B)]) {
+            match op {
+                Op::A(v) => prop_assert!(v < 5),
+                Op::B => {}
+            }
+        }
+
+        #[test]
+        fn select_picks_from_list(flit in prop::sample::select(vec![16u32, 32, 48])) {
+            prop_assert!([16, 32, 48].contains(&flit));
+        }
+
+        #[test]
+        fn composed_strategy_works(p in arb_pair(), flag in any::<bool>()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+            let _ = flag;
+        }
+
+        #[test]
+        fn tuples_generate(t in (0u8..3, any::<bool>(), 1u32..9)) {
+            prop_assert!(t.0 < 3);
+            prop_assert!(t.2 >= 1 && t.2 < 9);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut r1 = crate::test_runner::TestRng::for_case("t", 7);
+        let mut r2 = crate::test_runner::TestRng::for_case("t", 7);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-test configuration and the deterministic RNG behind case generation.
+
+/// Mirror of `proptest::test_runner::Config` (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// SplitMix64-based RNG, seeded from the test path and case index so every
+/// case is reproducible without persisted state.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test identified by `path`.
+    pub fn for_case(path: &str, case: u32) -> Self {
+        // FNV-1a over the path, mixed with the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1)),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (bias < 2^-64, irrelevant
+        // for test-case generation).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::for_case("x", 0);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn different_cases_differ() {
+        let a = TestRng::for_case("x", 0).next_u64();
+        let b = TestRng::for_case("x", 1).next_u64();
+        assert_ne!(a, b);
+    }
+}

@@ -236,6 +236,17 @@ impl SimtCore {
         !self.response_fifo.is_full()
     }
 
+    /// Fills waiting in the response FIFO (telemetry).
+    pub fn response_fifo_len(&self) -> usize {
+        self.response_fifo.len()
+    }
+
+    /// Outstanding L1 data + instruction misses waiting to inject into the
+    /// interconnect (telemetry).
+    pub fn miss_queue_len(&self) -> usize {
+        self.l1d.miss_queue_len() + self.l1i.miss_queue_len()
+    }
+
     /// Delivers a fill response (load or instruction miss) to the core.
     ///
     /// # Errors

@@ -30,6 +30,7 @@ pub mod fetch;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 
 pub use addr::{Address, LineAddr, LINE_SIZE};
 pub use clock::{ClockDomain, ClockDomains, DomainId, Picos};
@@ -37,6 +38,7 @@ pub use fetch::{AccessKind, FetchId, MemFetch, Timestamps};
 pub use queue::{BoundedQueue, OccupancyHistogram};
 pub use rng::Xoshiro256;
 pub use stats::{Counter, LatencyHistogram, MeanAccumulator, RatioStat};
+pub use telemetry::{AuditSummary, FetchAudit, SeriesId, Telemetry, TelemetrySnapshot};
 
 /// A cycle count within a single clock domain.
 pub type Cycle = u64;

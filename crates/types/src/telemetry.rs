@@ -1,0 +1,560 @@
+//! Simulator observability: cycle-windowed time series and the
+//! fetch-conservation audit.
+//!
+//! [`Telemetry`] is a sink for per-cycle samples (queue occupancies, stall
+//! counters, flit utilization) that aggregates them into fixed-width
+//! windows, so a multi-million-cycle run exports a few hundred points per
+//! series instead of one per cycle. The simulator owns one sink, registers
+//! a named series per observed structure, and records one value per cycle;
+//! [`Telemetry::snapshot`] yields a [`TelemetrySnapshot`] that serializes
+//! itself to JSON or CSV without any external dependency.
+//!
+//! [`FetchAudit`] is a conservation ledger over every [`MemFetch`] a core
+//! emits: each must be *returned* (a response reached the core) or
+//! *absorbed* (a store consumed by the memory system) exactly once, and its
+//! per-hop timestamps must be monotone. The simulator checks the ledger at
+//! the end of every run; a dropped, duplicated or time-traveling fetch is a
+//! simulator bug, not a modeling choice, and fails the run loudly.
+
+use crate::clock::Picos;
+use crate::fetch::MemFetch;
+use std::collections::HashMap;
+
+/// Handle to one registered series (index into the sink's series table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+#[derive(Clone, Debug)]
+struct SeriesBuf {
+    name: String,
+    sum: f64,
+    n: u64,
+    points: Vec<f64>,
+}
+
+/// Windowed time-series sink (see module docs).
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    window: u64,
+    cycle: u64,
+    series: Vec<SeriesBuf>,
+    index: HashMap<String, usize>,
+}
+
+impl Telemetry {
+    /// Creates a sink aggregating samples over `window`-cycle windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "telemetry window must be non-zero");
+        Telemetry {
+            window,
+            cycle: 0,
+            series: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The window width in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Registers (or looks up) the series called `name`.
+    pub fn series(&mut self, name: &str) -> SeriesId {
+        if let Some(&i) = self.index.get(name) {
+            return SeriesId(i);
+        }
+        let i = self.series.len();
+        self.series.push(SeriesBuf {
+            name: name.to_string(),
+            sum: 0.0,
+            n: 0,
+            points: Vec::new(),
+        });
+        self.index.insert(name.to_string(), i);
+        SeriesId(i)
+    }
+
+    /// Adds one sample to `id`'s current window.
+    pub fn record(&mut self, id: SeriesId, value: f64) {
+        let s = &mut self.series[id.0];
+        s.sum += value;
+        s.n += 1;
+    }
+
+    /// Advances one cycle; at each window boundary every series flushes the
+    /// mean of its samples (0 if it recorded nothing) as one point.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        if self.cycle.is_multiple_of(self.window) {
+            for s in &mut self.series {
+                let mean = if s.n == 0 { 0.0 } else { s.sum / s.n as f64 };
+                s.points.push(mean);
+                s.sum = 0.0;
+                s.n = 0;
+            }
+        }
+    }
+
+    /// Exports all series, including the trailing partial window.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            window_cycles: self.window,
+            series: self
+                .series
+                .iter()
+                .map(|s| {
+                    let mut points = s.points.clone();
+                    if s.n > 0 {
+                        points.push(s.sum / s.n as f64);
+                    }
+                    SeriesData {
+                        name: s.name.clone(),
+                        points,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One exported series: its name and one mean value per window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeriesData {
+    /// Dotted hierarchical name, e.g. `"l2.access_queue"`.
+    pub name: String,
+    /// Per-window means, in time order.
+    pub points: Vec<f64>,
+}
+
+/// A frozen export of a [`Telemetry`] sink, serializable without external
+/// dependencies.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Cycles per aggregation window.
+    pub window_cycles: u64,
+    /// All registered series.
+    pub series: Vec<SeriesData>,
+}
+
+/// Formats a float as a JSON-safe number (non-finite values become 0).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v:.6}");
+        // Trim trailing zeros but keep at least one decimal digit off.
+        let t = s.trim_end_matches('0').trim_end_matches('.');
+        if t.is_empty() || t == "-" {
+            "0".to_string()
+        } else {
+            t.to_string()
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl TelemetrySnapshot {
+    /// Serializes to a JSON object:
+    /// `{"window_cycles":N,"series":[{"name":...,"points":[...]},...]}`.
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| {
+                let pts: Vec<String> = s.points.iter().map(|&p| json_num(p)).collect();
+                format!(
+                    "{{\"name\":\"{}\",\"points\":[{}]}}",
+                    json_escape(&s.name),
+                    pts.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"window_cycles\":{},\"series\":[{}]}}",
+            self.window_cycles,
+            series.join(",")
+        )
+    }
+
+    /// Serializes to CSV: a `window` index column followed by one column
+    /// per series (rows are padded with empty cells where a series has
+    /// fewer windows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("window");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name.replace(',', ";"));
+        }
+        out.push('\n');
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        for r in 0..rows {
+            out.push_str(&r.to_string());
+            for s in &self.series {
+                out.push(',');
+                if let Some(&p) = s.points.get(r) {
+                    out.push_str(&json_num(p));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---- fetch-conservation audit ---------------------------------------------
+
+/// Aggregate counts from a [`FetchAudit`], exported with run statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditSummary {
+    /// Fetches emitted by cores (write-backs generated inside the L2 are
+    /// not core traffic and are excluded).
+    pub emitted: u64,
+    /// Fetches whose response reached the issuing core.
+    pub returned: u64,
+    /// Fetches absorbed by the memory system (stores expect no response).
+    pub absorbed: u64,
+    /// Fetches still in flight when the ledger was read.
+    pub in_flight: u64,
+}
+
+/// Conservation ledger over core-emitted fetches (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct FetchAudit {
+    in_flight: HashMap<(usize, u64), ()>,
+    emitted: u64,
+    returned: u64,
+    absorbed: u64,
+    violations: Vec<String>,
+}
+
+impl FetchAudit {
+    /// Whether the audit tracks `fetch` (write-backs carry
+    /// `core_id == usize::MAX` and are not core-emitted traffic).
+    fn tracks(fetch: &MemFetch) -> bool {
+        fetch.core_id != usize::MAX
+    }
+
+    fn violate(&mut self, msg: String) {
+        // Keep the report bounded; the first few violations identify the bug.
+        if self.violations.len() < 16 {
+            self.violations.push(msg);
+        }
+    }
+
+    /// Records a fetch leaving its core toward the memory system.
+    pub fn emitted(&mut self, fetch: &MemFetch) {
+        if !Self::tracks(fetch) {
+            return;
+        }
+        self.emitted += 1;
+        if self
+            .in_flight
+            .insert((fetch.core_id, fetch.id), ())
+            .is_some()
+        {
+            self.violate(format!(
+                "fetch core={} id={} emitted twice",
+                fetch.core_id, fetch.id
+            ));
+        }
+    }
+
+    /// Records a no-response fetch (store) being absorbed by the memory
+    /// system — its terminal event.
+    pub fn absorbed(&mut self, fetch: &MemFetch) {
+        if !Self::tracks(fetch) {
+            return;
+        }
+        self.absorbed += 1;
+        if fetch.kind.wants_response() {
+            self.violate(format!(
+                "fetch core={} id={} ({:?}) absorbed but expects a response",
+                fetch.core_id, fetch.id, fetch.kind
+            ));
+        }
+        if self.in_flight.remove(&(fetch.core_id, fetch.id)).is_none() {
+            self.violate(format!(
+                "fetch core={} id={} absorbed without being emitted",
+                fetch.core_id, fetch.id
+            ));
+        }
+    }
+
+    /// Records a response reaching its core at `now_ps` — the terminal
+    /// event for loads and instruction fetches. Checks that every stamped
+    /// hop timestamp is monotone (`created ≤ icnt_inject ≤ l2_arrive ≤
+    /// l2_done/dram_arrive ≤ dram_done ≤ now`; unstamped hops — zero — are
+    /// skipped, since ideal models bypass parts of the hierarchy).
+    pub fn returned(&mut self, fetch: &MemFetch, now_ps: Picos) {
+        if !Self::tracks(fetch) {
+            return;
+        }
+        self.returned += 1;
+        if !fetch.kind.wants_response() {
+            self.violate(format!(
+                "fetch core={} id={} ({:?}) returned but expects no response",
+                fetch.core_id, fetch.id, fetch.kind
+            ));
+        }
+        if self.in_flight.remove(&(fetch.core_id, fetch.id)).is_none() {
+            self.violate(format!(
+                "fetch core={} id={} returned without being emitted",
+                fetch.core_id, fetch.id
+            ));
+        }
+        let t = &fetch.time;
+        let hops = [
+            ("created", t.created),
+            ("icnt_inject", t.icnt_inject),
+            ("l2_arrive", t.l2_arrive),
+            ("l2_done", t.l2_done),
+            ("dram_arrive", t.dram_arrive),
+            ("dram_done", t.dram_done),
+            ("returned", now_ps),
+        ];
+        let mut prev: Option<(&str, Picos)> = None;
+        for (name, ts) in hops {
+            if ts == 0 && name != "returned" {
+                continue; // hop not reached (ideal models skip levels)
+            }
+            if let Some((pname, pts)) = prev {
+                if ts < pts {
+                    self.violate(format!(
+                        "fetch core={} id={}: {name}={ts} before {pname}={pts}",
+                        fetch.core_id, fetch.id
+                    ));
+                }
+            }
+            prev = Some((name, ts));
+        }
+    }
+
+    /// Current ledger counts.
+    pub fn summary(&self) -> AuditSummary {
+        AuditSummary {
+            emitted: self.emitted,
+            returned: self.returned,
+            absorbed: self.absorbed,
+            in_flight: self.in_flight.len() as u64,
+        }
+    }
+
+    /// Verifies conservation at end of run. When the run drained
+    /// (`drained = true`) every emitted fetch must have terminated; a run
+    /// stopped by the cycle cap may legitimately leave fetches in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of every recorded violation, and of leaked
+    /// fetches when `drained`.
+    pub fn finish(&self, drained: bool) -> Result<AuditSummary, String> {
+        let mut problems = self.violations.clone();
+        if drained && !self.in_flight.is_empty() {
+            let mut leaked: Vec<&(usize, u64)> = self.in_flight.keys().collect();
+            leaked.sort();
+            let sample: Vec<String> = leaked
+                .iter()
+                .take(8)
+                .map(|(c, i)| format!("core={c} id={i}"))
+                .collect();
+            problems.push(format!(
+                "{} fetch(es) emitted but never returned/absorbed: {}",
+                self.in_flight.len(),
+                sample.join(", ")
+            ));
+        }
+        if drained && self.emitted != self.returned + self.absorbed + self.in_flight.len() as u64 {
+            problems.push(format!(
+                "ledger imbalance: emitted {} != returned {} + absorbed {}",
+                self.emitted, self.returned, self.absorbed
+            ));
+        }
+        if problems.is_empty() {
+            Ok(self.summary())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LineAddr;
+    use crate::fetch::AccessKind;
+
+    fn load(core: usize, id: u64) -> MemFetch {
+        MemFetch::new(id, core, 0, AccessKind::Load, LineAddr::new(id), 10)
+    }
+
+    fn store(core: usize, id: u64) -> MemFetch {
+        MemFetch::new(id, core, 0, AccessKind::Store, LineAddr::new(id), 10)
+    }
+
+    #[test]
+    fn windowed_means_flush_per_window() {
+        let mut t = Telemetry::new(4);
+        let q = t.series("q");
+        for v in [1.0, 2.0, 3.0, 4.0, 10.0, 10.0] {
+            t.record(q, v);
+            t.tick();
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.series[0].points, vec![2.5, 10.0]);
+    }
+
+    #[test]
+    fn empty_windows_flush_zero() {
+        let mut t = Telemetry::new(2);
+        let q = t.series("q");
+        t.tick();
+        t.tick(); // window 0: nothing recorded
+        t.record(q, 6.0);
+        t.tick();
+        t.tick();
+        assert_eq!(t.snapshot().series[0].points, vec![0.0, 6.0]);
+    }
+
+    #[test]
+    fn series_is_interned_by_name() {
+        let mut t = Telemetry::new(8);
+        let a = t.series("x");
+        let b = t.series("x");
+        assert_eq!(a, b);
+        assert_eq!(t.snapshot().series.len(), 1);
+    }
+
+    #[test]
+    fn json_and_csv_shapes() {
+        let mut t = Telemetry::new(1);
+        let a = t.series("a");
+        let b = t.series("b");
+        t.record(a, 1.5);
+        t.record(b, 2.0);
+        t.tick();
+        let snap = t.snapshot();
+        let json = snap.to_json();
+        assert_eq!(
+            json,
+            "{\"window_cycles\":1,\"series\":[{\"name\":\"a\",\"points\":[1.5]},{\"name\":\"b\",\"points\":[2]}]}"
+        );
+        let csv = snap.to_csv();
+        assert_eq!(csv, "window,a,b\n0,1.5,2\n");
+    }
+
+    #[test]
+    fn partial_window_is_exported() {
+        let mut t = Telemetry::new(100);
+        let a = t.series("a");
+        t.record(a, 7.0);
+        t.tick(); // far from a boundary
+        assert_eq!(t.snapshot().series[0].points, vec![7.0]);
+    }
+
+    #[test]
+    fn audit_balanced_ledger_passes() {
+        let mut a = FetchAudit::default();
+        let l = load(0, 1);
+        let s = store(0, 2);
+        a.emitted(&l);
+        a.emitted(&s);
+        a.absorbed(&s);
+        a.returned(&l, 50);
+        let sum = a.finish(true).expect("balanced ledger");
+        assert_eq!(sum.emitted, 2);
+        assert_eq!(sum.returned, 1);
+        assert_eq!(sum.absorbed, 1);
+        assert_eq!(sum.in_flight, 0);
+    }
+
+    #[test]
+    fn audit_catches_dropped_fetch() {
+        let mut a = FetchAudit::default();
+        a.emitted(&load(3, 7));
+        let err = a.finish(true).expect_err("dropped fetch must fail");
+        assert!(err.contains("core=3 id=7"), "err: {err}");
+        assert!(err.contains("never returned"), "err: {err}");
+    }
+
+    #[test]
+    fn audit_allows_in_flight_when_capped() {
+        let mut a = FetchAudit::default();
+        a.emitted(&load(0, 1));
+        assert!(a.finish(false).is_ok(), "cycle-capped runs may leak");
+    }
+
+    #[test]
+    fn audit_catches_double_emit_and_double_return() {
+        let mut a = FetchAudit::default();
+        let l = load(0, 1);
+        a.emitted(&l);
+        a.emitted(&l);
+        assert!(a.finish(false).unwrap_err().contains("emitted twice"));
+
+        let mut a = FetchAudit::default();
+        a.emitted(&l);
+        a.returned(&l, 20);
+        a.returned(&l, 30);
+        assert!(a
+            .finish(true)
+            .unwrap_err()
+            .contains("without being emitted"));
+    }
+
+    #[test]
+    fn audit_catches_non_monotone_timestamps() {
+        let mut a = FetchAudit::default();
+        let mut l = load(0, 1);
+        a.emitted(&l);
+        l.time.icnt_inject = 100;
+        l.time.l2_arrive = 40; // travels back in time
+        a.returned(&l, 200);
+        let err = a.finish(true).expect_err("must flag reversal");
+        assert!(err.contains("l2_arrive=40 before icnt_inject=100"), "{err}");
+    }
+
+    #[test]
+    fn audit_skips_unstamped_hops() {
+        let mut a = FetchAudit::default();
+        let mut l = load(0, 1);
+        a.emitted(&l);
+        // Ideal model: only created and returned are stamped.
+        l.time.created = 10;
+        a.returned(&l, 500);
+        assert!(a.finish(true).is_ok());
+    }
+
+    #[test]
+    fn audit_ignores_writebacks() {
+        let mut a = FetchAudit::default();
+        let wb = MemFetch::write_back(LineAddr::new(4), 0);
+        a.emitted(&wb);
+        a.absorbed(&wb);
+        assert_eq!(a.finish(true).unwrap(), AuditSummary::default());
+    }
+}

@@ -5,7 +5,7 @@
 //! instruction stream can drive it. This module defines a small text trace
 //! format so streams can be recorded once and replayed — or produced by
 //! external tools (e.g. converted from a real GPU trace) and fed to
-//! [`gmh_core`]-style simulators without writing Rust.
+//! `gmh-core`-style simulators without writing Rust.
 //!
 //! ## Format (`gmh-trace v1`)
 //!

@@ -1,12 +1,18 @@
 //! Bottleneck report: the paper's §IV characterization for one workload.
 //!
-//! Runs a benchmark on the baseline and prints where every stall cycle
-//! went, at all three levels of the hierarchy — the per-benchmark slice of
-//! Figs. 7, 8 and 9 — plus the congestion indicators of Figs. 4 and 5.
+//! Runs a benchmark on the baseline GTX 480 and emits a machine-readable
+//! JSON report on stdout: summary metrics, stall attribution at all three
+//! levels of the hierarchy (the per-benchmark slice of Figs. 7, 8 and 9),
+//! the fetch-conservation audit, and windowed time series of every queue
+//! occupancy, stall cause and flit rate (`telemetry.series`). A
+//! human-readable rendering of the same data goes to stderr.
 //!
 //! ```text
-//! cargo run --release --example bottleneck_report [workload]
+//! cargo run --release --example bottleneck_report [workload] > report.json
+//! cargo run --release --example bottleneck_report -- --csv [workload] > series.csv
 //! ```
+//!
+//! The JSON schema is documented in `EXPERIMENTS.md` (§ Telemetry export).
 
 use gmh::core::{GpuConfig, GpuSim};
 use gmh::workloads::catalog;
@@ -17,7 +23,14 @@ fn bar(frac: f64) -> String {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "lbm".into());
+    let mut csv = false;
+    let mut name = String::from("lbm");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            other => name = other.to_string(),
+        }
+    }
     let wl = catalog::by_name(&name).unwrap_or_else(|| {
         eprintln!(
             "unknown workload {name:?}; available: {:?}",
@@ -26,20 +39,20 @@ fn main() {
         std::process::exit(1);
     });
 
-    println!(
+    eprintln!(
         "bottleneck characterization for {} (baseline GTX 480)\n",
         wl.name
     );
     let s = GpuSim::new(GpuConfig::gtx480_baseline(), &wl).run();
 
-    println!(
+    eprintln!(
         "runtime: {} core cycles, IPC {:.3}, {:.0}% of cycles issue-stalled\n",
         s.core_cycles,
         s.ipc,
         100.0 * s.stall_fraction
     );
 
-    println!("core issue stalls (Fig. 7):");
+    eprintln!("core issue stalls (Fig. 7):");
     let d = s.issue.distribution();
     for (label, frac) in [
         ("data-MEM", d[0]),
@@ -48,16 +61,16 @@ fn main() {
         ("str-ALU", d[3]),
         ("fetch", d[4]),
     ] {
-        println!("  {label:<9} {:>5.1}% {}", 100.0 * frac, bar(frac));
+        eprintln!("  {label:<9} {:>5.1}% {}", 100.0 * frac, bar(frac));
     }
 
-    println!("\nL1 stalls (Fig. 9):");
+    eprintln!("\nL1 stalls (Fig. 9):");
     let (c, m, bp) = s.l1_stalls.fractions();
     for (label, frac) in [("cache", c), ("mshr", m), ("bp-L2", bp)] {
-        println!("  {label:<9} {:>5.1}% {}", 100.0 * frac, bar(frac));
+        eprintln!("  {label:<9} {:>5.1}% {}", 100.0 * frac, bar(frac));
     }
 
-    println!("\nL2 stalls (Fig. 8):");
+    eprintln!("\nL2 stalls (Fig. 8):");
     let f = s.l2_stalls.fractions();
     for (label, frac) in [
         ("bp-ICNT", f[0]),
@@ -66,24 +79,34 @@ fn main() {
         ("mshr", f[3]),
         ("bp-DRAM", f[4]),
     ] {
-        println!("  {label:<9} {:>5.1}% {}", 100.0 * frac, bar(frac));
+        eprintln!("  {label:<9} {:>5.1}% {}", 100.0 * frac, bar(frac));
     }
 
-    println!("\ncongestion indicators:");
-    println!(
+    eprintln!("\ncongestion indicators:");
+    eprintln!(
         "  L2 access queues at 100% occupancy for {:.0}% of usage lifetime (Fig. 4)",
         100.0 * s.l2_access_occupancy.full_fraction()
     );
-    println!(
+    eprintln!(
         "  DRAM scheduler queues at 100% for {:.0}% of usage lifetime (Fig. 5)",
         100.0 * s.dram_queue_occupancy.full_fraction()
     );
-    println!(
+    eprintln!(
         "  DRAM bandwidth efficiency {:.0}%",
         100.0 * s.dram_efficiency
     );
-    println!(
+    eprintln!(
         "  AML {:.0} / L2-AHL {:.0} core cycles (uncongested would be ~220 / ~120)",
         s.aml_core_cycles, s.l2_ahl_core_cycles
     );
+    eprintln!(
+        "  audit: {} fetches emitted = {} returned + {} absorbed",
+        s.audit.emitted, s.audit.returned, s.audit.absorbed
+    );
+
+    if csv {
+        print!("{}", s.telemetry.to_csv());
+    } else {
+        println!("{}", gmh::exp::report_json("gtx480_baseline", wl.name, &s));
+    }
 }
