@@ -105,7 +105,9 @@ fn bench_crossbar(c: &mut Criterion) {
         let mut rng = Xoshiro256::seeded(3);
         let mut id = 0u64;
         b.iter(|| {
+            #[allow(clippy::cast_possible_truncation)]
             let src = (rng.below(15)) as usize;
+            #[allow(clippy::cast_possible_truncation)]
             let dst = (rng.below(12)) as usize;
             if xbar.request().can_inject(src, 8) {
                 let _ = xbar.request_mut().inject(src, dst, load(id, id), 8);

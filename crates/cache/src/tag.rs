@@ -97,7 +97,9 @@ impl TagArray {
             0,
             "capacity must divide evenly into sets"
         );
-        let n_sets = (lines / assoc as u64) as usize;
+        // INVARIANT: set count derives from the configured cache size,
+        // which the u64 arithmetic above cannot push past usize::MAX.
+        let n_sets = usize::try_from(lines / assoc as u64).expect("set count fits usize");
         TagArray {
             sets: vec![vec![Line::default(); assoc]; n_sets],
             assoc,
@@ -116,7 +118,9 @@ impl TagArray {
         self.assoc
     }
 
+    #[allow(clippy::cast_possible_truncation)]
     fn set_of(&self, line: LineAddr) -> usize {
+        // lint: allow(R3): the modulus bounds the value below sets.len().
         ((line.index() / self.set_stride) % self.sets.len() as u64) as usize
     }
 
@@ -278,6 +282,7 @@ impl TagArray {
         }
         // Install over LRU victim (reservations never exist on this path).
         let s = self.set_of(line);
+        // INVARIANT: sets are non-empty (associativity is validated > 0).
         let w = self.sets[s]
             .iter()
             .enumerate()

@@ -143,14 +143,17 @@ impl GpuConfig {
     /// response queue, MSHRs, access queue, data port, crossbar flit sizes
     /// and bank count (total L2 capacity unchanged).
     pub fn scale_l2(mut self, f: usize) -> Self {
+        // INVARIANT: scale factors come from the experiment grid (small
+        // powers of two), far below u32::MAX.
+        let fw = u32::try_from(f).expect("scale factor fits u32");
         self.l2_bank.miss_queue_len *= f;
         self.l2_response_queue *= f;
         self.l2_bank.mshr_entries *= f;
         self.l2_bank.mshr_merge *= f;
         self.l2_access_queue *= f;
-        self.l2_data_port_bytes *= f as u32;
-        self.icnt.req_flit_bytes *= f as u32;
-        self.icnt.rep_flit_bytes *= f as u32;
+        self.l2_data_port_bytes *= fw;
+        self.icnt.req_flit_bytes *= fw;
+        self.icnt.rep_flit_bytes *= fw;
         // More banks, same total capacity: per-bank size shrinks.
         self.l2_bank.size_bytes /= f as u64;
         self.n_l2_banks *= f;
@@ -166,7 +169,9 @@ impl GpuConfig {
         self.dram.sched_queue *= f;
         self.dram.response_queue *= f;
         self.dram.n_banks *= f;
-        self.dram.bus_bytes_per_cycle *= f as u32;
+        // INVARIANT: scale factors come from the experiment grid (small
+        // powers of two), far below u32::MAX.
+        self.dram.bus_bytes_per_cycle *= u32::try_from(f).expect("scale factor fits u32");
         self
     }
 

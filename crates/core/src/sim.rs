@@ -361,6 +361,8 @@ impl GpuSim {
                 for i in 0..self.cores.len() {
                     while let Some(f) = self.cores[i].pop_outgoing() {
                         self.audit.emitted(&f);
+                        // INVARIANT: functional_l2 is constructed whenever
+                        // the memory model is InfiniteBw.
                         let tags = self.functional_l2.as_mut().expect("InfiniteBw has tags");
                         let hit = tags.access_functional(f.line, f.kind.is_write());
                         if f.kind.wants_response() {
@@ -399,10 +401,12 @@ impl GpuSim {
                     i += 1;
                     continue;
                 }
+                // INVARIANT: i < q.len() by the loop condition.
                 let (_, mut f) = q.remove(i).expect("index in range");
                 f.serviced_by = gmh_types::fetch::ServicedBy::Ideal;
                 f.time.returned = now_ps;
                 self.audit.returned(&f, now_ps);
+                // INVARIANT: can_accept_response() held just above.
                 self.cores[core].push_response(f).expect("space checked");
             }
         }
@@ -417,9 +421,11 @@ impl GpuSim {
                 let bytes = head.request_bytes();
                 let dst = head.line.interleave(self.cfg.n_l2_banks);
                 if self.xbar.request().can_inject(c, bytes) {
+                    // INVARIANT: peek_outgoing() returned Some above.
                     let mut f = self.cores[c].pop_outgoing().expect("peeked");
                     self.audit.emitted(&f);
                     f.time.icnt_inject = now_ps;
+                    // INVARIANT: can_inject() held just above.
                     self.xbar
                         .request_mut()
                         .inject(c, dst, f, bytes)
@@ -439,6 +445,7 @@ impl GpuSim {
                 if !self.banks[b].can_accept() {
                     break;
                 }
+                // INVARIANT: peek_eject() returned Some in the loop guard.
                 let mut f = self.xbar.request_mut().pop_eject(b).expect("peeked");
                 f.time.l2_arrive = now_ps;
                 if !f.kind.wants_response() {
@@ -447,6 +454,7 @@ impl GpuSim {
                     // its terminal conservation event.
                     self.audit.absorbed(&f);
                 }
+                // INVARIANT: can_accept() held just above.
                 self.banks[b].push_access(f).expect("can_accept checked");
             }
         }
@@ -469,6 +477,7 @@ impl GpuSim {
             let ch = head.line.interleave(self.cfg.n_channels);
             match ideal_dram_lat {
                 Some(lat) => {
+                    // INVARIANT: miss_queue_front() returned Some above.
                     let mut f = self.banks[b].pop_miss().expect("peeked");
                     f.time.dram_arrive = now_ps;
                     if f.kind.wants_response() {
@@ -479,8 +488,10 @@ impl GpuSim {
                 }
                 None => {
                     if self.channels[ch].can_accept() {
+                        // INVARIANT: miss_queue_front() returned Some above.
                         let mut f = self.banks[b].pop_miss().expect("peeked");
                         f.time.dram_arrive = now_ps;
+                        // INVARIANT: can_accept() held just above.
                         self.channels[ch]
                             .push(f, dram_cyc)
                             .expect("can_accept checked");
@@ -502,6 +513,7 @@ impl GpuSim {
                         {
                             break;
                         }
+                        // INVARIANT: front() returned Some in the loop guard.
                         let (_, f) = self.ideal_dram[bank].pop_front().expect("front exists");
                         self.banks[bank].deliver_fill(f, now_ps);
                     }
@@ -516,6 +528,8 @@ impl GpuSim {
                         {
                             break;
                         }
+                        // INVARIANT: peek_response() returned Some in the
+                        // loop guard.
                         let f = self.channels[ch].pop_response().expect("peeked");
                         self.banks[bank].deliver_fill(f, now_ps);
                     }
@@ -529,7 +543,9 @@ impl GpuSim {
                 let bytes = resp.response_bytes();
                 let dst = resp.core_id;
                 if self.xbar.reply().can_inject(b, bytes) {
+                    // INVARIANT: response_ready() returned Some above.
                     let f = self.banks[b].pop_response().expect("ready");
+                    // INVARIANT: can_inject() held just above.
                     self.xbar
                         .reply_mut()
                         .inject(b, dst, f, bytes)
@@ -544,8 +560,10 @@ impl GpuSim {
                 if !self.cores[c].can_accept_response() {
                     break;
                 }
+                // INVARIANT: peek_eject() returned Some in the loop guard.
                 let f = self.xbar.reply_mut().pop_eject(c).expect("peeked");
                 self.audit.returned(&f, now_ps);
+                // INVARIANT: can_accept_response() held just above.
                 self.cores[c].push_response(f).expect("space checked");
             }
         }

@@ -135,6 +135,8 @@ impl DramChannel {
         assert!(cfg.n_banks > 0, "need at least one bank");
         assert!(cfg.lines_per_row > 0, "need at least one line per row");
         assert!(id < cfg.n_channels, "channel id out of range");
+        // INVARIANT: construction rejects inconsistent timing up front;
+        // failing loudly here beats simulating with broken parameters.
         cfg.timing.validate().expect("valid timing");
         DramChannel {
             queue: BoundedQueue::new(cfg.sched_queue),
@@ -185,6 +187,8 @@ impl DramChannel {
             "line routed to wrong channel"
         );
         let local = line.index() / self.cfg.n_channels as u64;
+        #[allow(clippy::cast_possible_truncation)]
+        // lint: allow(R3): the modulus bounds the value below n_banks.
         let bank = ((local / self.cfg.lines_per_row) % self.cfg.n_banks as u64) as usize;
         let row = local / (self.cfg.lines_per_row * self.cfg.n_banks as u64);
         (bank, row)
@@ -250,6 +254,8 @@ impl DramChannel {
         while i < self.in_flight.len() {
             if self.in_flight[i].0 <= now {
                 let (_, f) = self.in_flight.swap_remove(i);
+                // INVARIANT: try_cas only issues a read when in_flight +
+                // response stay within the response queue capacity.
                 self.response
                     .push(f)
                     .expect("response slot reserved at CAS");
@@ -314,6 +320,7 @@ impl DramChannel {
         let Some((idx, data_end)) = chosen else {
             return false;
         };
+        // INVARIANT: idx came from enumerating the queue this cycle.
         let p = self.queue.remove(idx).expect("index valid");
         self.banks[p.bank].cas(now, p.is_write, data_end, &t);
         self.bus_free_at = data_end;

@@ -8,8 +8,8 @@
 //! ejection buffers back-pressure through the switch to the injection
 //! buffers — and from there to the L1 miss queues / L2 response queues.
 
+use gmh_types::queue::BoundedQueue;
 use gmh_types::{Counter, Cycle, MemFetch};
-use std::collections::VecDeque;
 
 #[derive(Clone, Debug)]
 struct Packet {
@@ -43,9 +43,13 @@ pub struct Network {
     flit_bytes: u32,
     input_capacity_flits: usize,
     router_latency: Cycle,
-    inputs: Vec<VecDeque<Packet>>,
+    /// Injection buffers. The packet-count bound (one packet is at least
+    /// one flit) backs the real limit, which is the per-source flit count
+    /// in `input_flits`.
+    inputs: Vec<BoundedQueue<Packet>>,
     input_flits: Vec<usize>,
-    outputs: Vec<VecDeque<MemFetch>>,
+    /// Ejection buffers; a slot is reserved from a packet's first flit.
+    outputs: Vec<BoundedQueue<MemFetch>>,
     output_capacity: usize,
     output_reserved: Vec<usize>,
     rr: Vec<usize>,
@@ -111,9 +115,13 @@ impl Network {
             flit_bytes,
             input_capacity_flits: input_buffer_flits,
             router_latency,
-            inputs: vec![VecDeque::new(); n_src],
+            inputs: (0..n_src)
+                .map(|_| BoundedQueue::new(input_buffer_flits))
+                .collect(),
             input_flits: vec![0; n_src],
-            outputs: vec![VecDeque::new(); n_dst],
+            outputs: (0..n_dst)
+                .map(|_| BoundedQueue::new(output_buffer_packets))
+                .collect(),
             output_capacity: output_buffer_packets,
             output_reserved: vec![0; n_dst],
             rr: vec![0; n_dst],
@@ -150,6 +158,7 @@ impl Network {
 
     /// Whether source `src` has room for a packet of `bytes`.
     pub fn can_inject(&self, src: usize, bytes: u32) -> bool {
+        // lint: allow(R3): u32 -> usize is lossless on supported targets.
         self.input_flits[src] + self.flits_for(bytes) as usize <= self.input_capacity_flits
     }
 
@@ -172,25 +181,32 @@ impl Network {
         assert!(src < self.n_src, "source out of range");
         assert!(dst < self.n_dst, "destination out of range");
         let flits = self.flits_for(bytes);
+        // lint: allow(R3): u32 -> usize is lossless on supported targets.
         if self.input_flits[src] + flits as usize > self.input_capacity_flits {
             self.stats.inject_fails.inc();
             return Err(fetch);
         }
+        // lint: allow(R3): u32 -> usize is lossless on supported targets.
         self.input_flits[src] += flits as usize;
-        self.inputs[src].push_back(Packet {
+        let packet = Packet {
             fetch,
             dst,
             flits_total: flits,
             flits_sent: 0,
             ready_at: self.now + self.router_latency,
             reserved: false,
-        });
+        };
+        // INVARIANT: the flit check above bounds buffered packets by
+        // buffered flits, and capacity is input_buffer_flits packets.
+        self.inputs[src]
+            .push(packet)
+            .expect("packet count bounded by flit accounting");
         Ok(())
     }
 
     /// Pops a delivered packet from ejection port `dst`.
     pub fn pop_eject(&mut self, dst: usize) -> Option<MemFetch> {
-        let f = self.outputs[dst].pop_front();
+        let f = self.outputs[dst].pop();
         if f.is_some() {
             self.output_reserved[dst] -= 1;
         }
@@ -254,6 +270,7 @@ impl Network {
                 input_used[src] = true;
                 any_moved = true;
                 self.rr[dst] = (src + 1) % self.n_src;
+                // INVARIANT: the grant loop selected src from non-empty inputs.
                 let head = self.inputs[src].front_mut().expect("granted head exists");
                 if !head.reserved {
                     head.reserved = true;
@@ -263,8 +280,13 @@ impl Network {
                 self.input_flits[src] -= 1;
                 self.stats.flits.inc();
                 if head.flits_sent == head.flits_total {
-                    let pkt = self.inputs[src].pop_front().expect("head exists");
-                    self.outputs[dst].push_back(pkt.fetch);
+                    // INVARIANT: the grant loop just inspected this head.
+                    let pkt = self.inputs[src].pop().expect("head exists");
+                    // INVARIANT: an ejection slot was reserved with the
+                    // packet's first flit (output_reserved check above).
+                    self.outputs[dst]
+                        .push(pkt.fetch)
+                        .expect("ejection slot reserved at first flit");
                     self.stats.packets.inc();
                 }
             }

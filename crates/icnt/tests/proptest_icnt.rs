@@ -64,6 +64,7 @@ proptest! {
         let mut got = Vec::new();
         let mut stall = 0;
         while got.len() < n {
+            #[allow(clippy::cast_possible_truncation)]
             if (injected as usize) < n && net.can_inject(0, 136) {
                 net.inject(0, 1, packet(injected), 136).unwrap();
                 injected += 1;

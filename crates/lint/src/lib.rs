@@ -1,0 +1,186 @@
+//! `gmh-lint`: in-tree static analysis enforcing the simulator's
+//! accounting invariants.
+//!
+//! The paper's methodology (Dublish et al., ISPASS 2017) stands on two
+//! bookkeeping properties — every stall cycle charged to exactly one cause
+//! in a fixed priority order, and every fetch flowing through bounded
+//! queues that exert back-pressure. PR 1 added the *runtime* audit
+//! (fetch conservation); this crate is the *static* layer that catches
+//! violations at review time. Five rules:
+//!
+//! - **R1 determinism** — no `HashMap`/`HashSet`, wall-clock time, or
+//!   unseeded RNG in model crates ([`rules::determinism`]);
+//! - **R2 bounded queues** — no raw `VecDeque` outside
+//!   `gmh_types::queue` ([`rules::queues`]);
+//! - **R3 cast safety** — narrowing `as` casts need `try_from` or a
+//!   written justification ([`rules::casts`]);
+//! - **R4 panic hygiene** — `.unwrap()`/`.expect()` need an
+//!   `// INVARIANT:` comment ([`rules::panics`]);
+//! - **R5 stall-attribution exhaustiveness** — every stall variant
+//!   attributed exactly once, in paper-precedence order
+//!   ([`rules::stalls`]).
+//!
+//! Deliberately dependency-free (no `syn`, no `toml`): the build
+//! environment is offline, so the scanner works on a masked lexical view
+//! of the source ([`source::SourceFile`]) and a hand-rolled TOML subset
+//! ([`config::LintConfig`]). Suppression is always written down: inline
+//! `// lint: allow(Rn): reason` for single sites, `[[allow]]` entries in
+//! `lint.toml` (with a mandatory `reason`) for structural exceptions.
+
+pub mod config;
+pub mod rules;
+pub mod source;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use config::LintConfig;
+pub use source::SourceFile;
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id (`"R1"`..`"R5"`).
+    pub rule: &'static str,
+    /// Repo-relative, `/`-separated path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            out,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Whether `path` lies in one of the configured model crates.
+pub(crate) fn in_model_crate(cfg: &LintConfig, path: &str) -> bool {
+    cfg.model_crates
+        .iter()
+        .any(|c| path.contains(&format!("crates/{c}/src/")))
+}
+
+/// Runs all rules over already-parsed files. This is the engine the
+/// fixture tests drive directly.
+pub fn run(cfg: &LintConfig, files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        rules::determinism::check(cfg, f, &mut findings);
+        rules::queues::check(cfg, f, &mut findings);
+        rules::casts::check(cfg, f, &mut findings);
+        rules::panics::check(cfg, f, &mut findings);
+    }
+    rules::stalls::check(cfg, files, &mut findings);
+
+    // Central allowlist: match on (rule, path suffix, raw line text).
+    findings.retain(|fd| {
+        let text = files
+            .iter()
+            .find(|f| f.path == fd.path)
+            .map_or("", |f| f.line(fd.line.saturating_sub(1)));
+        !cfg.is_allowed(fd.rule, &fd.path, text)
+    });
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings
+}
+
+/// Loads `lint.toml` at `root`, scans the workspace sources, and runs the
+/// rules. Returns the findings plus the number of files scanned.
+///
+/// # Errors
+///
+/// I/O failures and config parse errors are reported as strings; a missing
+/// `lint.toml` is an error (the linter refuses to run unconfigured).
+pub fn run_workspace(root: &Path) -> Result<(Vec<Finding>, usize), String> {
+    let cfg_path = root.join("lint.toml");
+    let cfg_text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let cfg = LintConfig::parse(&cfg_text)?;
+
+    let mut paths = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in read_dir_sorted(&crates_dir)? {
+        let src = entry.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut paths)?;
+        }
+    }
+    // The root `gmh` facade crate.
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut paths)?;
+    }
+    paths.sort();
+
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    let n = files.len();
+    Ok((run(&cfg, &files), n))
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut entries = Vec::new();
+    let iter =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in iter {
+        entries.push(
+            entry
+                .map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?
+                .path(),
+        );
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for p in read_dir_sorted(dir)? {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings plus a one-line summary.
+#[must_use]
+pub fn render(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str(&format!(
+            "gmh-lint: clean — {files_scanned} files, 5 rules, 0 findings\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "gmh-lint: {} finding(s) across {files_scanned} files\n",
+            findings.len()
+        ));
+    }
+    out
+}

@@ -1,0 +1,49 @@
+//! R3 — cast safety: a narrowing `as` cast on a cycle count or address
+//! silently truncates once a long simulation overflows the target type.
+//! Lossy conversions must be `try_from` (fail loudly); provably-in-range
+//! casts carry a `// lint: allow(R3): <why>` justification.
+
+use crate::config::LintConfig;
+use crate::source::{find_token, SourceFile};
+use crate::Finding;
+
+pub const RULE: &str = "R3";
+
+/// Cast targets that can drop bits from the `u64`/`Picos` domain the
+/// model computes in. (`usize`/`isize` are 64-bit on every supported
+/// target, but the cast is still flagged so the justification is written
+/// down where the assumption lives.)
+const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+pub fn check(cfg: &LintConfig, f: &SourceFile, out: &mut Vec<Finding>) {
+    if !crate::in_model_crate(cfg, &f.path) {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if f.in_test[i] || f.allowed_inline(i, RULE) {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(pos) = find_token(&code[from..], "as") {
+            let abs = from + pos;
+            from = abs + 2;
+            let target: String = code[abs + 2..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if NARROW.contains(&target.as_str()) {
+                out.push(Finding {
+                    rule: RULE,
+                    path: f.path.clone(),
+                    line: i + 1,
+                    message: format!("narrowing `as {target}` cast in a model crate"),
+                    hint: format!(
+                        "use {target}::try_from(..) (lossy is a bug) or justify with \
+                         `// lint: allow(R3): <why the value fits>`"
+                    ),
+                });
+            }
+        }
+    }
+}

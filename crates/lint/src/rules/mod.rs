@@ -1,0 +1,9 @@
+//! The five invariant rules. Each `check` pushes [`crate::Finding`]s;
+//! allowlist filtering (inline directives are rule-local, `lint.toml`
+//! entries are applied centrally in [`crate::run`]).
+
+pub mod casts;
+pub mod determinism;
+pub mod panics;
+pub mod queues;
+pub mod stalls;

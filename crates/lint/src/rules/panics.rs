@@ -1,0 +1,61 @@
+//! R4 — panic hygiene: `.unwrap()`/`.expect(...)` in model code is only
+//! acceptable when the surrounding invariant genuinely rules the failure
+//! out, and that argument must be written down: an `// INVARIANT: ...`
+//! comment on the same line or the two lines above. Everything else should
+//! propagate a `Result`.
+
+use crate::config::LintConfig;
+use crate::source::SourceFile;
+use crate::Finding;
+
+pub const RULE: &str = "R4";
+
+pub fn check(cfg: &LintConfig, f: &SourceFile, out: &mut Vec<Finding>) {
+    if !crate::in_model_crate(cfg, &f.path) {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if f.in_test[i] || f.allowed_inline(i, RULE) {
+            continue;
+        }
+        let call = if code.contains(".unwrap()") {
+            ".unwrap()"
+        } else if code.contains(".expect(") {
+            ".expect(..)"
+        } else {
+            continue;
+        };
+        // The justification may sit above the statement rather than the
+        // `.expect` line itself (builder chains span lines), so walk up to
+        // the statement start and accept a comment within two lines above.
+        let start = statement_start(f, i);
+        if f.comment_in_range(start.saturating_sub(2), i, "INVARIANT:") {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE,
+            path: f.path.clone(),
+            line: i + 1,
+            message: format!("unjustified `{call}` in a model crate"),
+            hint: "state why this cannot fail with an `// INVARIANT: ...` comment (same line \
+                   or up to two lines above the statement), or propagate the error"
+                .to_string(),
+        });
+    }
+}
+
+/// First line of the statement containing line `i`: walks upward while the
+/// previous code line looks like a continuation (does not end a statement
+/// or open a block). Comment-only lines are blank in the code view and are
+/// walked through.
+fn statement_start(f: &SourceFile, i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        let prev = f.code[j - 1].trim_end();
+        if prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}') {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}

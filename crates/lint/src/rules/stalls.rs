@@ -1,0 +1,316 @@
+//! R5 — stall-attribution exhaustiveness. The paper's bottleneck numbers
+//! (Figs. 7-9) are only meaningful if every stall cycle is charged to
+//! exactly one cause in a fixed priority order. This rule cross-checks,
+//! for each stall enum registered in `lint.toml`:
+//!
+//! 1. the declaration order in the defining file matches the canonical
+//!    (paper-precedence) order from the config;
+//! 2. every variant is attributed from exactly one function outside the
+//!    defining file — zero means a cause that can never be charged, two
+//!    means double counting waiting to happen;
+//! 3. within each attributing function, variants are first mentioned in
+//!    canonical order, so the code's priority chain reads in paper order
+//!    (bp-ICNT > port > cache > mshr > bp-DRAM for L2);
+//! 4. counters are only bumped through `record(kind)` in the defining
+//!    file — no direct `.bp_icnt.inc()`-style writes elsewhere.
+
+use std::collections::BTreeMap;
+
+use crate::config::{LintConfig, StallEnum};
+use crate::source::{contains_token, find_token, SourceFile};
+use crate::Finding;
+
+pub const RULE: &str = "R5";
+
+pub fn check(cfg: &LintConfig, files: &[SourceFile], out: &mut Vec<Finding>) {
+    for e in &cfg.stall_enums {
+        check_enum(cfg, e, files, out);
+    }
+}
+
+fn check_enum(cfg: &LintConfig, e: &StallEnum, files: &[SourceFile], out: &mut Vec<Finding>) {
+    let Some(def) = files.iter().find(|f| f.path.ends_with(&e.file)) else {
+        out.push(Finding {
+            rule: RULE,
+            path: e.file.clone(),
+            line: 1,
+            message: format!(
+                "defining file for `{}` not found in the scanned set",
+                e.name
+            ),
+            hint: "fix the `file` entry under [r5.enums.*] in lint.toml".to_string(),
+        });
+        return;
+    };
+
+    // (1) Declaration order must match the canonical paper order.
+    let declared = declared_variants(def, &e.name);
+    let enum_line = enum_decl_line(def, &e.name).unwrap_or(0);
+    if declared.is_empty() {
+        out.push(Finding {
+            rule: RULE,
+            path: def.path.clone(),
+            line: enum_line + 1,
+            message: format!("could not parse variants of `enum {}`", e.name),
+            hint: "fix the `file` entry under [r5.enums.*] in lint.toml".to_string(),
+        });
+        return;
+    }
+    let declared_names: Vec<&str> = declared.iter().map(|(v, _)| v.as_str()).collect();
+    if declared_names != e.order.iter().map(String::as_str).collect::<Vec<_>>() {
+        out.push(Finding {
+            rule: RULE,
+            path: def.path.clone(),
+            line: enum_line + 1,
+            message: format!(
+                "`{}` declares [{}] but the paper precedence order is [{}]",
+                e.name,
+                declared_names.join(", "),
+                e.order.join(", ")
+            ),
+            hint: "declaration order is the documented priority chain; reorder the variants \
+                   or update lint.toml if the paper order itself changed"
+                .to_string(),
+        });
+    }
+
+    // Collect qualified mentions (`Enum::Variant`) outside the defining
+    // file, in non-test model-crate code.
+    // variant -> [(path, fn, line)]
+    let mut mentions: BTreeMap<&str, Vec<(String, String, usize)>> = BTreeMap::new();
+    for v in &e.order {
+        mentions.insert(v.as_str(), Vec::new());
+    }
+    for f in files {
+        if f.path == def.path || !crate::in_model_crate(cfg, &f.path) {
+            continue;
+        }
+        for v in &e.order {
+            let needle = format!("{}::{}", e.name, v);
+            for (i, code) in f.code.iter().enumerate() {
+                if f.in_test[i] || f.allowed_inline(i, RULE) {
+                    continue;
+                }
+                if find_token(code, &needle).is_some() {
+                    let func = f.enclosing_fn(i).unwrap_or("<file scope>").to_string();
+                    mentions
+                        .get_mut(v.as_str())
+                        .expect("pre-seeded above")
+                        .push((f.path.clone(), func, i));
+                }
+            }
+        }
+    }
+
+    // (2) Exactly one attributing function per variant.
+    for v in &e.order {
+        let sites = &mentions[v.as_str()];
+        let mut funcs: Vec<(String, String)> = sites
+            .iter()
+            .map(|(p, func, _)| (p.clone(), func.clone()))
+            .collect();
+        funcs.sort();
+        funcs.dedup();
+        match funcs.len() {
+            1 => {}
+            0 => out.push(Finding {
+                rule: RULE,
+                path: def.path.clone(),
+                line: variant_decl_line(&declared, v).unwrap_or(enum_line) + 1,
+                message: format!("`{}::{v}` is never attributed in model code", e.name),
+                hint: "every stall cause must be charged somewhere, or the variant is dead \
+                       bookkeeping; attribute it or allowlist it with a reason in lint.toml"
+                    .to_string(),
+            }),
+            _ => {
+                let (path, _, line) = &sites[sites.len() - 1];
+                out.push(Finding {
+                    rule: RULE,
+                    path: path.clone(),
+                    line: line + 1,
+                    message: format!(
+                        "`{}::{v}` is attributed from {} functions ({}) — single-site \
+                         attribution prevents double counting",
+                        e.name,
+                        funcs.len(),
+                        funcs
+                            .iter()
+                            .map(|(p, f)| format!("{p}::{f}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    hint: "funnel all attribution for this enum through one classification \
+                           function"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // (3) Per-function monotone first-mention order.
+    // (path, fn) -> [(first_line, variant_index)]
+    let mut per_fn: BTreeMap<(String, String), BTreeMap<usize, usize>> = BTreeMap::new();
+    for (vi, v) in e.order.iter().enumerate() {
+        for (path, func, line) in &mentions[v.as_str()] {
+            let first = per_fn
+                .entry((path.clone(), func.clone()))
+                .or_default()
+                .entry(vi)
+                .or_insert(*line);
+            if *line < *first {
+                *first = *line;
+            }
+        }
+    }
+    for ((path, func), firsts) in &per_fn {
+        let mut by_line: Vec<(usize, usize)> = firsts.iter().map(|(vi, ln)| (*ln, *vi)).collect();
+        by_line.sort_unstable();
+        for w in by_line.windows(2) {
+            let ((_, prev_vi), (line, vi)) = (w[0], w[1]);
+            if vi < prev_vi {
+                out.push(Finding {
+                    rule: RULE,
+                    path: path.clone(),
+                    line: line + 1,
+                    message: format!(
+                        "`{}::{}` is checked after `{}::{}` in `{func}`, inverting the paper \
+                         precedence [{}]",
+                        e.name,
+                        e.order[vi],
+                        e.name,
+                        e.order[prev_vi],
+                        e.order.join(" > ")
+                    ),
+                    hint: "higher-priority causes must be tested first so a cycle is charged \
+                           to the binding constraint"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // (4) Counter funnel: no direct `.{snake}.inc(` bumps outside the
+    // defining file.
+    for v in &e.order {
+        let bump = format!("{}.inc(", snake_case(v));
+        for f in files {
+            if f.path == def.path || !crate::in_model_crate(cfg, &f.path) {
+                continue;
+            }
+            for (i, code) in f.code.iter().enumerate() {
+                if f.in_test[i] || f.allowed_inline(i, RULE) {
+                    continue;
+                }
+                if let Some(pos) = code.find(&bump) {
+                    // Require a field access (`.bp_icnt.inc(`), not a
+                    // coincidental identifier suffix.
+                    let preceded_by_dot = pos > 0 && code.as_bytes()[pos - 1] == b'.';
+                    if preceded_by_dot {
+                        out.push(Finding {
+                            rule: RULE,
+                            path: f.path.clone(),
+                            line: i + 1,
+                            message: format!(
+                                "stall counter `{}` bumped directly, bypassing `record({}::{v})`",
+                                snake_case(v),
+                                e.name
+                            ),
+                            hint: "all attribution goes through the record() funnel in the \
+                                   defining file so precedence checks stay meaningful"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 0-indexed line of `enum <name>` in the code view.
+fn enum_decl_line(f: &SourceFile, name: &str) -> Option<usize> {
+    f.code
+        .iter()
+        .position(|l| contains_token(l, "enum") && contains_token(l, name))
+}
+
+/// Variants of `enum <name>` in declaration order, with their 0-indexed
+/// lines. Assumes the codebase style of one unit variant per line.
+fn declared_variants(f: &SourceFile, name: &str) -> Vec<(String, usize)> {
+    let Some(start) = enum_decl_line(f, name) else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (i, line) in f.code.iter().enumerate().skip(start) {
+        if opened && depth == 1 {
+            let ident: String = line
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if ident.chars().next().is_some_and(char::is_uppercase) {
+                variants.push((ident, i));
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    variants
+}
+
+fn variant_decl_line(declared: &[(String, usize)], v: &str) -> Option<usize> {
+    declared.iter().find(|(name, _)| name == v).map(|(_, i)| *i)
+}
+
+/// `BpIcnt` -> `bp_icnt` (the counter-field naming convention).
+fn snake_case(v: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in v.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case_matches_field_convention() {
+        assert_eq!(snake_case("BpIcnt"), "bp_icnt");
+        assert_eq!(snake_case("Port"), "port");
+        assert_eq!(snake_case("StrAlu"), "str_alu");
+    }
+
+    #[test]
+    fn parses_declared_variants() {
+        let f = SourceFile::parse(
+            "crates/cache/src/stall.rs",
+            "/// docs\npub enum L2StallKind {\n    /// a\n    BpIcnt,\n    Port,\n}\n",
+        );
+        let vs = declared_variants(&f, "L2StallKind");
+        assert_eq!(
+            vs.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>(),
+            vec!["BpIcnt", "Port"]
+        );
+    }
+}

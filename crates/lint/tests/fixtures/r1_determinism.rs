@@ -1,0 +1,5 @@
+//! R1 fixture: a hash map in model code breaks replay determinism.
+
+use std::collections::HashMap;
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! R2 fixture: a raw VecDeque sidesteps bounded-queue back-pressure.
+
+pub fn drain(q: &mut std::collections::VecDeque<u32>) -> Option<u32> {
+    q.pop_front()
+}

@@ -1,0 +1,5 @@
+//! R3 fixture: a narrowing cast that can silently truncate.
+
+pub fn to_small(x: u64) -> u32 {
+    x as u32
+}

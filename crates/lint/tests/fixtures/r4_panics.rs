@@ -1,0 +1,5 @@
+//! R4 fixture: an unwrap with no written invariant.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

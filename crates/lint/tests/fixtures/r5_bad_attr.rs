@@ -1,0 +1,20 @@
+//! R5 fixture: double attribution, inverted precedence, and a direct
+//! counter bump that bypasses the record() funnel.
+
+pub fn classify(a: bool, b: bool) -> Option<DemoStall> {
+    if b {
+        return Some(DemoStall::Second);
+    }
+    if a {
+        return Some(DemoStall::First);
+    }
+    None
+}
+
+pub fn classify_again(a: bool, stats: &mut Stats) -> Option<DemoStall> {
+    if a {
+        return Some(DemoStall::First);
+    }
+    stats.first.inc();
+    None
+}

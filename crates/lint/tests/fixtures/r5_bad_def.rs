@@ -1,0 +1,8 @@
+//! R5 fixture: declaration order inverts the canonical precedence, and
+//! `Third` is never attributed anywhere.
+
+pub enum DemoStall {
+    Second,
+    First,
+    Third,
+}

@@ -1,0 +1,14 @@
+//! R5 clean fixture: one classifier checks causes in precedence order.
+
+pub fn classify(a: bool, b: bool, c: bool) -> Option<DemoStall> {
+    if a {
+        return Some(DemoStall::First);
+    }
+    if b {
+        return Some(DemoStall::Second);
+    }
+    if c {
+        return Some(DemoStall::Third);
+    }
+    None
+}

@@ -1,0 +1,7 @@
+//! R5 clean fixture: canonical order, single-site attribution.
+
+pub enum DemoStall {
+    First,
+    Second,
+    Third,
+}

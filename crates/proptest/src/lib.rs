@@ -1,3 +1,7 @@
+// Value generation truncates u64 draws into every integer width by design;
+// the workspace-wide truncation lint does not apply to this shim.
+#![allow(clippy::cast_possible_truncation)]
+
 //! A self-contained, offline re-implementation of the subset of the
 //! [`proptest`](https://docs.rs/proptest) API this workspace uses.
 //!

@@ -123,7 +123,9 @@ impl std::fmt::Debug for SimtCore {
 impl SimtCore {
     /// Creates core `id` running instructions from `source`.
     pub fn new(id: usize, cfg: CoreConfig, source: Box<dyn InstSource>) -> Self {
-        let warps = (0..cfg.max_warps).map(Warp::new).collect();
+        let warps = (0..cfg.max_warps)
+            .map(|w| Warp::new(w, cfg.ibuffer_size))
+            .collect();
         let code_lines = source.code_lines().max(1);
         SimtCore {
             id,
@@ -399,6 +401,7 @@ impl SimtCore {
                 continue;
             }
             // Issue.
+            // INVARIANT: the hazard checks above peeked this same head.
             let inst = self.warps[wid].issue_head(now).expect("head checked");
             self.stats.insts_issued += 1;
             self.stats.issue.issued_cycles.inc();
@@ -407,7 +410,10 @@ impl SimtCore {
                     self.warps[wid].set_alu_ready(now + latency as Cycle);
                 }
                 InstKind::Load { lines } => {
-                    self.warps[wid].add_pending_loads(lines.len() as u32);
+                    // INVARIANT: coalesced accesses per load are bounded by
+                    // the 32-thread warp width.
+                    let n = u32::try_from(lines.len()).expect("accesses fit u32");
+                    self.warps[wid].add_pending_loads(n);
                     for line in lines {
                         let id = self.alloc_fetch_id();
                         self.lsu.push(MemFetch::new(
@@ -476,6 +482,7 @@ impl SimtCore {
         };
         let is_store = head.kind == AccessKind::Store;
         if is_store {
+            // INVARIANT: head() returned Some above.
             let fetch = self.lsu.pop().expect("head exists");
             match self.l1d.access_write(fetch, now_ps) {
                 (WriteOutcome::Forwarded | WriteOutcome::Absorbed, _) => {}
@@ -489,6 +496,7 @@ impl SimtCore {
                 (WriteOutcome::Blocked(_), None) => unreachable!("blocked returns the fetch"),
             }
         } else {
+            // INVARIANT: head() returned Some above.
             let fetch = self.lsu.pop().expect("head exists");
             match self.l1d.access_read(fetch, now_ps) {
                 (AccessResult::Hit, Some(f)) => {
@@ -505,10 +513,14 @@ impl SimtCore {
         }
     }
 
+    /// The one site attributing `L1StallKind`; arms read in the documented
+    /// priority order (cache > mshr > bp-L2), checked by the R5 lint rule.
+    /// `BlockReason` arms are disjoint, so the order is documentation, not
+    /// behavior.
     fn record_l1_block(&mut self, reason: BlockReason) {
         let kind = match reason {
-            BlockReason::MshrFull | BlockReason::MshrMergeFull => L1StallKind::Mshr,
             BlockReason::NoReplaceableLine => L1StallKind::Cache,
+            BlockReason::MshrFull | BlockReason::MshrMergeFull => L1StallKind::Mshr,
             BlockReason::MissQueueFull => L1StallKind::BpL2,
         };
         self.stats.l1_stalls.record(kind);

@@ -1,14 +1,16 @@
 //! Per-warp execution state.
 
 use crate::inst::Inst;
+use gmh_types::queue::BoundedQueue;
 use gmh_types::Cycle;
-use std::collections::VecDeque;
 
 /// The state of one warp on a SIMT core.
 #[derive(Clone, Debug)]
 pub struct Warp {
     id: usize,
-    ibuffer: VecDeque<Inst>,
+    /// Hardware instruction buffer: `ibuffer_size` entries, refilled only
+    /// when empty, so its bound is a real structural limit.
+    ibuffer: BoundedQueue<Inst>,
     /// Outstanding coalesced load accesses; dependent instructions wait for
     /// this to reach zero (tail-request semantics).
     pending_loads: u32,
@@ -25,11 +27,16 @@ pub struct Warp {
 }
 
 impl Warp {
-    /// Creates warp `id` in its initial (empty, runnable) state.
-    pub fn new(id: usize) -> Self {
+    /// Creates warp `id` in its initial (empty, runnable) state with an
+    /// `ibuffer_size`-entry instruction buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ibuffer_size` is zero.
+    pub fn new(id: usize, ibuffer_size: usize) -> Self {
         Warp {
             id,
-            ibuffer: VecDeque::with_capacity(2),
+            ibuffer: BoundedQueue::new(ibuffer_size),
             pending_loads: 0,
             alu_ready_at: 0,
             fetch_outstanding: false,
@@ -103,10 +110,20 @@ impl Warp {
     }
 
     /// Refills the instruction buffer; `None` entries mark stream end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` yields more instructions than the buffer has
+    /// free slots (the fetch stage refills at most `ibuffer_size` at
+    /// once, and only when the buffer is empty).
     pub fn refill<I: Iterator<Item = Option<Inst>>>(&mut self, insts: I) {
         for slot in insts {
             match slot {
-                Some(i) => self.ibuffer.push_back(i),
+                Some(i) => {
+                    // INVARIANT: fetch refills an empty buffer with at most
+                    // ibuffer_size instructions, so a slot is always free.
+                    self.ibuffer.push(i).expect("ibuffer overfilled by fetch");
+                }
                 None => {
                     self.stream_done = true;
                     break;
@@ -122,7 +139,7 @@ impl Warp {
 
     /// Removes and returns the head instruction, recording the issue.
     pub fn issue_head(&mut self, now: Cycle) -> Option<Inst> {
-        let i = self.ibuffer.pop_front();
+        let i = self.ibuffer.pop();
         if i.is_some() {
             self.insts_issued += 1;
             self.last_issued_at = now;
@@ -163,7 +180,7 @@ mod tests {
 
     #[test]
     fn fresh_warp_needs_fetch() {
-        let w = Warp::new(3);
+        let w = Warp::new(3, 2);
         assert_eq!(w.id(), 3);
         assert!(w.needs_fetch());
         assert!(!w.finished());
@@ -172,7 +189,7 @@ mod tests {
 
     #[test]
     fn refill_and_issue() {
-        let mut w = Warp::new(0);
+        let mut w = Warp::new(0, 2);
         w.refill([Some(Inst::alu(1)), Some(Inst::alu(2))].into_iter());
         assert!(!w.needs_fetch());
         assert_eq!(w.issue_head(5), Some(Inst::alu(1)));
@@ -182,7 +199,7 @@ mod tests {
 
     #[test]
     fn stream_end_finishes_warp() {
-        let mut w = Warp::new(0);
+        let mut w = Warp::new(0, 2);
         w.refill([Some(Inst::alu(1)), None].into_iter());
         assert!(!w.finished(), "buffered instruction still to issue");
         w.issue_head(0);
@@ -192,7 +209,7 @@ mod tests {
 
     #[test]
     fn pending_loads_round_trip() {
-        let mut w = Warp::new(0);
+        let mut w = Warp::new(0, 2);
         w.add_pending_loads(2);
         assert!(w.has_pending_loads());
         w.load_returned();
@@ -203,12 +220,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "without pending load")]
     fn spurious_load_response_panics() {
-        Warp::new(0).load_returned();
+        Warp::new(0, 2).load_returned();
     }
 
     #[test]
     fn alu_ready_takes_max() {
-        let mut w = Warp::new(0);
+        let mut w = Warp::new(0, 2);
         w.set_alu_ready(10);
         w.set_alu_ready(7);
         assert!(w.alu_pending(9));
@@ -217,7 +234,7 @@ mod tests {
 
     #[test]
     fn fetch_outstanding_blocks_needs_fetch() {
-        let mut w = Warp::new(0);
+        let mut w = Warp::new(0, 2);
         w.set_fetch_outstanding();
         assert!(!w.needs_fetch());
         assert!(w.fetch_outstanding());
@@ -227,7 +244,7 @@ mod tests {
 
     #[test]
     fn fetch_groups_count_up() {
-        let mut w = Warp::new(0);
+        let mut w = Warp::new(0, 2);
         assert_eq!(w.fetch_group(), 0);
         w.advance_fetch_group();
         assert_eq!(w.fetch_group(), 1);

@@ -42,7 +42,10 @@ impl Address {
     }
 
     /// Byte offset of this address within its cache line.
+    #[allow(clippy::cast_possible_truncation)]
     pub const fn line_offset(self) -> u32 {
+        // try_from is not const, so this stays a cast.
+        // lint: allow(R3): the modulus bounds the value below LINE_SIZE.
         (self.0 % LINE_SIZE as u64) as u32
     }
 }
@@ -106,8 +109,10 @@ impl LineAddr {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn interleave(self, n: usize) -> usize {
         assert!(n > 0, "cannot interleave across zero targets");
+        // lint: allow(R3): the modulus bounds the value below n.
         (self.0 % n as u64) as usize
     }
 }

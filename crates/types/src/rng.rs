@@ -105,7 +105,9 @@ mod tests {
         let mut r = Xoshiro256::seeded(10);
         let mut seen = [false; 8];
         for _ in 0..1000 {
-            seen[r.below(8) as usize] = true;
+            #[allow(clippy::cast_possible_truncation)]
+            let bucket = r.below(8) as usize;
+            seen[bucket] = true;
         }
         assert!(seen.iter().all(|&s| s));
     }

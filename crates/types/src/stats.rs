@@ -142,8 +142,11 @@ impl LatencyHistogram {
     }
 
     /// Records one sample.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn push(&mut self, sample: f64) {
         self.count += 1;
+        // The index is bounds-checked against the bucket array below.
+        // lint: allow(R3): float-to-int `as` saturates in Rust.
         let idx = (sample / self.bucket_width) as usize;
         if idx < self.buckets.len() {
             self.buckets[idx] += 1;
@@ -159,11 +162,14 @@ impl LatencyHistogram {
 
     /// The `q`-quantile (`q` in `[0, 1]`), interpolated to bucket bounds;
     /// 0.0 with no samples. Overflow samples report the range maximum.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         let q = q.clamp(0.0, 1.0);
+        // lint: allow(R3): float-to-int `as` saturates, and the target is
+        // bounded by count (q is clamped to [0, 1]).
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &b) in self.buckets.iter().enumerate() {

@@ -18,7 +18,9 @@
 
 use crate::clock::Picos;
 use crate::fetch::MemFetch;
-use std::collections::HashMap;
+// BTreeMap/BTreeSet, not HashMap: the simulator must be a pure function of
+// (config, seed), and hash iteration order varies per process (R1).
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Handle to one registered series (index into the sink's series table).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,7 +40,7 @@ pub struct Telemetry {
     window: u64,
     cycle: u64,
     series: Vec<SeriesBuf>,
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
 }
 
 impl Telemetry {
@@ -53,7 +55,7 @@ impl Telemetry {
             window,
             cycle: 0,
             series: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
         }
     }
 
@@ -166,7 +168,7 @@ pub fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }
@@ -245,7 +247,7 @@ pub struct AuditSummary {
 /// Conservation ledger over core-emitted fetches (see module docs).
 #[derive(Clone, Debug, Default)]
 pub struct FetchAudit {
-    in_flight: HashMap<(usize, u64), ()>,
+    in_flight: BTreeSet<(usize, u64)>,
     emitted: u64,
     returned: u64,
     absorbed: u64,
@@ -272,11 +274,7 @@ impl FetchAudit {
             return;
         }
         self.emitted += 1;
-        if self
-            .in_flight
-            .insert((fetch.core_id, fetch.id), ())
-            .is_some()
-        {
+        if !self.in_flight.insert((fetch.core_id, fetch.id)) {
             self.violate(format!(
                 "fetch core={} id={} emitted twice",
                 fetch.core_id, fetch.id
@@ -297,7 +295,7 @@ impl FetchAudit {
                 fetch.core_id, fetch.id, fetch.kind
             ));
         }
-        if self.in_flight.remove(&(fetch.core_id, fetch.id)).is_none() {
+        if !self.in_flight.remove(&(fetch.core_id, fetch.id)) {
             self.violate(format!(
                 "fetch core={} id={} absorbed without being emitted",
                 fetch.core_id, fetch.id
@@ -321,7 +319,7 @@ impl FetchAudit {
                 fetch.core_id, fetch.id, fetch.kind
             ));
         }
-        if self.in_flight.remove(&(fetch.core_id, fetch.id)).is_none() {
+        if !self.in_flight.remove(&(fetch.core_id, fetch.id)) {
             self.violate(format!(
                 "fetch core={} id={} returned without being emitted",
                 fetch.core_id, fetch.id
@@ -375,9 +373,9 @@ impl FetchAudit {
     pub fn finish(&self, drained: bool) -> Result<AuditSummary, String> {
         let mut problems = self.violations.clone();
         if drained && !self.in_flight.is_empty() {
-            let mut leaked: Vec<&(usize, u64)> = self.in_flight.keys().collect();
-            leaked.sort();
-            let sample: Vec<String> = leaked
+            // BTreeSet iterates in key order, so the sample is stable.
+            let sample: Vec<String> = self
+                .in_flight
                 .iter()
                 .take(8)
                 .map(|(c, i)| format!("core={c} id={i}"))

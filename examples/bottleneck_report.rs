@@ -17,6 +17,7 @@
 use gmh::core::{GpuConfig, GpuSim};
 use gmh::workloads::catalog;
 
+#[allow(clippy::cast_possible_truncation)]
 fn bar(frac: f64) -> String {
     let n = (frac * 40.0).round() as usize;
     format!("{:<40}", "#".repeat(n))
