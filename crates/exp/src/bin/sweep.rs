@@ -1,19 +1,32 @@
 //! Diagnostic: one workload across the Fig. 10 + Fig. 12 configurations.
-use gmh_core::{GpuConfig, GpuSim};
+//!
+//! Reads through the shared content-addressed result cache (the one
+//! `gmh-serve` and `design_space` populate): on a warm cache this prints
+//! the whole line with zero simulations.
+use gmh_core::GpuConfig;
+use gmh_exp::cache::{metric_in_json, run_cached, DiskCache};
 use gmh_exp::experiments::{fig10_configs, fig12_configs};
 use gmh_workloads::catalog;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "mm".into());
     let wl = catalog::by_name(&name).expect("unknown workload");
-    let base = GpuSim::new(GpuConfig::gtx480_baseline(), &wl).run();
+    let cache = DiskCache::open(DiskCache::default_dir()).expect("cannot open result cache");
+    let base = run_cached(&cache, "base", &GpuConfig::gtx480_baseline(), &wl)
+        .expect("baseline run failed");
+    let base_ipc = metric_in_json(&base.json, "ipc").expect("report carries ipc");
+    let mut sims = usize::from(!base.hit);
     print!(
         "{name}: base ipc={:.2} l2mr={:.2} |",
-        base.ipc, base.l2_miss_rate
+        base_ipc,
+        metric_in_json(&base.json, "l2_miss_rate").expect("report carries l2_miss_rate")
     );
     for (label, cfg) in fig10_configs().into_iter().chain(fig12_configs()) {
-        let s = GpuSim::new(cfg, &wl).run();
-        print!(" {label}={:.2}", s.ipc / base.ipc);
+        let run = run_cached(&cache, label, &cfg, &wl).expect("config run failed");
+        sims += usize::from(!run.hit);
+        let ipc = metric_in_json(&run.json, "ipc").expect("report carries ipc");
+        print!(" {label}={:.2}", ipc / base_ipc);
     }
-    println!();
+    println!(" [{sims} sims]");
+    cache.flush_index().expect("cache index flush failed");
 }

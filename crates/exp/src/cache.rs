@@ -1,0 +1,315 @@
+//! Content-addressed on-disk cache of completed simulation runs.
+//!
+//! A full-model baseline run costs millions of simulated cycles; the same
+//! `(config, workload, seed)` triple is requested over and over — by the
+//! figure binaries, by the design-space diagnostics, and by every client of
+//! the `gmh-serve` daemon. This module stores the *exact*
+//! [`crate::report_json`] bytes of a completed run under a stable
+//! content-derived key, so repeats are served instantly and byte-identically
+//! (the determinism tests pin the latter property down).
+//!
+//! ## Key derivation
+//!
+//! The key is a 64-bit FNV-1a hash ([`gmh_types::hash`]) of a canonical JSON
+//! document describing the job:
+//!
+//! ```json
+//! {"config_label":"base","config":"<GpuConfig debug>","workload":"<WorkloadSpec debug>"}
+//! ```
+//!
+//! The `Debug` representations are exhaustive over every field (derived,
+//! declaration-ordered), so any change to any knob — including the workload's
+//! seed — changes the key. The presentation label participates because the
+//! cached value embeds it (`report_json` writes `"config":"<label>"`); two
+//! requests that differ only in label would otherwise collide on a value
+//! whose bytes disagree with one of them.
+//!
+//! ## On-disk layout
+//!
+//! One file per entry, `<dir>/<016x key>.json`, written via a temp file and
+//! atomic rename so a crashed writer can never leave a torn entry. A
+//! human-readable `index.tsv` (`key \t workload \t label \t seed`) is
+//! rebuilt from an in-memory ledger by [`DiskCache::flush_index`]; the
+//! daemon flushes it on graceful shutdown.
+
+use crate::export::report_json;
+use gmh_core::{GpuConfig, GpuSim, SimStats};
+use gmh_types::hash::StableHasher;
+use gmh_workloads::WorkloadSpec;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Stable cache key for one simulation job.
+///
+/// See the module docs for the canonical document this hashes.
+pub fn job_key(config_label: &str, cfg: &GpuConfig, wl: &WorkloadSpec) -> u64 {
+    let mut h = StableHasher::new();
+    // The surrounding structure (quoted, comma-separated named fields)
+    // keeps field boundaries unambiguous; Debug text never contains
+    // unescaped quotes for these plain-data types.
+    h.write_str("{\"config_label\":\"");
+    h.write_str(config_label);
+    h.write_str("\",\"config\":\"");
+    h.write_str(&format!("{cfg:?}"));
+    h.write_str("\",\"workload\":\"");
+    h.write_str(&format!("{wl:?}"));
+    h.write_str("\"}");
+    h.finish()
+}
+
+/// One remembered entry, for the human-readable index.
+#[derive(Clone, Debug)]
+struct IndexEntry {
+    key: u64,
+    workload: String,
+    label: String,
+    seed: u64,
+}
+
+/// A content-addressed result cache rooted at one directory.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    ledger: Mutex<Vec<IndexEntry>>,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache {
+            dir,
+            ledger: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The default shared cache location: `$GMH_CACHE_DIR` if set, else
+    /// `target/gmh-result-cache` under the current directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("GMH_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| Path::new("target").join("gmh-result-cache"))
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Fetches the stored report bytes for `key`, if present.
+    pub fn get(&self, key: u64) -> Option<String> {
+        std::fs::read_to_string(self.entry_path(key)).ok()
+    }
+
+    /// Stores `json` under `key` (atomically: temp file + rename) and
+    /// remembers the entry for the index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the write or rename.
+    pub fn put(&self, key: u64, wl: &WorkloadSpec, label: &str, json: &str) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{key:016x}.tmp"));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, self.entry_path(key))?;
+        // INVARIANT: the ledger mutex is only held for push/clone below and
+        // no panic can occur while it is held, so it is never poisoned.
+        self.ledger.lock().expect("ledger lock").push(IndexEntry {
+            key,
+            workload: wl.name.to_string(),
+            label: label.to_string(),
+            seed: wl.seed,
+        });
+        Ok(())
+    }
+
+    /// Writes `index.tsv` (one `key \t workload \t label \t seed` row per
+    /// entry stored through this handle). Called by the daemon on graceful
+    /// shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error from writing the index.
+    pub fn flush_index(&self) -> io::Result<()> {
+        // INVARIANT: see `put` — the ledger mutex cannot be poisoned.
+        let entries = self.ledger.lock().expect("ledger lock").clone();
+        let mut out = String::from("key\tworkload\tlabel\tseed\n");
+        for e in &entries {
+            out.push_str(&format!(
+                "{:016x}\t{}\t{}\t{:#x}\n",
+                e.key, e.workload, e.label, e.seed
+            ));
+        }
+        let tmp = self.dir.join("index.tsv.tmp");
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(tmp, self.dir.join("index.tsv"))
+    }
+
+    /// Number of entries stored through this handle (not the on-disk total).
+    pub fn stored_this_session(&self) -> usize {
+        // INVARIANT: see `put` — the ledger mutex cannot be poisoned.
+        self.ledger.lock().expect("ledger lock").len()
+    }
+}
+
+/// The result of a cache-aware run: the report JSON always, the in-memory
+/// stats only when the simulation actually executed (a cold miss).
+#[derive(Clone, Debug)]
+pub struct CachedRun {
+    /// The exact `report_json` bytes (from disk on a hit, freshly computed
+    /// on a miss — byte-identical either way).
+    pub json: String,
+    /// Full stats, present only on a miss (they are not reconstructible
+    /// from the report).
+    pub stats: Option<SimStats>,
+    /// Whether the run was served from the cache.
+    pub hit: bool,
+}
+
+impl CachedRun {
+    /// Extracts a scalar `"name":<number>` field from the report JSON.
+    ///
+    /// Field names in the report are globally unique (`summary`, stall and
+    /// occupancy objects never repeat a key), so a flat scan suffices. This
+    /// is what lets a warm-cache consumer print its table without ever
+    /// deserializing a full `SimStats`.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        metric_in_json(&self.json, name)
+    }
+}
+
+/// Scans report JSON for `"name":` and parses the number that follows.
+pub fn metric_in_json(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Runs `(label, cfg, wl)` through `cache`: returns the stored report on a
+/// hit, otherwise simulates, stores, and returns the fresh report.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from storing a fresh entry (a corrupt or
+/// unreadable existing entry is treated as a miss, then overwritten).
+pub fn run_cached(
+    cache: &DiskCache,
+    label: &str,
+    cfg: &GpuConfig,
+    wl: &WorkloadSpec,
+) -> io::Result<CachedRun> {
+    let key = job_key(label, cfg, wl);
+    if let Some(json) = cache.get(key) {
+        return Ok(CachedRun {
+            json,
+            stats: None,
+            hit: true,
+        });
+    }
+    let stats = GpuSim::new(cfg.clone(), wl).run();
+    let json = report_json(label, wl.name, &stats);
+    cache.put(key, wl, label, &json)?;
+    Ok(CachedRun {
+        json,
+        stats: Some(stats),
+        hit: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmh_workloads::catalog;
+
+    fn tiny() -> (GpuConfig, WorkloadSpec) {
+        let mut cfg = GpuConfig::gtx480_baseline();
+        cfg.n_cores = 1;
+        cfg.max_core_cycles = 30_000;
+        cfg.telemetry_window = 64;
+        let mut wl = catalog::by_name("nn").unwrap();
+        wl.warps_per_core = 2;
+        wl.insts_per_warp = 40;
+        (cfg, wl)
+    }
+
+    fn tmp_cache(tag: &str) -> DiskCache {
+        let dir = std::env::temp_dir().join(format!("gmh_cache_test_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        DiskCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let (cfg, wl) = tiny();
+        assert_eq!(job_key("base", &cfg, &wl), job_key("base", &cfg, &wl));
+        let mut wl2 = wl.clone();
+        wl2.seed ^= 1;
+        assert_ne!(job_key("base", &cfg, &wl), job_key("base", &cfg, &wl2));
+        let mut cfg2 = cfg.clone();
+        cfg2.l2_access_queue += 1;
+        assert_ne!(job_key("base", &cfg, &wl), job_key("base", &cfg2, &wl));
+        assert_ne!(job_key("base", &cfg, &wl), job_key("l2x4", &cfg, &wl));
+    }
+
+    #[test]
+    fn miss_then_hit_is_byte_identical() {
+        let cache = tmp_cache("roundtrip");
+        let (cfg, wl) = tiny();
+        let cold = run_cached(&cache, "base", &cfg, &wl).unwrap();
+        assert!(!cold.hit);
+        assert!(cold.stats.is_some());
+        let warm = run_cached(&cache, "base", &cfg, &wl).unwrap();
+        assert!(warm.hit);
+        assert!(warm.stats.is_none());
+        assert_eq!(cold.json, warm.json, "cache hit must be byte-identical");
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn metric_extraction_matches_stats() {
+        let cache = tmp_cache("metric");
+        let (cfg, wl) = tiny();
+        let cold = run_cached(&cache, "base", &cfg, &wl).unwrap();
+        let stats = cold.stats.as_ref().unwrap();
+        // `json_num` renders 6 decimal places, so compare at that precision.
+        let ipc = cold.metric("ipc").unwrap();
+        assert!((ipc - stats.ipc).abs() < 1e-6, "{ipc} vs {}", stats.ipc);
+        let cycles = cold.metric("core_cycles").unwrap();
+        assert!((cycles - stats.core_cycles as f64).abs() < 0.5);
+        assert!(cold.metric("l2_access_full_fraction").is_some());
+        assert!(cold.metric("no_such_field").is_none());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn index_flush_lists_entries() {
+        let cache = tmp_cache("index");
+        let (cfg, wl) = tiny();
+        run_cached(&cache, "base", &cfg, &wl).unwrap();
+        assert_eq!(cache.stored_this_session(), 1);
+        cache.flush_index().unwrap();
+        let idx = std::fs::read_to_string(cache.dir().join("index.tsv")).unwrap();
+        assert!(idx.contains("nn\tbase"), "index:\n{idx}");
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn metric_in_json_parses_negatives_and_exponents() {
+        assert_eq!(metric_in_json("{\"x\":-1.5e-3}", "x"), Some(-1.5e-3));
+        assert_eq!(metric_in_json("{\"x\":12}", "x"), Some(12.0));
+        assert_eq!(metric_in_json("{\"x\":\"str\"}", "x"), None);
+    }
+}

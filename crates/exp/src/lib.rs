@@ -16,9 +16,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiments;
 pub mod export;
 pub mod runner;
 
+pub use cache::{job_key, run_cached, CachedRun, DiskCache};
 pub use export::{report_json, write_report};
 pub use runner::{run_jobs, Baselines, Job, RunOutcome};

@@ -2,7 +2,7 @@
 
 use gmh_core::{GpuConfig, GpuSim, SimStats};
 use gmh_workloads::{catalog, WorkloadSpec};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex, OnceLock};
 
 /// One simulation to run: a workload under a configuration.
 #[derive(Clone, Debug)]
@@ -38,10 +38,20 @@ pub struct RunOutcome {
 }
 
 /// Worker-thread count: `GMH_THREADS` or the machine's parallelism.
+///
+/// The environment is read (and parsed) once per process; every subsequent
+/// call returns the cached value. Sweeps call this on hot dispatch paths,
+/// and re-parsing the environment per call was measurable noise.
 pub fn threads() -> usize {
-    std::env::var("GMH_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| threads_from(std::env::var("GMH_THREADS").ok().as_deref()))
+}
+
+/// Resolves a thread count from an optional `GMH_THREADS` value: a positive
+/// integer wins, anything else falls back to the machine's parallelism.
+/// Split out (and tested) separately because [`threads`] caches per process.
+fn threads_from(var: Option<&str>) -> usize {
+    var.and_then(|s| s.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -51,31 +61,44 @@ pub fn threads() -> usize {
 }
 
 /// Runs all jobs across worker threads; results come back in job order.
+///
+/// Work distribution stays dynamic (a shared job iterator), but completions
+/// flow back over a per-worker channel sender instead of a shared results
+/// mutex, so finishing a job never contends with other workers.
 pub fn run_jobs(jobs: Vec<Job>) -> Vec<RunOutcome> {
     let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
     let queue = Mutex::new(jobs.into_iter().enumerate());
-    let results: Mutex<Vec<Option<RunOutcome>>> = Mutex::new(vec![None; n]);
+    let (tx, rx) = mpsc::channel::<(usize, RunOutcome)>();
     std::thread::scope(|s| {
-        for _ in 0..threads().min(n.max(1)) {
-            s.spawn(|| loop {
+        for _ in 0..threads().min(n) {
+            let tx = tx.clone();
+            let queue = &queue;
+            s.spawn(move || loop {
                 let Some((idx, job)) = queue.lock().expect("queue lock").next() else {
                     break;
                 };
                 let stats = GpuSim::new(job.config, &job.workload).run();
-                results.lock().expect("results lock")[idx] = Some(RunOutcome {
+                let outcome = RunOutcome {
                     workload: job.workload.name.to_string(),
                     label: job.label,
                     stats,
-                });
+                };
+                tx.send((idx, outcome)).expect("receiver outlives workers");
             });
         }
-    });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
+        drop(tx); // workers hold the remaining senders
+        let mut results: Vec<Option<RunOutcome>> = (0..n).map(|_| None).collect();
+        for (idx, outcome) in rx {
+            results[idx] = Some(outcome);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job ran"))
+            .collect()
+    })
 }
 
 /// Cached baseline runs of all 19 workloads — shared by Figs. 1, 4, 5, 7,
@@ -129,6 +152,23 @@ mod tests {
     fn threads_env_override() {
         // Not set in tests normally; just ensure the default is sane.
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn threads_from_covers_override_path() {
+        // A positive integer wins verbatim.
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some("1")), 1);
+        // Zero, garbage, and absence all fall back to machine parallelism.
+        assert!(threads_from(Some("0")) >= 1);
+        assert!(threads_from(Some("not-a-number")) >= 1);
+        assert!(threads_from(None) >= 1);
+        assert_eq!(threads_from(Some("0")), threads_from(None));
+    }
+
+    #[test]
+    fn run_jobs_empty_input() {
+        assert!(run_jobs(Vec::new()).is_empty());
     }
 
     #[test]

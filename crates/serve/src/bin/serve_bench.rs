@@ -1,0 +1,146 @@
+//! `serve-bench`: end-to-end service throughput, cold vs warm cache.
+//!
+//! Boots an in-process `gmh-serve` on a loopback port with a fresh cache
+//! directory, then pushes one batch of small jobs through it twice:
+//!
+//! * **cold** — every job misses the cache and runs a real simulation;
+//! * **warm** — the identical batch is served entirely from the
+//!   content-addressed cache (zero simulations).
+//!
+//! For each phase it reports served requests/sec and — for the cold phase —
+//! simulated cycles per wall-clock second, writing `BENCH_serve.json` at the
+//! repo root. The warm/cold requests-per-second ratio is the headline
+//! number: how much the result cache is worth.
+
+use gmh_serve::metrics::sample;
+use gmh_serve::protocol::Reply;
+use gmh_serve::server::{spawn, ServerConfig};
+use gmh_serve::Client;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// One small job per workload in the catalog, distinct seeds so every job is
+/// a distinct cache key.
+fn jobs() -> Vec<(String, u64)> {
+    gmh_workloads::catalog::names()
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.to_string(), 1000 + i as u64))
+        .collect()
+}
+
+fn overrides() -> Vec<(String, u64)> {
+    [
+        ("n_cores", 2),
+        ("max_core_cycles", 500_000),
+        ("telemetry_window", 1024),
+        ("warps_per_core", 8),
+        ("insts_per_warp", 5_000),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect()
+}
+
+/// Runs one pass of the batch; returns (elapsed seconds, jobs served).
+fn run_phase(addr: &str, batch: &[(String, u64)], ovr: &[(String, u64)]) -> (f64, usize) {
+    let mut client = Client::connect(addr).expect("connect to in-process server");
+    let started = Instant::now();
+    let mut served = 0usize;
+    for (workload, seed) in batch {
+        match client
+            .submit(workload, Some("base"), Some(*seed), ovr)
+            .expect("submit to in-process server")
+        {
+            Reply::Ok(_) => served += 1,
+            other => panic!("bench job refused: {}", other.render()),
+        }
+    }
+    (started.elapsed().as_secs_f64(), served)
+}
+
+fn main() {
+    let cache_dir = std::env::temp_dir().join(format!("gmh-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: cache_dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("spawn in-process server");
+    let addr = handle.addr.to_string();
+
+    let batch = jobs();
+    let ovr = overrides();
+    println!(
+        "serve-bench: {} jobs across the workload catalog, server at {addr}",
+        batch.len()
+    );
+
+    let (cold_s, cold_served) = run_phase(&addr, &batch, &ovr);
+    let text = Client::connect(&addr)
+        .and_then(|mut c| c.metrics())
+        .expect("metrics after cold phase");
+    let cold_cycles = sample(&text, "gmh_sim_cycles_total").unwrap_or(0);
+    let cold_misses = sample(&text, "gmh_cache_misses_total").unwrap_or(0);
+
+    let (warm_s, warm_served) = run_phase(&addr, &batch, &ovr);
+    let text = Client::connect(&addr)
+        .and_then(|mut c| c.metrics())
+        .expect("metrics after warm phase");
+    let warm_hits = sample(&text, "gmh_cache_hits_total").unwrap_or(0);
+    let warm_misses = sample(&text, "gmh_cache_misses_total").unwrap_or(0);
+
+    Client::connect(&addr)
+        .and_then(|mut c| c.shutdown().map(|_| ()))
+        .expect("graceful shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    assert_eq!(cold_served, batch.len(), "cold phase served every job");
+    assert_eq!(warm_served, batch.len(), "warm phase served every job");
+    assert_eq!(
+        warm_misses, cold_misses,
+        "warm phase must not miss the cache"
+    );
+    assert!(
+        warm_hits >= warm_served as u64,
+        "warm phase must be served from cache"
+    );
+
+    let cold_rps = cold_served as f64 / cold_s;
+    let warm_rps = warm_served as f64 / warm_s;
+    let cycles_per_sec = cold_cycles as f64 / cold_s;
+    println!("cold: {cold_served} jobs in {cold_s:.3}s = {cold_rps:.1} req/s, {cycles_per_sec:.0} sim cycles/s");
+    println!(
+        "warm: {warm_served} jobs in {warm_s:.3}s = {warm_rps:.1} req/s ({:.0}x cold)",
+        warm_rps / cold_rps
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/serve sits two levels below the repo root");
+    let out = root.join("BENCH_serve.json");
+    let json = format!(
+        "{{\n  \"bench\": \"gmh-serve end-to-end\",\n  \"jobs_per_phase\": {},\n  \
+         \"cold\": {{\n    \"seconds\": {:.6},\n    \"requests_per_sec\": {:.3},\n    \
+         \"sim_cycles\": {},\n    \"sim_cycles_per_sec\": {:.1}\n  }},\n  \
+         \"warm\": {{\n    \"seconds\": {:.6},\n    \"requests_per_sec\": {:.3},\n    \
+         \"cache_hits\": {}\n  }},\n  \"warm_over_cold_speedup\": {:.3}\n}}\n",
+        batch.len(),
+        cold_s,
+        cold_rps,
+        cold_cycles,
+        cycles_per_sec,
+        warm_s,
+        warm_rps,
+        warm_hits,
+        warm_rps / cold_rps,
+    );
+    let mut f = std::fs::File::create(&out).expect("create BENCH_serve.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_serve.json");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,214 @@
+//! Service counters and their Prometheus-style text rendering.
+//!
+//! The accounting identity the integration tests (and operators) rely on:
+//!
+//! ```text
+//! accepted = completed + shed + errored + timed_out   (+ in-flight, transiently)
+//! ```
+//!
+//! `accepted` counts every job request *received* (including ones later
+//! refused); each such request gets exactly one terminal reply, and that
+//! reply increments exactly one of the four outcome counters. While a job
+//! sits in the admission queue or on a worker the identity is short by the
+//! in-flight amount — the `gmh_jobs_inflight`/`gmh_queue_depth` gauges make
+//! that visible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic service counters. All loads/stores are `Relaxed`: each counter
+/// is independently meaningful and nothing synchronizes *through* them.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Job requests received (terminal reply guaranteed).
+    pub accepted: AtomicU64,
+    /// Jobs shed with `BUSY` because the admission queue was full.
+    pub shed: AtomicU64,
+    /// Jobs answered with `OK` (fresh runs and cache hits).
+    pub completed: AtomicU64,
+    /// Jobs refused with `ERR` (validation failures, draining server).
+    pub errored: AtomicU64,
+    /// Jobs abandoned with `TIMEOUT`.
+    pub timed_out: AtomicU64,
+    /// Result-cache hits (served without simulating).
+    pub cache_hits: AtomicU64,
+    /// Result-cache lookups that missed.
+    pub cache_misses: AtomicU64,
+    /// Total simulated core cycles across completed fresh runs
+    /// (from [`gmh_core::SimStats::core_cycles`]).
+    pub sim_cycles: AtomicU64,
+    /// Total wall-clock milliseconds spent simulating fresh runs.
+    pub sim_wall_ms: AtomicU64,
+}
+
+/// Point-in-time gauges sampled under the admission lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauges {
+    /// Jobs waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs currently executing on workers.
+    pub in_flight: usize,
+}
+
+impl Metrics {
+    /// Increments a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to a counter.
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Mean wall time of a completed fresh run, for the `BUSY` retry hint.
+    /// Defaults to 100 ms before the first completion; clamped to
+    /// 25 ms ..= 60 s so one pathological job cannot poison the hint.
+    pub fn avg_job_ms(&self) -> u64 {
+        let done = Self::get(&self.completed).saturating_sub(Self::get(&self.cache_hits));
+        let avg = Self::get(&self.sim_wall_ms)
+            .checked_div(done)
+            .unwrap_or(100);
+        avg.clamp(25, 60_000)
+    }
+
+    /// Renders the Prometheus-style text exposition.
+    pub fn render(&self, g: Gauges) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            "gmh_requests_accepted_total",
+            "Job requests received (each gets exactly one terminal reply).",
+            Self::get(&self.accepted),
+        );
+        counter(
+            "gmh_requests_completed_total",
+            "Job requests answered OK (fresh runs and cache hits).",
+            Self::get(&self.completed),
+        );
+        counter(
+            "gmh_requests_shed_total",
+            "Job requests shed with BUSY at admission (queue full).",
+            Self::get(&self.shed),
+        );
+        counter(
+            "gmh_requests_errored_total",
+            "Job requests refused with ERR.",
+            Self::get(&self.errored),
+        );
+        counter(
+            "gmh_requests_timeout_total",
+            "Job requests abandoned with TIMEOUT.",
+            Self::get(&self.timed_out),
+        );
+        counter(
+            "gmh_cache_hits_total",
+            "Result-cache hits.",
+            Self::get(&self.cache_hits),
+        );
+        counter(
+            "gmh_cache_misses_total",
+            "Result-cache misses.",
+            Self::get(&self.cache_misses),
+        );
+        counter(
+            "gmh_sim_cycles_total",
+            "Simulated core cycles across completed fresh runs.",
+            Self::get(&self.sim_cycles),
+        );
+        counter(
+            "gmh_sim_wall_ms_total",
+            "Wall-clock milliseconds spent simulating fresh runs.",
+            Self::get(&self.sim_wall_ms),
+        );
+        let mut gauge = |name: &str, help: &str, v: usize| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        gauge(
+            "gmh_queue_depth",
+            "Jobs waiting in the admission queue.",
+            g.queue_depth,
+        );
+        gauge(
+            "gmh_queue_capacity",
+            "Admission-queue capacity.",
+            g.queue_capacity,
+        );
+        gauge(
+            "gmh_jobs_inflight",
+            "Jobs currently executing on workers.",
+            g.in_flight,
+        );
+        out
+    }
+}
+
+/// Extracts `name value` from a metrics text block (client/test helper).
+pub fn sample(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_sample_round_trip() {
+        let m = Metrics::default();
+        Metrics::add(&m.accepted, 5);
+        Metrics::inc(&m.completed);
+        Metrics::add(&m.sim_cycles, 123_456);
+        let text = m.render(Gauges {
+            queue_depth: 2,
+            queue_capacity: 8,
+            in_flight: 1,
+        });
+        assert_eq!(sample(&text, "gmh_requests_accepted_total"), Some(5));
+        assert_eq!(sample(&text, "gmh_requests_completed_total"), Some(1));
+        assert_eq!(sample(&text, "gmh_sim_cycles_total"), Some(123_456));
+        assert_eq!(sample(&text, "gmh_queue_depth"), Some(2));
+        assert_eq!(sample(&text, "gmh_queue_capacity"), Some(8));
+        assert_eq!(sample(&text, "gmh_jobs_inflight"), Some(1));
+        assert_eq!(sample(&text, "gmh_nonexistent"), None);
+        // Exposition hygiene: HELP/TYPE precede every series.
+        assert_eq!(text.matches("# TYPE").count(), 12);
+    }
+
+    #[test]
+    fn retry_hint_tracks_average_and_clamps() {
+        let m = Metrics::default();
+        assert_eq!(m.avg_job_ms(), 100, "default before first completion");
+        Metrics::add(&m.completed, 4);
+        Metrics::add(&m.sim_wall_ms, 4 * 180);
+        assert_eq!(m.avg_job_ms(), 180);
+        let fast = Metrics::default();
+        Metrics::add(&fast.completed, 100);
+        Metrics::add(&fast.sim_wall_ms, 100);
+        assert_eq!(fast.avg_job_ms(), 25, "clamped below");
+    }
+
+    #[test]
+    fn cache_hits_excluded_from_average() {
+        let m = Metrics::default();
+        // 2 fresh runs at 200 ms plus 8 instant cache hits.
+        Metrics::add(&m.completed, 10);
+        Metrics::add(&m.cache_hits, 8);
+        Metrics::add(&m.sim_wall_ms, 400);
+        assert_eq!(m.avg_job_ms(), 200);
+    }
+}

@@ -1,0 +1,416 @@
+//! The wire protocol: line-delimited requests, single-line replies.
+//!
+//! ## Grammar (one request per line, `\n`-terminated)
+//!
+//! ```text
+//! request  = job-object | "METRICS" | "SHUTDOWN" | "PING"
+//! job      = '{' "workload": string
+//!                [, "config_label": string]          ; default "base"
+//!                [, "config_overrides": { key: int }]
+//!                [, "seed": int] '}'
+//! reply    = "OK " json | "BUSY " json | "ERR " json | "TIMEOUT " json
+//!          | "METRICS" NL *(metric-line NL) "END"
+//! ```
+//!
+//! A job is validated *before* admission: the workload must exist in
+//! [`gmh_workloads::catalog`], the label must name a known configuration
+//! (baseline, the Fig. 10 scalings, or the Fig. 12 cost-effective points),
+//! every override key must be recognized, and the resulting
+//! [`GpuConfig`]/[`WorkloadSpec`] pair must pass its own `validate()`.
+//! Anything else is refused with `ERR` — the simulator never sees an
+//! ill-formed job.
+
+use crate::json::{self, Json};
+use gmh_core::GpuConfig;
+use gmh_exp::experiments::{fig10_configs, fig12_configs};
+use gmh_types::telemetry::json_escape;
+use gmh_workloads::{catalog, WorkloadSpec};
+
+/// Hard cap on one request line. Longer lines are refused with `ERR` and
+/// the connection is closed (the bytes beyond the cap are never buffered).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A fully validated job: ready to hash, admit, and execute.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// The (possibly seed/size-overridden) workload.
+    pub workload: WorkloadSpec,
+    /// Presentation label of the configuration (embedded in the report).
+    pub label: String,
+    /// The (possibly overridden) validated GPU configuration.
+    pub config: GpuConfig,
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// A simulation job.
+    Job(Box<JobRequest>),
+    /// Metrics snapshot.
+    Metrics,
+    /// Graceful shutdown: drain, refuse, flush, exit.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+/// One terminal reply line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Completed; the payload is the exact report JSON.
+    Ok(String),
+    /// Shed at admission: the queue was full. Retry after the hint.
+    Busy {
+        /// Suggested client back-off, derived from recent job wall times.
+        retry_after_ms: u64,
+    },
+    /// Refused (validation failure, parse error, or draining server).
+    Err(String),
+    /// The job exceeded the server's wall-clock budget and was abandoned.
+    Timeout {
+        /// The budget that was exceeded, in milliseconds.
+        after_ms: u64,
+    },
+}
+
+impl Reply {
+    /// Renders the single reply line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Reply::Ok(json) => format!("OK {json}"),
+            Reply::Busy { retry_after_ms } => {
+                format!("BUSY {{\"retry_after_ms\":{retry_after_ms}}}")
+            }
+            Reply::Err(msg) => format!("ERR {{\"error\":\"{}\"}}", json_escape(msg)),
+            Reply::Timeout { after_ms } => format!("TIMEOUT {{\"after_ms\":{after_ms}}}"),
+        }
+    }
+
+    /// Parses a reply line (the client side of [`Reply::render`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the line matches no reply form.
+    pub fn parse(line: &str) -> Result<Reply, String> {
+        if let Some(payload) = line.strip_prefix("OK ") {
+            return Ok(Reply::Ok(payload.to_string()));
+        }
+        if let Some(payload) = line.strip_prefix("BUSY ") {
+            let v = json::parse(payload)?;
+            let ms = v
+                .get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .ok_or("BUSY payload missing retry_after_ms")?;
+            return Ok(Reply::Busy { retry_after_ms: ms });
+        }
+        if let Some(payload) = line.strip_prefix("ERR ") {
+            let v = json::parse(payload)?;
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .ok_or("ERR payload missing error")?;
+            return Ok(Reply::Err(msg.to_string()));
+        }
+        if let Some(payload) = line.strip_prefix("TIMEOUT ") {
+            let v = json::parse(payload)?;
+            let ms = v
+                .get("after_ms")
+                .and_then(Json::as_u64)
+                .ok_or("TIMEOUT payload missing after_ms")?;
+            return Ok(Reply::Timeout { after_ms: ms });
+        }
+        Err(format!("unrecognized reply line: {line:?}"))
+    }
+}
+
+/// The named configurations a request may select with `config_label`.
+pub fn config_labels() -> Vec<(&'static str, GpuConfig)> {
+    let mut out = vec![("base", GpuConfig::gtx480_baseline())];
+    out.extend(fig10_configs());
+    out.extend(fig12_configs());
+    out
+}
+
+fn config_by_label(label: &str) -> Option<GpuConfig> {
+    config_labels()
+        .into_iter()
+        .find(|(l, _)| *l == label)
+        .map(|(_, c)| c)
+}
+
+/// Parses and validates one request line.
+///
+/// # Errors
+///
+/// Returns the message to send back as `ERR` — every failure names the
+/// offending field or value.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    match line {
+        "METRICS" => return Ok(Request::Metrics),
+        "SHUTDOWN" => return Ok(Request::Shutdown),
+        "PING" => return Ok(Request::Ping),
+        _ => {}
+    }
+    if !line.starts_with('{') {
+        return Err(format!(
+            "expected a JSON job object or METRICS/SHUTDOWN/PING, got {:?}",
+            truncate(line, 40)
+        ));
+    }
+    let doc = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let obj = doc.as_obj().ok_or("job must be a JSON object")?;
+
+    for key in obj.keys() {
+        if !matches!(
+            key.as_str(),
+            "workload" | "config_label" | "config_overrides" | "seed"
+        ) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+
+    let name = obj
+        .get("workload")
+        .ok_or("missing required field \"workload\"")?
+        .as_str()
+        .ok_or("\"workload\" must be a string")?;
+    let mut workload = catalog::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown workload {:?}; known: {}",
+            name,
+            catalog::names().join(", ")
+        )
+    })?;
+
+    let label = match obj.get("config_label") {
+        None => "base".to_string(),
+        Some(v) => {
+            let l = v.as_str().ok_or("\"config_label\" must be a string")?;
+            l.to_string()
+        }
+    };
+    let mut config = config_by_label(&label).ok_or_else(|| {
+        let known: Vec<&str> = config_labels().iter().map(|(l, _)| *l).collect();
+        format!(
+            "unknown config_label {:?}; known: {}",
+            label,
+            known.join(", ")
+        )
+    })?;
+
+    if let Some(seed) = obj.get("seed") {
+        workload.seed = seed
+            .as_u64()
+            .ok_or("\"seed\" must be a non-negative integer")?;
+    }
+
+    if let Some(ovr) = obj.get("config_overrides") {
+        let map = ovr
+            .as_obj()
+            .ok_or("\"config_overrides\" must be an object")?;
+        for (key, val) in map {
+            let v = val
+                .as_u64()
+                .filter(|&v| v > 0)
+                .ok_or_else(|| format!("override {key:?} must be a positive integer"))?;
+            apply_override(&mut config, &mut workload, key, v)?;
+        }
+    }
+
+    config
+        .validate()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    workload
+        .validate()
+        .map_err(|e| format!("invalid workload: {e}"))?;
+
+    Ok(Request::Job(Box::new(JobRequest {
+        workload,
+        label,
+        config,
+    })))
+}
+
+/// The override keys `config_overrides` accepts (documented in DESIGN.md
+/// §8); ergonomic knobs for scaling a job down (tests, smoke runs) or
+/// resizing service-relevant queues.
+const OVERRIDE_KEYS: &[&str] = &[
+    "n_cores",
+    "max_core_cycles",
+    "telemetry_window",
+    "l2_access_queue",
+    "l2_response_queue",
+    "warps_per_core",
+    "insts_per_warp",
+];
+
+fn apply_override(
+    cfg: &mut GpuConfig,
+    wl: &mut WorkloadSpec,
+    key: &str,
+    v: u64,
+) -> Result<(), String> {
+    let as_count = |v: u64| -> Result<usize, String> {
+        usize::try_from(v).map_err(|_| format!("override {key:?}={v} is out of range"))
+    };
+    match key {
+        "n_cores" => cfg.n_cores = as_count(v)?,
+        "max_core_cycles" => cfg.max_core_cycles = v,
+        "telemetry_window" => cfg.telemetry_window = v,
+        "l2_access_queue" => cfg.l2_access_queue = as_count(v)?,
+        "l2_response_queue" => cfg.l2_response_queue = as_count(v)?,
+        "warps_per_core" => wl.warps_per_core = as_count(v)?,
+        "insts_per_warp" => wl.insts_per_warp = v,
+        _ => {
+            return Err(format!(
+                "unknown override {key:?}; known: {}",
+                OVERRIDE_KEYS.join(", ")
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Builds the JSON request line for a job submission (the client side of
+/// [`parse_request`]).
+pub fn job_line(
+    workload: &str,
+    label: Option<&str>,
+    seed: Option<u64>,
+    overrides: &[(String, u64)],
+) -> String {
+    let mut s = format!("{{\"workload\":\"{}\"", json_escape(workload));
+    if let Some(l) = label {
+        s.push_str(&format!(",\"config_label\":\"{}\"", json_escape(l)));
+    }
+    if let Some(seed) = seed {
+        s.push_str(&format!(",\"seed\":{seed}"));
+    }
+    if !overrides.is_empty() {
+        let body: Vec<String> = overrides
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+            .collect();
+        s.push_str(&format!(",\"config_overrides\":{{{}}}", body.join(",")));
+    }
+    s.push('}');
+    s
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        let mut end = max;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_parse() {
+        assert!(matches!(parse_request("METRICS"), Ok(Request::Metrics)));
+        assert!(matches!(parse_request(" SHUTDOWN "), Ok(Request::Shutdown)));
+        assert!(matches!(parse_request("PING"), Ok(Request::Ping)));
+    }
+
+    #[test]
+    fn minimal_job_parses_with_defaults() {
+        let Ok(Request::Job(job)) = parse_request(r#"{"workload":"mm"}"#) else {
+            panic!("minimal job should parse");
+        };
+        assert_eq!(job.workload.name, "mm");
+        assert_eq!(job.label, "base");
+        assert_eq!(job.config.n_cores, GpuConfig::gtx480_baseline().n_cores);
+    }
+
+    #[test]
+    fn seed_and_overrides_apply() {
+        let line = job_line(
+            "nn",
+            Some("L2"),
+            Some(7),
+            &[("n_cores".into(), 2), ("insts_per_warp".into(), 50)],
+        );
+        let Ok(Request::Job(job)) = parse_request(&line) else {
+            panic!("round-trip job should parse: {line}");
+        };
+        assert_eq!(job.workload.seed, 7);
+        assert_eq!(job.workload.insts_per_warp, 50);
+        assert_eq!(job.config.n_cores, 2);
+        assert_eq!(job.label, "L2");
+        // The L2 label is the ×4-scaled config of Fig. 10.
+        let base = GpuConfig::gtx480_baseline();
+        assert_eq!(job.config.l2_access_queue, 4 * base.l2_access_queue);
+    }
+
+    #[test]
+    fn unknown_workload_refused() {
+        let e = parse_request(r#"{"workload":"xyzzy"}"#).unwrap_err();
+        assert!(e.contains("unknown workload"), "{e}");
+        assert!(e.contains("mm"), "error should list known workloads: {e}");
+    }
+
+    #[test]
+    fn unknown_label_override_and_field_refused() {
+        assert!(parse_request(r#"{"workload":"mm","config_label":"turbo"}"#)
+            .unwrap_err()
+            .contains("unknown config_label"));
+        assert!(
+            parse_request(r#"{"workload":"mm","config_overrides":{"frobnicate":3}}"#)
+                .unwrap_err()
+                .contains("unknown override")
+        );
+        assert!(parse_request(r#"{"workload":"mm","color":"red"}"#)
+            .unwrap_err()
+            .contains("unknown field"));
+    }
+
+    #[test]
+    fn invalid_values_refused() {
+        assert!(parse_request(r#"{"workload":"mm","seed":-1}"#).is_err());
+        assert!(parse_request(r#"{"workload":"mm","seed":1.5}"#).is_err());
+        assert!(parse_request(r#"{"workload":"mm","config_overrides":{"n_cores":0}}"#).is_err());
+        // warps_per_core > 48 fails WorkloadSpec::validate.
+        let e = parse_request(r#"{"workload":"mm","config_overrides":{"warps_per_core":64}}"#)
+            .unwrap_err();
+        assert!(e.contains("invalid workload"), "{e}");
+    }
+
+    #[test]
+    fn malformed_json_refused() {
+        assert!(parse_request(r#"{"workload":"#)
+            .unwrap_err()
+            .contains("malformed JSON"));
+        assert!(parse_request("BOGUS").unwrap_err().contains("expected"));
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        for r in [
+            Reply::Ok("{\"a\":1}".into()),
+            Reply::Busy {
+                retry_after_ms: 120,
+            },
+            Reply::Err("queue on fire".into()),
+            Reply::Timeout { after_ms: 30000 },
+        ] {
+            assert_eq!(Reply::parse(&r.render()).unwrap(), r);
+        }
+        assert!(Reply::parse("GARBAGE").is_err());
+    }
+
+    #[test]
+    fn all_config_labels_validate() {
+        for (label, cfg) in config_labels() {
+            cfg.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+}

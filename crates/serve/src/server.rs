@@ -1,0 +1,507 @@
+//! The daemon: bounded admission, worker pool, cache, graceful shutdown.
+//!
+//! ## Request path
+//!
+//! ```text
+//! conn thread:  read line → parse/validate → cache lookup
+//!                 hit  → OK (byte-identical stored report)
+//!                 miss → try_push(admission queue)
+//!                          full → BUSY{retry_after_ms}     (load shed)
+//!                          ok   → block on reply channel
+//! worker:       pop → simulate on a helper thread → recv_timeout
+//!                 done    → report_json → cache.put → OK
+//!                 expired → TIMEOUT (helper is abandoned; the cycle cap
+//!                           bounds how long it lingers)
+//! ```
+//!
+//! The admission queue is a [`gmh_types::BoundedQueue`] — the same
+//! back-pressure primitive the simulator itself is built on. When it fills,
+//! the server *sheds* with an explicit `BUSY` instead of buffering
+//! unboundedly: the paper's thesis (bounded queues + back-pressure decide
+//! sustained throughput) applied to the service layer.
+//!
+//! Wall-clock time (`Instant`) is used here deliberately — job timeouts and
+//! service latency are *operational* time, not model time; `lint.toml`
+//! carries the reasoned R1 exception for this file.
+
+use crate::metrics::{Gauges, Metrics};
+use crate::protocol::{parse_request, JobRequest, Reply, Request, MAX_LINE_BYTES};
+use gmh_core::GpuSim;
+use gmh_exp::cache::{job_key, DiskCache};
+use gmh_exp::report_json;
+use gmh_types::BoundedQueue;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 asks the OS for a free port (tests).
+    pub addr: String,
+    /// Worker threads executing simulations.
+    pub workers: usize,
+    /// Admission-queue capacity; a full queue sheds with `BUSY`.
+    pub queue_capacity: usize,
+    /// Per-job wall-clock budget before the run is abandoned with
+    /// `TIMEOUT`.
+    pub job_timeout_ms: u64,
+    /// Result-cache directory.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = gmh_exp::runner::threads();
+        ServerConfig {
+            addr: "127.0.0.1:7700".to_string(),
+            workers,
+            queue_capacity: 2 * workers,
+            job_timeout_ms: 120_000,
+            cache_dir: DiskCache::default_dir(),
+        }
+    }
+}
+
+/// One admitted job waiting for a worker.
+struct QueuedJob {
+    job: Box<JobRequest>,
+    key: u64,
+    reply_tx: mpsc::Sender<Reply>,
+}
+
+/// Admission state guarded by one mutex.
+struct Admission {
+    queue: BoundedQueue<QueuedJob>,
+    in_flight: usize,
+    draining: bool,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    metrics: Metrics,
+    cache: DiskCache,
+    state: Mutex<Admission>,
+    work_ready: Condvar,
+    drained: Condvar,
+    stop_accept: AtomicBool,
+}
+
+/// A running server: its bound address plus the thread handles to join.
+pub struct ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Blocks until the server has fully shut down (accept loop and all
+    /// workers exited). Threads never panic in normal operation; a panic
+    /// there is a bug we surface.
+    pub fn join(self) {
+        // INVARIANT: server threads catch their own I/O errors; a panic is
+        // a simulator bug and must fail loudly.
+        self.accept.join().expect("accept thread panicked");
+        for w in self.workers {
+            // INVARIANT: as above — worker panics are bugs.
+            w.join().expect("worker thread panicked");
+        }
+    }
+
+    /// Snapshot of the metrics exposition (used by the bench harness).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+}
+
+/// Binds, spawns the worker pool and accept loop, and returns immediately.
+///
+/// # Errors
+///
+/// Propagates failures to bind the listener or open the cache directory.
+pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let cache = DiskCache::open(&cfg.cache_dir)?;
+    let shared = Arc::new(Shared {
+        state: Mutex::new(Admission {
+            queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
+            in_flight: 0,
+            draining: false,
+        }),
+        metrics: Metrics::default(),
+        cache,
+        addr,
+        cfg,
+        work_ready: Condvar::new(),
+        drained: Condvar::new(),
+        stop_accept: AtomicBool::new(false),
+    });
+
+    let mut workers = Vec::new();
+    for i in 0..shared.cfg.workers.max(1) {
+        let sh = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("gmh-worker-{i}"))
+                .spawn(move || worker_loop(&sh))?,
+        );
+    }
+    let sh = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("gmh-accept".to_string())
+        .spawn(move || accept_loop(&sh, listener))?;
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept,
+        workers,
+    })
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.stop_accept.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                let sh = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("gmh-conn".to_string())
+                    .spawn(move || {
+                        if let Err(e) = handle_connection(&sh, s) {
+                            eprintln!("gmh-serve: connection error: {e}");
+                        }
+                    });
+                if let Err(e) = spawned {
+                    eprintln!("gmh-serve: cannot spawn connection thread: {e}");
+                }
+            }
+            Err(e) => eprintln!("gmh-serve: accept error: {e}"),
+        }
+    }
+}
+
+/// Outcome of reading one request line under the size cap.
+enum LineRead {
+    Eof,
+    Line(String),
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// [`MAX_LINE_BYTES`]; the remainder of an oversized line is left for the
+/// caller, which refuses, drains (bounded), and closes.
+fn read_line_capped(r: &mut impl BufRead) -> io::Result<LineRead> {
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if out.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&out).into_owned())
+            });
+        }
+        let (chunk, found_nl) = match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&buf[..nl], true),
+            None => (buf, false),
+        };
+        if out.len() + chunk.len() > MAX_LINE_BYTES {
+            return Ok(LineRead::TooLong);
+        }
+        out.extend_from_slice(chunk);
+        let consumed = chunk.len() + usize::from(found_nl);
+        r.consume(consumed);
+        if found_nl {
+            return Ok(LineRead::Line(String::from_utf8_lossy(&out).into_owned()));
+        }
+    }
+}
+
+/// Consumes and discards input until EOF or `cap` bytes, whichever first.
+fn drain_until_eof(r: &mut impl BufRead, cap: usize) -> io::Result<()> {
+    let mut drained = 0usize;
+    loop {
+        let n = r.fill_buf()?.len();
+        if n == 0 {
+            return Ok(());
+        }
+        r.consume(n);
+        drained += n;
+        if drained > cap {
+            return Ok(());
+        }
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let line = match read_line_capped(&mut reader)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::TooLong => {
+                // A terminal reply even for unparseable-by-size requests.
+                Metrics::inc(&shared.metrics.accepted);
+                Metrics::inc(&shared.metrics.errored);
+                let msg = format!("request line exceeds {MAX_LINE_BYTES} bytes");
+                write_reply(&mut writer, &Reply::Err(msg).render())?;
+                // Drain (bounded) what the client already sent before
+                // closing: closing with unread bytes in the receive buffer
+                // resets the connection and can destroy the ERR reply in
+                // flight. Past the drain cap we close anyway — an abusive
+                // sender gets the reset.
+                drain_until_eof(&mut reader, 4 * MAX_LINE_BYTES)?;
+                return Ok(());
+            }
+            LineRead::Line(l) => l,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(msg) => {
+                Metrics::inc(&shared.metrics.accepted);
+                Metrics::inc(&shared.metrics.errored);
+                write_reply(&mut writer, &Reply::Err(msg).render())?;
+            }
+            Ok(Request::Ping) => write_reply(&mut writer, "OK {\"pong\":true}")?,
+            Ok(Request::Metrics) => {
+                let text = shared.metrics_text();
+                writer.write_all(b"METRICS\n")?;
+                writer.write_all(text.as_bytes())?;
+                writer.write_all(b"END\n")?;
+            }
+            Ok(Request::Shutdown) => {
+                shared.begin_shutdown();
+                // Reply before releasing the accept loop: once it exits the
+                // daemon process may terminate, and this thread (not joined)
+                // would die with the OK still unwritten.
+                let sent = write_reply(
+                    &mut writer,
+                    "OK {\"shutdown\":\"complete\",\"drained\":true}",
+                );
+                shared.stop_accepting();
+                return sent;
+            }
+            Ok(Request::Job(job)) => {
+                let reply = submit_job(shared, job);
+                write_reply(&mut writer, &reply.render())?;
+            }
+        }
+    }
+}
+
+/// Admits (or refuses/sheds) one validated job and waits for its terminal
+/// reply.
+fn submit_job(shared: &Arc<Shared>, job: Box<JobRequest>) -> Reply {
+    Metrics::inc(&shared.metrics.accepted);
+    let key = job_key(&job.label, &job.config, &job.workload);
+
+    // Cache first: a hit bypasses admission entirely — repeats are free and
+    // byte-identical, even while the queue is saturated.
+    if let Some(json) = shared.cache.get(key) {
+        Metrics::inc(&shared.metrics.cache_hits);
+        Metrics::inc(&shared.metrics.completed);
+        return Reply::Ok(json);
+    }
+    Metrics::inc(&shared.metrics.cache_misses);
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    {
+        // INVARIANT: admission-lock holders never panic, so the mutex is
+        // never poisoned.
+        let mut st = shared.state.lock().expect("admission lock");
+        if st.draining {
+            Metrics::inc(&shared.metrics.errored);
+            return Reply::Err("server is shutting down".to_string());
+        }
+        if st.queue.push(QueuedJob { job, key, reply_tx }).is_err() {
+            // Back-pressure: shed explicitly instead of buffering.
+            Metrics::inc(&shared.metrics.shed);
+            return Reply::Busy {
+                retry_after_ms: shared.metrics.avg_job_ms(),
+            };
+        }
+    }
+    shared.work_ready.notify_one();
+    // The worker always sends exactly one terminal reply; a closed channel
+    // means the server is tearing down mid-job.
+    reply_rx
+        .recv()
+        .unwrap_or_else(|_| Reply::Err("server dropped the job (shutdown?)".to_string()))
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let next = {
+            // INVARIANT: admission-lock holders never panic, so the mutex
+            // is never poisoned.
+            let mut st = shared.state.lock().expect("admission lock");
+            loop {
+                if let Some(q) = st.queue.pop() {
+                    st.in_flight += 1;
+                    break Some(q);
+                }
+                if st.draining {
+                    break None;
+                }
+                // INVARIANT: as above — wait() only fails on poisoning.
+                st = shared.work_ready.wait(st).expect("admission lock");
+            }
+        };
+        let Some(QueuedJob { job, key, reply_tx }) = next else {
+            // Draining and the queue is dry: this worker is done. Wake any
+            // drain waiter in case we were the last.
+            shared.drained.notify_all();
+            return;
+        };
+        let reply = execute_job(shared, *job, key);
+        reply_tx.send(reply).ok(); // client may have disconnected
+        {
+            // INVARIANT: see above — the admission mutex is never poisoned.
+            let mut st = shared.state.lock().expect("admission lock");
+            st.in_flight -= 1;
+            if st.queue.is_empty() && st.in_flight == 0 {
+                shared.drained.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs one job under the wall-clock budget.
+fn execute_job(shared: &Arc<Shared>, job: JobRequest, key: u64) -> Reply {
+    let started = Instant::now();
+    let timeout = Duration::from_millis(shared.cfg.job_timeout_ms);
+    let (tx, rx) = mpsc::channel();
+    let config = job.config.clone();
+    let workload = job.workload.clone();
+    let helper = std::thread::Builder::new()
+        .name("gmh-sim".to_string())
+        .spawn(move || {
+            let stats = GpuSim::new(config, &workload).run();
+            tx.send(stats).ok();
+        });
+    if helper.is_err() {
+        Metrics::inc(&shared.metrics.errored);
+        return Reply::Err("cannot spawn simulation thread".to_string());
+    }
+    match rx.recv_timeout(timeout) {
+        Ok(stats) => {
+            let json = report_json(&job.label, job.workload.name, &stats);
+            if let Err(e) = shared.cache.put(key, &job.workload, &job.label, &json) {
+                eprintln!("gmh-serve: cache write failed (serving anyway): {e}");
+            }
+            let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            Metrics::add(&shared.metrics.sim_cycles, stats.core_cycles);
+            Metrics::add(&shared.metrics.sim_wall_ms, wall_ms);
+            Metrics::inc(&shared.metrics.completed);
+            Reply::Ok(json)
+        }
+        Err(_) => {
+            // The helper is abandoned, not killed: the simulator's cycle cap
+            // (`max_core_cycles`) bounds how long it can linger, and its
+            // eventual result is discarded. The worker moves on immediately.
+            Metrics::inc(&shared.metrics.timed_out);
+            Reply::Timeout {
+                after_ms: shared.cfg.job_timeout_ms,
+            }
+        }
+    }
+}
+
+impl Shared {
+    fn metrics_text(&self) -> String {
+        // INVARIANT: admission-lock holders never panic, so the mutex is
+        // never poisoned.
+        let st = self.state.lock().expect("admission lock");
+        let gauges = Gauges {
+            queue_depth: st.queue.len(),
+            queue_capacity: st.queue.capacity(),
+            in_flight: st.in_flight,
+        };
+        drop(st);
+        self.metrics.render(gauges)
+    }
+
+    /// Graceful shutdown, phase 1: refuse new jobs, drain accepted ones,
+    /// flush the cache index. Blocks until drained. Idempotent. The caller
+    /// sends the shutdown reply, then calls [`Shared::stop_accepting`].
+    fn begin_shutdown(&self) {
+        {
+            // INVARIANT: admission-lock holders never panic, so the mutex
+            // is never poisoned.
+            let mut st = self.state.lock().expect("admission lock");
+            st.draining = true;
+            self.work_ready.notify_all();
+            while !(st.queue.is_empty() && st.in_flight == 0) {
+                // INVARIANT: as above — wait() only fails on poisoning.
+                st = self.drained.wait(st).expect("admission lock");
+            }
+        }
+        if let Err(e) = self.cache.flush_index() {
+            eprintln!("gmh-serve: cache index flush failed: {e}");
+        }
+    }
+
+    /// Graceful shutdown, phase 2: release the accept loop (after which the
+    /// daemon process may exit).
+    fn stop_accepting(&self) {
+        self.stop_accept.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        TcpStream::connect_timeout(&self.addr, Duration::from_millis(500)).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_line_capped_basics() {
+        let mut r = BufReader::new(io::Cursor::new(b"hello\nworld".to_vec()));
+        let LineRead::Line(l) = read_line_capped(&mut r).unwrap() else {
+            panic!("expected a line");
+        };
+        assert_eq!(l, "hello");
+        let LineRead::Line(l) = read_line_capped(&mut r).unwrap() else {
+            panic!("expected the unterminated tail");
+        };
+        assert_eq!(l, "world");
+        assert!(matches!(read_line_capped(&mut r).unwrap(), LineRead::Eof));
+    }
+
+    #[test]
+    fn read_line_capped_refuses_oversize() {
+        let big = vec![b'x'; MAX_LINE_BYTES + 10];
+        let mut r = BufReader::new(io::Cursor::new(big));
+        assert!(matches!(
+            read_line_capped(&mut r).unwrap(),
+            LineRead::TooLong
+        ));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServerConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_capacity >= c.workers);
+        assert!(c.job_timeout_ms > 0);
+    }
+}

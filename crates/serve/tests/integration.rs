@@ -1,0 +1,283 @@
+//! End-to-end service behavior over real loopback sockets: bounded
+//! admission sheds with `BUSY` under concurrent load, repeats are served
+//! byte-identically from the result cache, slow jobs draw `TIMEOUT`,
+//! shutdown drains in-flight work, and the metrics ledger reconciles
+//! (`accepted = completed + shed + errored + timed_out`).
+
+use gmh_serve::metrics::sample;
+use gmh_serve::protocol::Reply;
+use gmh_serve::server::{spawn, ServerConfig, ServerHandle};
+use gmh_serve::Client;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "gmh-serve-itest-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn boot(tag: &str, workers: usize, queue: usize, timeout_ms: u64) -> (ServerHandle, PathBuf) {
+    let dir = temp_cache_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: queue,
+        job_timeout_ms: timeout_ms,
+        cache_dir: dir.clone(),
+    })
+    .expect("spawn test server");
+    (handle, dir)
+}
+
+/// Small enough to complete in well under a second even in debug builds.
+fn tiny_overrides() -> Vec<(String, u64)> {
+    [
+        ("n_cores", 1),
+        ("max_core_cycles", 50_000),
+        ("telemetry_window", 64),
+        ("warps_per_core", 2),
+        ("insts_per_warp", 40),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect()
+}
+
+/// Runs long enough (hundreds of ms in debug builds) to hold a worker while
+/// other clients pile into the admission queue.
+fn slow_overrides() -> Vec<(String, u64)> {
+    [
+        ("n_cores", 1),
+        ("max_core_cycles", 1_500_000),
+        ("telemetry_window", 4096),
+        ("warps_per_core", 8),
+        ("insts_per_warp", 1_000_000),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect()
+}
+
+#[test]
+fn concurrent_clients_all_get_terminal_replies_and_queue_full_sheds_busy() {
+    // One worker, one queue slot: of 8 simultaneous clients — six distinct
+    // slow jobs, one duplicate of a slow job, one invalid request — at most
+    // a couple of jobs can be admitted before the queue fills; the rest of
+    // the valid traffic must shed, and the invalid request draws ERR.
+    let (handle, dir) = boot("busy", 1, 1, 120_000);
+    let addr = handle.addr;
+    let n = 8;
+    let barrier = Barrier::new(n);
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for i in 0..n {
+            let barrier = &barrier;
+            joins.push(scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                barrier.wait();
+                match i {
+                    // Invalid: unknown workload, refused outright.
+                    6 => c.submit_raw(r#"{"workload":"xyzzy"}"#),
+                    // Duplicate of client 0's job (same key).
+                    7 => c.submit("mm", Some("base"), Some(9000), &slow_overrides()),
+                    _ => c.submit("mm", Some("base"), Some(9000 + i as u64), &slow_overrides()),
+                }
+                .expect("terminal reply")
+            }));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+
+    let ok = replies.iter().filter(|r| matches!(r, Reply::Ok(_))).count();
+    let busy = replies
+        .iter()
+        .filter(|r| matches!(r, Reply::Busy { .. }))
+        .count();
+    let err = replies
+        .iter()
+        .filter(|r| matches!(r, Reply::Err(_)))
+        .count();
+    assert_eq!(
+        ok + busy + err,
+        n,
+        "every client got a terminal reply: {replies:?}"
+    );
+    assert!(ok >= 1, "at least the first admitted job completes");
+    assert!(busy >= 1, "a full queue must shed with BUSY: {replies:?}");
+    assert_eq!(err, 1, "exactly the invalid request errors: {replies:?}");
+    for r in &replies {
+        if let Reply::Busy { retry_after_ms } = r {
+            assert!(*retry_after_ms > 0, "retry hint must be positive");
+        }
+    }
+
+    let text = Client::connect(addr)
+        .and_then(|mut c| c.metrics())
+        .expect("metrics");
+    let get = |name: &str| sample(&text, name).unwrap_or_else(|| panic!("missing {name}"));
+    assert_eq!(get("gmh_requests_accepted_total"), n as u64);
+    assert_eq!(get("gmh_requests_completed_total"), ok as u64);
+    assert_eq!(get("gmh_requests_shed_total"), busy as u64);
+    assert_eq!(get("gmh_requests_errored_total"), err as u64);
+
+    let mut c = Client::connect(addr).expect("connect");
+    assert!(matches!(c.shutdown().expect("shutdown"), Reply::Ok(_)));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeat_job_is_byte_identical_from_cache_and_metrics_reconcile() {
+    let (handle, dir) = boot("cache", 2, 4, 120_000);
+    let addr = handle.addr;
+    let mut c = Client::connect(addr).expect("connect");
+    let ovr = tiny_overrides();
+
+    let Reply::Ok(first) = c
+        .submit("nn", Some("base"), Some(42), &ovr)
+        .expect("submit")
+    else {
+        panic!("cold run must succeed");
+    };
+    let Reply::Ok(second) = c
+        .submit("nn", Some("base"), Some(42), &ovr)
+        .expect("submit")
+    else {
+        panic!("warm run must succeed");
+    };
+    assert_eq!(first, second, "cache hit must be byte-identical");
+
+    // A different seed is a different key — no false sharing.
+    let Reply::Ok(third) = c
+        .submit("nn", Some("base"), Some(43), &ovr)
+        .expect("submit")
+    else {
+        panic!("distinct-seed run must succeed");
+    };
+    assert_ne!(first, third, "distinct seeds must not collide in the cache");
+
+    // Mix in some refused traffic, then check the ledger.
+    assert!(matches!(
+        c.submit_raw(r#"{"workload":"nope"}"#).expect("reply"),
+        Reply::Err(_)
+    ));
+    let text = c.metrics().expect("metrics");
+    let get = |name: &str| sample(&text, name).unwrap_or_else(|| panic!("missing {name}"));
+    assert_eq!(get("gmh_cache_hits_total"), 1);
+    assert_eq!(get("gmh_cache_misses_total"), 2);
+    assert_eq!(
+        get("gmh_requests_accepted_total"),
+        get("gmh_requests_completed_total")
+            + get("gmh_requests_shed_total")
+            + get("gmh_requests_errored_total")
+            + get("gmh_requests_timeout_total"),
+        "accepted must reconcile with terminal outcomes:\n{text}"
+    );
+
+    assert!(matches!(c.shutdown().expect("shutdown"), Reply::Ok(_)));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_survives_server_restart() {
+    let dir = temp_cache_dir("persist");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = |d: &PathBuf| ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 2,
+        job_timeout_ms: 120_000,
+        cache_dir: d.clone(),
+    };
+    let ovr = tiny_overrides();
+
+    let handle = spawn(cfg(&dir)).expect("first server");
+    let mut c = Client::connect(handle.addr).expect("connect");
+    let Reply::Ok(first) = c.submit("mm", Some("base"), Some(7), &ovr).expect("submit") else {
+        panic!("cold run must succeed");
+    };
+    assert!(matches!(c.shutdown().expect("shutdown"), Reply::Ok(_)));
+    handle.join();
+
+    // A fresh process-equivalent: new server, same cache directory.
+    let handle = spawn(cfg(&dir)).expect("second server");
+    let mut c = Client::connect(handle.addr).expect("connect");
+    let Reply::Ok(again) = c.submit("mm", Some("base"), Some(7), &ovr).expect("submit") else {
+        panic!("warm run must succeed");
+    };
+    assert_eq!(first, again, "restart must serve the stored bytes");
+    let text = c.metrics().expect("metrics");
+    assert_eq!(sample(&text, "gmh_cache_hits_total"), Some(1));
+    assert_eq!(sample(&text, "gmh_cache_misses_total"), Some(0));
+    assert!(matches!(c.shutdown().expect("shutdown"), Reply::Ok(_)));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_job_draws_timeout() {
+    let (handle, dir) = boot("timeout", 1, 2, 25);
+    let addr = handle.addr;
+    let mut c = Client::connect(addr).expect("connect");
+    let r = c
+        .submit("mm", Some("base"), Some(77), &slow_overrides())
+        .expect("terminal reply");
+    let Reply::Timeout { after_ms } = r else {
+        panic!("a 25ms budget must expire: {r:?}");
+    };
+    assert_eq!(after_ms, 25);
+    let text = c.metrics().expect("metrics");
+    assert_eq!(sample(&text, "gmh_requests_timeout_total"), Some(1));
+    assert_eq!(
+        sample(&text, "gmh_requests_accepted_total"),
+        Some(1),
+        "timeout is a terminal outcome, accounted once"
+    );
+    assert!(matches!(c.shutdown().expect("shutdown"), Reply::Ok(_)));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_then_refuses_connections() {
+    let (handle, dir) = boot("drain", 1, 2, 120_000);
+    let addr = handle.addr;
+
+    // A slow job occupies the worker...
+    let job = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.submit("mm", Some("base"), Some(5150), &slow_overrides())
+            .expect("terminal reply")
+    });
+    // ...give it a moment to be admitted...
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // ...then ask for shutdown: the reply arrives only after the drain.
+    let mut c = Client::connect(addr).expect("connect");
+    let r = c.shutdown().expect("shutdown reply");
+    assert!(matches!(r, Reply::Ok(_)), "graceful shutdown: {r:?}");
+
+    let job_reply = job.join().expect("client thread");
+    assert!(
+        matches!(job_reply, Reply::Ok(_)),
+        "in-flight job must be drained, not dropped: {job_reply:?}"
+    );
+
+    handle.join();
+    // The listener is gone; new connections must fail.
+    assert!(
+        Client::connect(addr).is_err(),
+        "a drained server must not accept new connections"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

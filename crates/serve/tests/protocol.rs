@@ -1,0 +1,135 @@
+//! Wire-level protocol robustness against a live loopback server: every
+//! malformed, unknown, or oversized request must draw an explicit terminal
+//! reply — never a hang, never a silent drop — and valid traffic on the
+//! same connection keeps working.
+
+use gmh_serve::protocol::Reply;
+use gmh_serve::server::{spawn, ServerConfig, ServerHandle};
+use gmh_serve::{Client, MAX_LINE_BYTES};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "gmh-serve-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn boot(tag: &str) -> (ServerHandle, PathBuf) {
+    let dir = temp_cache_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 4,
+        job_timeout_ms: 60_000,
+        cache_dir: dir.clone(),
+    })
+    .expect("spawn test server");
+    (handle, dir)
+}
+
+fn finish(handle: ServerHandle, dir: PathBuf) {
+    let addr = handle.addr;
+    let mut c = Client::connect(addr).expect("connect for shutdown");
+    assert!(matches!(c.shutdown().expect("shutdown"), Reply::Ok(_)));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_err_and_connection_survives() {
+    let (handle, dir) = boot("robust");
+    let mut c = Client::connect(handle.addr).expect("connect");
+
+    // Malformed JSON.
+    let r = c.submit_raw(r#"{"workload":"#).expect("reply");
+    assert!(matches!(r, Reply::Err(_)), "malformed JSON: {r:?}");
+    // Unknown keyword.
+    let r = c.submit_raw("FROBNICATE").expect("reply");
+    assert!(matches!(r, Reply::Err(_)), "unknown keyword: {r:?}");
+    // Unknown workload; the error names the catalog.
+    let Reply::Err(msg) = c.submit_raw(r#"{"workload":"xyzzy"}"#).expect("reply") else {
+        panic!("unknown workload must be refused");
+    };
+    assert!(msg.contains("unknown workload"), "{msg}");
+    // Unknown config label.
+    let r = c
+        .submit_raw(r#"{"workload":"mm","config_label":"turbo"}"#)
+        .expect("reply");
+    assert!(matches!(r, Reply::Err(_)), "unknown label: {r:?}");
+    // Duplicate JSON keys are refused by the strict parser.
+    let r = c
+        .submit_raw(r#"{"workload":"mm","workload":"nn"}"#)
+        .expect("reply");
+    assert!(matches!(r, Reply::Err(_)), "duplicate keys: {r:?}");
+
+    // After all that abuse the same connection still answers PING.
+    assert!(matches!(c.ping().expect("ping"), Reply::Ok(_)));
+    finish(handle, dir);
+}
+
+#[test]
+fn oversized_request_line_is_refused_without_buffering() {
+    let (handle, dir) = boot("oversize");
+    let mut s = TcpStream::connect(handle.addr).expect("connect");
+    // 2x the cap, no newline needed for the refusal to trigger.
+    let big = vec![b'x'; 2 * MAX_LINE_BYTES];
+    s.write_all(&big).expect("write oversized line");
+    s.flush().expect("flush");
+    s.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("server replies then closes");
+    let text = String::from_utf8_lossy(&buf);
+    assert!(
+        text.starts_with("ERR "),
+        "oversized line must be refused with ERR: {text:?}"
+    );
+    assert!(text.contains("exceeds"), "{text:?}");
+    finish(handle, dir);
+}
+
+#[test]
+fn metrics_framing_and_ping() {
+    let (handle, dir) = boot("frame");
+    let mut c = Client::connect(handle.addr).expect("connect");
+    assert!(matches!(c.ping().expect("ping"), Reply::Ok(_)));
+    let text = c.metrics().expect("metrics");
+    for series in [
+        "gmh_requests_accepted_total",
+        "gmh_requests_completed_total",
+        "gmh_requests_shed_total",
+        "gmh_requests_errored_total",
+        "gmh_requests_timeout_total",
+        "gmh_cache_hits_total",
+        "gmh_cache_misses_total",
+        "gmh_queue_depth",
+        "gmh_queue_capacity",
+        "gmh_jobs_inflight",
+    ] {
+        assert!(text.contains(series), "metrics missing {series}:\n{text}");
+    }
+    assert!(!text.contains("END"), "END is framing, not payload");
+    finish(handle, dir);
+}
+
+#[test]
+fn empty_lines_are_ignored_and_eof_is_clean() {
+    let (handle, dir) = boot("empty");
+    let mut s = TcpStream::connect(handle.addr).expect("connect");
+    s.write_all(b"\n\n\nPING\n").expect("write");
+    s.flush().expect("flush");
+    let mut buf = [0u8; 64];
+    let n = s.read(&mut buf).expect("read reply");
+    let text = String::from_utf8_lossy(&buf[..n]);
+    assert!(
+        text.starts_with("OK "),
+        "blank lines skipped, PING answered: {text:?}"
+    );
+    finish(handle, dir);
+}

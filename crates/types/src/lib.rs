@@ -27,6 +27,7 @@
 pub mod addr;
 pub mod clock;
 pub mod fetch;
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -35,6 +36,7 @@ pub mod telemetry;
 pub use addr::{Address, LineAddr, LINE_SIZE};
 pub use clock::{ClockDomain, ClockDomains, DomainId, Picos};
 pub use fetch::{AccessKind, FetchId, MemFetch, Timestamps};
+pub use hash::{stable_hash_str, StableHasher};
 pub use queue::{BoundedQueue, OccupancyHistogram};
 pub use rng::Xoshiro256;
 pub use stats::{Counter, LatencyHistogram, MeanAccumulator, RatioStat};

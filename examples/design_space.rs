@@ -6,16 +6,17 @@
 //! asymmetric-crossbar configuration — then prints normalized IPC and where
 //! the stalls went.
 //!
+//! Results go through the content-addressed result cache shared with
+//! `gmh-serve` and the diagnostic binaries: a warm cache re-prints the
+//! whole table without running a single simulation.
+//!
 //! ```text
 //! cargo run --release --example design_space [workload]
 //! ```
 
-use gmh::core::{GpuConfig, GpuSim, SimStats};
+use gmh::core::GpuConfig;
+use gmh::exp::cache::{run_cached, DiskCache};
 use gmh::workloads::catalog;
-
-fn run(cfg: GpuConfig, wl: &gmh::workloads::WorkloadSpec) -> SimStats {
-    GpuSim::new(cfg, wl).run()
-}
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "mm".into());
@@ -28,16 +29,23 @@ fn main() {
     });
 
     let b = GpuConfig::gtx480_baseline;
+    // Labels follow the serve/Fig. 10 naming so the cache entries are the
+    // ones a `gmh-serve` daemon or the figure binaries already produced.
     let configs: Vec<(&str, GpuConfig)> = vec![
-        ("baseline", b()),
-        ("L1 x4", b().scale_l1(4)),
-        ("L2 x4", b().scale_l2(4)),
-        ("DRAM x4 (HBM-class)", b().scale_dram(4)),
-        ("L1+L2 x4", b().scale_l1(4).scale_l2(4)),
-        ("L2+DRAM x4", b().scale_l2(4).scale_dram(4)),
-        ("All x4", b().scale_l1(4).scale_l2(4).scale_dram(4)),
-        ("cost-effective 16+48", GpuConfig::cost_effective_16_48()),
+        ("base", b()),
+        ("L1", b().scale_l1(4)),
+        ("L2", b().scale_l2(4)),
+        ("DRAM", b().scale_dram(4)),
+        ("L1+L2", b().scale_l1(4).scale_l2(4)),
+        ("L2+DRAM", b().scale_l2(4).scale_dram(4)),
+        ("All", b().scale_l1(4).scale_l2(4).scale_dram(4)),
+        ("16+48", GpuConfig::cost_effective_16_48()),
     ];
+
+    let cache = DiskCache::open(DiskCache::default_dir()).unwrap_or_else(|e| {
+        eprintln!("cannot open result cache: {e}");
+        std::process::exit(1);
+    });
 
     println!(
         "design-space exploration for {} ({} cores, Fig. 10 style)\n",
@@ -48,25 +56,42 @@ fn main() {
         "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "config", "IPC", "speedup", "stall%", "AML", "L2q-full"
     );
-    let mut baseline: Option<SimStats> = None;
+    let mut base_ipc: Option<f64> = None;
+    let mut sims = 0usize;
     for (label, cfg) in configs {
-        let s = run(cfg, &wl);
-        let speedup = baseline.as_ref().map_or(1.0, |base| s.speedup_over(base));
+        let run = run_cached(&cache, label, &cfg, &wl).unwrap_or_else(|e| {
+            eprintln!("{label}: {e}");
+            std::process::exit(1);
+        });
+        sims += usize::from(!run.hit);
+        let metric = |m: &str| run.metric(m).unwrap_or(f64::NAN);
+        let ipc = metric("ipc");
+        let speedup = base_ipc.map_or(1.0, |b| ipc / b);
         println!(
-            "{:<22} {:>8.3} {:>7.2}x {:>7.1}% {:>8.0} {:>7.0}%",
+            "{:<22} {:>8.3} {:>7.2}x {:>7.1}% {:>8.0} {:>7.0}%  {}",
             label,
-            s.ipc,
+            ipc,
             speedup,
-            100.0 * s.stall_fraction,
-            s.aml_core_cycles,
-            100.0 * s.l2_access_occupancy.full_fraction()
+            100.0 * metric("stall_fraction"),
+            metric("aml_core_cycles"),
+            100.0 * metric("l2_access_full_fraction"),
+            if run.hit { "(cached)" } else { "" }
         );
-        if baseline.is_none() {
-            baseline = Some(s);
+        if base_ipc.is_none() {
+            base_ipc = Some(ipc);
         }
     }
+    if let Err(e) = cache.flush_index() {
+        eprintln!("cache index flush failed: {e}");
+    }
     println!(
-        "\nThe paper's lesson: scaling one level alone can even hurt (the L1 row\n\
+        "\n{} simulation(s) run, {} served from {}",
+        sims,
+        8 - sims,
+        cache.dir().display()
+    );
+    println!(
+        "The paper's lesson: scaling one level alone can even hurt (the L1 row\n\
          for mm/ii), while synergistic L1+L2 scaling beats an HBM-class DRAM."
     );
 }
