@@ -1,0 +1,94 @@
+//! `sim-bench`: simulator throughput with lifecycle tracing off vs on.
+//!
+//! Runs a small batch of catalog workloads twice — once with tracing
+//! disabled (`trace_sample = 0`, the disabled sink costs one branch per
+//! call site) and once with 1-in-16 sampling — and reports simulated
+//! core-cycles per wall-clock second for each, plus the sampling overhead
+//! percentage. Writes `BENCH_sim.json` at the repo root.
+//!
+//! The off pass is the production configuration: tracing must be free when
+//! nobody asked for it. The run also cross-checks that tracing is pure
+//! observation — per-workload IPC must be bit-identical in both passes.
+//!
+//! ```text
+//! cargo run --release -p gmh-bench --bin sim-bench [-- --quick]
+//! ```
+
+use gmh_core::{GpuConfig, GpuSim};
+use gmh_workloads::catalog;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+const WORKLOADS: &[&str] = &["mm", "lbm", "bfs"];
+
+/// One pass over the batch; returns (elapsed seconds, total core cycles,
+/// per-workload IPC).
+fn run_pass(trace_sample: u64, max_cycles: u64) -> (f64, u64, Vec<f64>) {
+    let started = Instant::now();
+    let mut cycles = 0u64;
+    let mut ipcs = Vec::new();
+    for name in WORKLOADS {
+        let mut cfg = GpuConfig::gtx480_baseline();
+        cfg.max_core_cycles = max_cycles;
+        cfg.trace_sample = trace_sample;
+        let wl = catalog::by_name(name).expect("catalog workload");
+        let stats = GpuSim::new(cfg, &wl).run();
+        cycles += stats.core_cycles;
+        ipcs.push(stats.ipc);
+    }
+    (started.elapsed().as_secs_f64(), cycles, ipcs)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let max_cycles: u64 = if quick { 100_000 } else { 500_000 };
+    println!(
+        "sim-bench: {} workloads x {max_cycles} core cycles, tracing off vs 1-in-16",
+        WORKLOADS.len()
+    );
+
+    // Warm-up pass so first-touch costs (page faults, lazy init) hit
+    // neither measured pass.
+    run_pass(0, max_cycles / 10);
+
+    let (off_s, off_cycles, off_ipcs) = run_pass(0, max_cycles);
+    let (on_s, on_cycles, on_ipcs) = run_pass(16, max_cycles);
+
+    assert_eq!(
+        off_ipcs, on_ipcs,
+        "tracing must not change simulation results"
+    );
+    assert_eq!(off_cycles, on_cycles, "both passes simulate the same work");
+
+    let off_cps = off_cycles as f64 / off_s;
+    let on_cps = on_cycles as f64 / on_s;
+    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+    println!("tracing off: {off_cycles} cycles in {off_s:.3}s = {off_cps:.0} cycles/s");
+    println!("1-in-16 on:  {on_cycles} cycles in {on_s:.3}s = {on_cps:.0} cycles/s");
+    println!("sampling overhead: {overhead_pct:.1}% (results bit-identical)");
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root");
+    let out = root.join("BENCH_sim.json");
+    let json = format!(
+        "{{\n  \"bench\": \"gmh simulator, lifecycle tracing off vs 1-in-16\",\n  \
+         \"workloads\": [{}],\n  \"core_cycles_per_workload\": {max_cycles},\n  \
+         \"tracing_off\": {{\n    \"seconds\": {off_s:.6},\n    \
+         \"sim_cycles\": {off_cycles},\n    \"sim_cycles_per_sec\": {off_cps:.1}\n  }},\n  \
+         \"tracing_1_in_16\": {{\n    \"seconds\": {on_s:.6},\n    \
+         \"sim_cycles\": {on_cycles},\n    \"sim_cycles_per_sec\": {on_cps:.1}\n  }},\n  \
+         \"sampling_overhead_pct\": {overhead_pct:.2},\n  \
+         \"results_identical\": true\n}}\n",
+        WORKLOADS
+            .iter()
+            .map(|w| format!("\"{w}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let mut f = std::fs::File::create(&out).expect("create BENCH_sim.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_sim.json");
+    println!("wrote {}", out.display());
+}

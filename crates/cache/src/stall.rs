@@ -4,6 +4,7 @@
 //! make progress. Each stalled cycle is attributed to exactly one cause,
 //! following §IV-B of the paper.
 
+use gmh_types::trace::StallCause;
 use gmh_types::Counter;
 
 /// Why an L1 cache pipeline stalled in a cycle (Fig. 9).
@@ -63,6 +64,19 @@ impl L1StallCounters {
         self.cache.add(other.cache.get());
         self.mshr.add(other.mshr.get());
         self.bp_l2.add(other.bp_l2.get());
+    }
+}
+
+/// The trace-event cause for an L1 stall (same taxonomy, unified across
+/// levels for `gmh_types::trace`). Lives here, next to the enum it maps,
+/// so stall attribution stays single-sited.
+impl From<L1StallKind> for StallCause {
+    fn from(kind: L1StallKind) -> StallCause {
+        match kind {
+            L1StallKind::Cache => StallCause::Cache,
+            L1StallKind::Mshr => StallCause::Mshr,
+            L1StallKind::BpL2 => StallCause::BpL2,
+        }
     }
 }
 
@@ -145,6 +159,19 @@ impl L2StallCounters {
     }
 }
 
+/// The trace-event cause for an L2 stall (see the L1 conversion above).
+impl From<L2StallKind> for StallCause {
+    fn from(kind: L2StallKind) -> StallCause {
+        match kind {
+            L2StallKind::BpIcnt => StallCause::BpIcnt,
+            L2StallKind::Port => StallCause::Port,
+            L2StallKind::Cache => StallCause::Cache,
+            L2StallKind::Mshr => StallCause::Mshr,
+            L2StallKind::BpDram => StallCause::BpDram,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +221,16 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.mshr.get(), 2);
         assert_eq!(a.cache.get(), 1);
+    }
+
+    #[test]
+    fn stall_causes_map_onto_the_unified_taxonomy() {
+        assert_eq!(StallCause::from(L1StallKind::Cache), StallCause::Cache);
+        assert_eq!(StallCause::from(L1StallKind::Mshr), StallCause::Mshr);
+        assert_eq!(StallCause::from(L1StallKind::BpL2), StallCause::BpL2);
+        assert_eq!(StallCause::from(L2StallKind::BpIcnt), StallCause::BpIcnt);
+        assert_eq!(StallCause::from(L2StallKind::Port), StallCause::Port);
+        assert_eq!(StallCause::from(L2StallKind::BpDram), StallCause::BpDram);
     }
 
     #[test]

@@ -74,6 +74,15 @@ pub struct GpuConfig {
     /// of this width and exported as time series in
     /// [`crate::SimStats::telemetry`].
     pub telemetry_window: u64,
+    /// Per-fetch lifecycle tracing: sample 1-in-N core-emitted fetches
+    /// into [`crate::SimStats::trace`] (0 disables tracing entirely; the
+    /// disabled path costs one branch per event site). Sampling decisions
+    /// are seeded from the workload seed, so traces are deterministic.
+    pub trace_sample: u64,
+    /// Hard cap on recorded trace events (bounds trace memory; events past
+    /// the cap are counted as dropped). Must be non-zero when
+    /// `trace_sample` is.
+    pub trace_event_cap: u64,
 }
 
 impl GpuConfig {
@@ -97,6 +106,8 @@ impl GpuConfig {
             memory_model: MemoryModel::Full,
             max_core_cycles: 3_000_000,
             telemetry_window: 512,
+            trace_sample: 0,
+            trace_event_cap: 65_536,
         }
     }
 
@@ -123,6 +134,9 @@ impl GpuConfig {
         }
         if self.telemetry_window == 0 {
             return Err("telemetry_window must be non-zero".into());
+        }
+        if self.trace_sample > 0 && self.trace_event_cap == 0 {
+            return Err("trace_event_cap must be non-zero when trace_sample is set".into());
         }
         self.dram.timing.validate()
     }
@@ -391,5 +405,17 @@ mod tests {
     fn core_mhz_override() {
         let c = GpuConfig::gtx480_baseline().with_core_mhz(1600);
         assert_eq!(c.core_mhz, 1600);
+    }
+
+    #[test]
+    fn tracing_defaults_off_and_validates_cap() {
+        let c = GpuConfig::gtx480_baseline();
+        assert_eq!(c.trace_sample, 0, "tracing is opt-in");
+        assert!(c.trace_event_cap > 0);
+        let mut c = GpuConfig::gtx480_baseline();
+        c.trace_sample = 16;
+        assert!(c.validate().is_ok());
+        c.trace_event_cap = 0;
+        assert!(c.validate().is_err(), "sampling needs a non-zero cap");
     }
 }

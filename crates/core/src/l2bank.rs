@@ -6,7 +6,8 @@ use gmh_cache::{
     AccessResult, BlockReason, Cache, CacheConfig, DataPort, L2StallCounters, L2StallKind,
     ProbeResult, WriteOutcome,
 };
-use gmh_types::{BoundedQueue, Cycle, MemFetch, OccupancyHistogram, Picos};
+use gmh_types::trace::{Level, TraceEventKind, TraceSink};
+use gmh_types::{BoundedQueue, Cycle, FetchId, MemFetch, OccupancyHistogram, Picos};
 
 /// One L2 bank: cache slice + queues + port + stall attribution.
 #[derive(Clone, Debug)]
@@ -173,6 +174,19 @@ impl L2Bank {
     /// Advances the bank one L2 (icnt-domain) cycle: samples the access
     /// queue and processes its head.
     pub fn cycle(&mut self, now_ps: Picos) {
+        self.cycle_traced(now_ps, &mut TraceSink::disabled());
+    }
+
+    /// Advances the bank one cycle, recording lifecycle events for sampled
+    /// fetches into `trace` (see [`gmh_types::trace`]).
+    ///
+    /// A hit records only `DequeuedAt(L2)` here; `ServicedAt(L2)` is
+    /// recorded by the owner when the response leaves the bank, so the L2
+    /// service time covers the lookup pipeline *and* response-queue
+    /// residency. A miss entering the miss queue records `EnqueuedAt(Dram)`:
+    /// per the paper's bp-DRAM semantics the miss queue is the head of the
+    /// DRAM-side queueing.
+    pub fn cycle_traced(&mut self, now_ps: Picos, trace: &mut TraceSink) {
         self.now += 1;
         self.access_queue.sample_occupancy();
 
@@ -181,6 +195,7 @@ impl L2Bank {
         };
         let is_write = head.kind.is_write();
         let line = head.line;
+        let (head_core, head_id) = (head.core_id, head.id);
 
         if is_write {
             // Write path: needs the data port to absorb the line.
@@ -198,7 +213,7 @@ impl L2Bank {
                     unreachable!("L2 is write-back; writes are absorbed")
                 }
                 (WriteOutcome::Blocked(reason), Some(fetch)) => {
-                    self.record_block(reason);
+                    self.record_block(reason, head_core, head_id, now_ps, trace);
                     self.access_queue
                         .push_front(fetch)
                         .unwrap_or_else(|_| panic!("slot just vacated"));
@@ -214,10 +229,17 @@ impl L2Bank {
             ProbeResult::Hit => {
                 if let Some(kind) = self.stall_cause(!self.port.is_free(self.now), true, None) {
                     self.stalls.record(kind);
+                    self.record_stall(kind, head_core, head_id, now_ps, trace);
                     return;
                 }
                 // INVARIANT: front() returned Some above.
                 let mut fetch = self.access_queue.pop().expect("head exists");
+                trace.record(
+                    head_core,
+                    head_id,
+                    now_ps,
+                    TraceEventKind::DequeuedAt(Level::L2),
+                );
                 let (r, back) = self.cache.access_read(fetch.clone(), now_ps);
                 debug_assert_eq!(r, AccessResult::Hit);
                 // INVARIANT: access_read on a hit always hands the fetch back.
@@ -234,10 +256,37 @@ impl L2Bank {
                 // INVARIANT: front() returned Some above.
                 let fetch = self.access_queue.pop().expect("head exists");
                 match self.cache.access_read(fetch, now_ps) {
-                    (AccessResult::MissIssued | AccessResult::MissMerged, _) => {}
+                    (AccessResult::MissIssued, _) => {
+                        trace.record(
+                            head_core,
+                            head_id,
+                            now_ps,
+                            TraceEventKind::DequeuedAt(Level::L2),
+                        );
+                        trace.record(
+                            head_core,
+                            head_id,
+                            now_ps,
+                            TraceEventKind::EnqueuedAt(Level::Dram),
+                        );
+                    }
+                    (AccessResult::MissMerged, _) => {
+                        trace.record(
+                            head_core,
+                            head_id,
+                            now_ps,
+                            TraceEventKind::DequeuedAt(Level::L2),
+                        );
+                        trace.record(
+                            head_core,
+                            head_id,
+                            now_ps,
+                            TraceEventKind::MshrMerged(Level::L2),
+                        );
+                    }
                     (AccessResult::Hit, _) => unreachable!("probe said miss"),
                     (AccessResult::Blocked(reason), Some(fetch)) => {
-                        self.record_block(reason);
+                        self.record_block(reason, head_core, head_id, now_ps, trace);
                         self.access_queue
                             .push_front(fetch)
                             .unwrap_or_else(|_| panic!("slot just vacated"));
@@ -248,10 +297,36 @@ impl L2Bank {
         }
     }
 
-    fn record_block(&mut self, reason: BlockReason) {
+    fn record_block(
+        &mut self,
+        reason: BlockReason,
+        core: usize,
+        fetch: FetchId,
+        now_ps: Picos,
+        trace: &mut TraceSink,
+    ) {
         if let Some(kind) = self.stall_cause(false, false, Some(reason)) {
             self.stalls.record(kind);
+            self.record_stall(kind, core, fetch, now_ps, trace);
         }
+    }
+
+    /// Mirrors an attributed stall cycle into the trace for the blocked
+    /// head-of-queue fetch (no-op unless that fetch is sampled).
+    fn record_stall(
+        &self,
+        kind: L2StallKind,
+        core: usize,
+        fetch: FetchId,
+        now_ps: Picos,
+        trace: &mut TraceSink,
+    ) {
+        trace.record(
+            core,
+            fetch,
+            now_ps,
+            TraceEventKind::StalledAt(Level::L2, kind.into()),
+        );
     }
 
     /// Classifies a stalled head-of-queue access into the single cause the

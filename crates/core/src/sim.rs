@@ -7,9 +7,17 @@ use gmh_cache::TagArray;
 use gmh_dram::DramChannel;
 use gmh_icnt::Crossbar;
 use gmh_simt::SimtCore;
-use gmh_types::{ClockDomains, DomainId, FetchAudit, MemFetch, Picos, SeriesId, Telemetry};
+use gmh_types::trace::{Level, TraceEventKind, TraceSink};
+use gmh_types::{
+    stable_hash_str, ClockDomains, DomainId, FetchAudit, MemFetch, Picos, SeriesId, Telemetry,
+};
 use gmh_workloads::WorkloadSpec;
 use std::collections::VecDeque;
+
+/// Salt mixed into the trace sampler's seed so it never correlates with the
+/// workload's own address/instruction RNG streams (the sim results must be
+/// bit-identical with tracing on or off).
+const TRACE_SEED_SALT: u64 = 0x5452_4143_455F_5631;
 
 /// Interned telemetry series handles, one per observed structure class
 /// (values aggregate across instances: all cores, all banks, all channels).
@@ -86,6 +94,9 @@ pub struct GpuSim {
     telemetry: Telemetry,
     ids: SeriesIds,
     audit: FetchAudit,
+    /// Sampled per-fetch lifecycle tracer (disabled when
+    /// `cfg.trace_sample == 0`).
+    trace: TraceSink,
     /// Last-sampled flit counters, for per-cycle rate deltas.
     prev_req_flits: u64,
     prev_rep_flits: u64,
@@ -161,6 +172,11 @@ impl GpuSim {
         };
         let mut telemetry = Telemetry::new(cfg.telemetry_window);
         let ids = SeriesIds::register(&mut telemetry);
+        let trace = TraceSink::new(
+            cfg.trace_sample,
+            usize::try_from(cfg.trace_event_cap).unwrap_or(usize::MAX),
+            stable_hash_str(name) ^ TRACE_SEED_SALT,
+        );
         GpuSim {
             clocks: ClockDomains::new(cfg.core_mhz, cfg.icnt_mhz, cfg.dram_mhz),
             cores,
@@ -174,6 +190,7 @@ impl GpuSim {
             telemetry,
             ids,
             audit: FetchAudit::default(),
+            trace,
             prev_req_flits: 0,
             prev_rep_flits: 0,
             prev_l2_stalls: [0; 5],
@@ -253,6 +270,14 @@ impl GpuSim {
         if let Err(e) = self.audit.finish(!hit_cap) {
             panic!(
                 "fetch-conservation audit failed on workload {:?}: {e}",
+                self.workload
+            );
+        }
+        // The trace is validated against the same invariants the audit
+        // enforces for counts: per-fetch event order and time monotonicity.
+        if let Err(e) = self.trace.validate() {
+            panic!(
+                "trace validation failed on workload {:?}: {e}",
                 self.workload
             );
         }
@@ -338,7 +363,7 @@ impl GpuSim {
 
     fn core_tick(&mut self, now_ps: Picos) {
         for c in &mut self.cores {
-            c.cycle(now_ps);
+            c.cycle_traced(now_ps, &mut self.trace);
         }
         let cyc = self.clocks.domain(DomainId::Core).cycles();
         match self.cfg.memory_model {
@@ -347,11 +372,15 @@ impl GpuSim {
                 for i in 0..self.cores.len() {
                     while let Some(f) = self.cores[i].pop_outgoing() {
                         self.audit.emitted(&f);
+                        self.trace
+                            .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::L1));
                         if f.kind.wants_response() {
                             self.ideal_fast.push_back((cyc + lat, f));
                         } else {
                             // Stores are absorbed by the ideal memory.
                             self.audit.absorbed(&f);
+                            self.trace
+                                .record_fetch(&f, now_ps, TraceEventKind::Absorbed);
                         }
                     }
                 }
@@ -361,6 +390,8 @@ impl GpuSim {
                 for i in 0..self.cores.len() {
                     while let Some(f) = self.cores[i].pop_outgoing() {
                         self.audit.emitted(&f);
+                        self.trace
+                            .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::L1));
                         // INVARIANT: functional_l2 is constructed whenever
                         // the memory model is InfiniteBw.
                         let tags = self.functional_l2.as_mut().expect("InfiniteBw has tags");
@@ -373,6 +404,8 @@ impl GpuSim {
                             }
                         } else {
                             self.audit.absorbed(&f);
+                            self.trace
+                                .record_fetch(&f, now_ps, TraceEventKind::Absorbed);
                         }
                     }
                 }
@@ -406,6 +439,8 @@ impl GpuSim {
                 f.serviced_by = gmh_types::fetch::ServicedBy::Ideal;
                 f.time.returned = now_ps;
                 self.audit.returned(&f, now_ps);
+                self.trace
+                    .record_fetch(&f, now_ps, TraceEventKind::Returned);
                 // INVARIANT: can_accept_response() held just above.
                 self.cores[core].push_response(f).expect("space checked");
             }
@@ -424,6 +459,10 @@ impl GpuSim {
                     // INVARIANT: peek_outgoing() returned Some above.
                     let mut f = self.cores[c].pop_outgoing().expect("peeked");
                     self.audit.emitted(&f);
+                    self.trace
+                        .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::L1));
+                    self.trace
+                        .record_fetch(&f, now_ps, TraceEventKind::EnqueuedAt(Level::Icnt));
                     f.time.icnt_inject = now_ps;
                     // INVARIANT: can_inject() held just above.
                     self.xbar
@@ -448,11 +487,18 @@ impl GpuSim {
                 // INVARIANT: peek_eject() returned Some in the loop guard.
                 let mut f = self.xbar.request_mut().pop_eject(b).expect("peeked");
                 f.time.l2_arrive = now_ps;
-                if !f.kind.wants_response() {
+                self.trace
+                    .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Icnt));
+                if f.kind.wants_response() {
+                    self.trace
+                        .record_fetch(&f, now_ps, TraceEventKind::EnqueuedAt(Level::L2));
+                } else {
                     // A store reaching its L2 bank will be absorbed there
                     // (the bank retries internally until it lands); this is
-                    // its terminal conservation event.
+                    // its terminal conservation event — and the trace's.
                     self.audit.absorbed(&f);
+                    self.trace
+                        .record_fetch(&f, now_ps, TraceEventKind::Absorbed);
                 }
                 // INVARIANT: can_accept() held just above.
                 self.banks[b].push_access(f).expect("can_accept checked");
@@ -461,7 +507,7 @@ impl GpuSim {
 
         // 4. L2 bank pipelines.
         for b in &mut self.banks {
-            b.cycle(now_ps);
+            b.cycle_traced(now_ps, &mut self.trace);
         }
 
         // 5. L2 miss queues drain toward DRAM (or the ideal-DRAM pipe).
@@ -480,6 +526,8 @@ impl GpuSim {
                     // INVARIANT: miss_queue_front() returned Some above.
                     let mut f = self.banks[b].pop_miss().expect("peeked");
                     f.time.dram_arrive = now_ps;
+                    self.trace
+                        .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Dram));
                     if f.kind.wants_response() {
                         let period = 1_000_000 / self.cfg.core_mhz as Picos;
                         self.ideal_dram[b].push_back((now_ps + lat * period, f));
@@ -515,11 +563,17 @@ impl GpuSim {
                         }
                         // INVARIANT: front() returned Some in the loop guard.
                         let (_, f) = self.ideal_dram[bank].pop_front().expect("front exists");
+                        self.trace.record_fetch(
+                            &f,
+                            now_ps,
+                            TraceEventKind::ServicedAt(Level::Dram),
+                        );
                         self.banks[bank].deliver_fill(f, now_ps);
                     }
                 }
             }
             None => {
+                let dram_period = self.clocks.domain(DomainId::Dram).period_ps();
                 for ch in 0..self.channels.len() {
                     while let Some(f) = self.channels[ch].peek_response() {
                         let bank = f.line.interleave(self.cfg.n_l2_banks);
@@ -530,7 +584,21 @@ impl GpuSim {
                         }
                         // INVARIANT: peek_response() returned Some in the
                         // loop guard.
-                        let f = self.channels[ch].pop_response().expect("peeked");
+                        let (cas, f) = self.channels[ch].pop_response_cas().expect("peeked");
+                        // DRAM cycle c fires at wall time (c-1)*period; the
+                        // clamp keeps the event stream monotone even for
+                        // degenerate clock configurations.
+                        let cas_ps = (cas.saturating_sub(1) * dram_period).min(now_ps);
+                        self.trace.record_fetch(
+                            &f,
+                            cas_ps,
+                            TraceEventKind::DequeuedAt(Level::Dram),
+                        );
+                        self.trace.record_fetch(
+                            &f,
+                            now_ps,
+                            TraceEventKind::ServicedAt(Level::Dram),
+                        );
                         self.banks[bank].deliver_fill(f, now_ps);
                     }
                 }
@@ -545,6 +613,15 @@ impl GpuSim {
                 if self.xbar.reply().can_inject(b, bytes) {
                     // INVARIANT: response_ready() returned Some above.
                     let f = self.banks[b].pop_response().expect("ready");
+                    // An L2 hit is "serviced" when its response leaves the
+                    // bank: lookup pipeline plus response-queue residency.
+                    // DRAM-filled responses were serviced at the channel.
+                    if f.serviced_by == gmh_types::fetch::ServicedBy::L2 {
+                        self.trace
+                            .record_fetch(&f, now_ps, TraceEventKind::ServicedAt(Level::L2));
+                    }
+                    self.trace
+                        .record_fetch(&f, now_ps, TraceEventKind::EnqueuedAt(Level::Icnt));
                     // INVARIANT: can_inject() held just above.
                     self.xbar
                         .reply_mut()
@@ -563,6 +640,10 @@ impl GpuSim {
                 // INVARIANT: peek_eject() returned Some in the loop guard.
                 let f = self.xbar.reply_mut().pop_eject(c).expect("peeked");
                 self.audit.returned(&f, now_ps);
+                self.trace
+                    .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Icnt));
+                self.trace
+                    .record_fetch(&f, now_ps, TraceEventKind::Returned);
                 // INVARIANT: can_accept_response() held just above.
                 self.cores[c].push_response(f).expect("space checked");
             }
@@ -665,6 +746,7 @@ impl GpuSim {
 
         stats.telemetry = self.telemetry.snapshot();
         stats.audit = self.audit.summary();
+        stats.trace = self.trace.clone().into_data();
         stats
     }
 }
@@ -903,6 +985,71 @@ mod tests {
             "every emitted fetch must terminate exactly once"
         );
         assert_eq!(stats.audit.in_flight, 0);
+    }
+
+    #[test]
+    fn tracing_does_not_change_simulation_results() {
+        let wl = tiny_workload();
+        let base = GpuSim::new(small_cfg(), &wl).run();
+        let mut cfg = small_cfg();
+        cfg.trace_sample = 2;
+        let traced = GpuSim::new(cfg, &wl).run();
+        assert_eq!(base.core_cycles, traced.core_cycles);
+        assert_eq!(base.insts, traced.insts);
+        assert_eq!(base.issue.total_stalls(), traced.issue.total_stalls());
+        assert_eq!(base.audit.emitted, traced.audit.emitted);
+        assert_eq!(base.l2_stalls.total(), traced.l2_stalls.total());
+        assert!(base.trace.events.is_empty(), "tracing defaults off");
+        assert!(!traced.trace.events.is_empty(), "sampled trace has events");
+    }
+
+    #[test]
+    fn traced_full_run_decomposes_latency_per_level() {
+        let wl = tiny_workload();
+        let mut cfg = small_cfg();
+        cfg.trace_sample = 1;
+        let stats = GpuSim::new(cfg, &wl).run();
+        let t = &stats.trace;
+        assert!(t.sampled > 0);
+        assert_eq!(t.skipped, 0, "denominator 1 samples every fetch");
+        // Every fetch that misses the L1 queues at the L1 miss queue and at
+        // the L2; the miss path exercises DRAM.
+        for level in gmh_types::trace::Level::ALL {
+            assert!(t.levels.contains_key(&level), "missing level {level:?}");
+        }
+        let l2 = &t.levels[&gmh_types::trace::Level::L2];
+        assert!(
+            l2.queueing.count() > 0,
+            "a full-model run must observe L2 queueing"
+        );
+        let dram = &t.levels[&gmh_types::trace::Level::Dram];
+        assert!(
+            dram.service.count() > 0,
+            "cold misses must observe DRAM service time"
+        );
+    }
+
+    #[test]
+    fn tracing_works_on_every_memory_model() {
+        let wl = tiny_workload();
+        for model in [
+            MemoryModel::Full,
+            MemoryModel::FixedL1MissLatency(120),
+            MemoryModel::InfiniteBw {
+                l2_hit: 120,
+                dram: 220,
+            },
+            MemoryModel::InfiniteDram { latency: 100 },
+        ] {
+            let mut cfg = small_cfg();
+            cfg.memory_model = model.clone();
+            cfg.trace_sample = 2;
+            let stats = GpuSim::new(cfg, &wl).run();
+            assert!(
+                !stats.trace.events.is_empty(),
+                "model {model:?} produced no trace events"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use gmh_cache::{L1StallCounters, L2StallCounters};
 use gmh_simt::IssueStallCounters;
-use gmh_types::{AuditSummary, OccupancyHistogram, TelemetrySnapshot};
+use gmh_types::{AuditSummary, OccupancyHistogram, TelemetrySnapshot, TraceData};
 
 /// Results of one simulated run.
 #[derive(Clone, Debug, Default)]
@@ -54,6 +54,12 @@ pub struct SimStats {
     /// Fetch-conservation ledger counts (every core-emitted fetch returned
     /// or absorbed exactly once; verified at end of run).
     pub audit: AuditSummary,
+    /// Sampled per-fetch lifecycle trace with per-level latency
+    /// decomposition (empty unless `GpuConfig::trace_sample` is set; see
+    /// [`gmh_types::trace`]). Deliberately *not* part of the JSON report —
+    /// export it with the Chrome-trace / latency-table exporters in
+    /// `gmh-exp`.
+    pub trace: TraceData,
 }
 
 impl SimStats {

@@ -115,7 +115,9 @@ pub struct DramChannel {
     cfg: DramConfig,
     id: usize,
     queue: BoundedQueue<Pending>,
-    response: BoundedQueue<MemFetch>,
+    /// Completed reads toward the L2, with the DRAM cycle at which the
+    /// data burst finished (for latency decomposition).
+    response: BoundedQueue<(Cycle, MemFetch)>,
     banks: Vec<BankState>,
     in_flight: Vec<(Cycle, MemFetch)>,
     bus_free_at: Cycle,
@@ -226,13 +228,20 @@ impl DramChannel {
 
     /// Pops a completed read response, if any.
     pub fn pop_response(&mut self) -> Option<MemFetch> {
+        self.response.pop().map(|(_, f)| f)
+    }
+
+    /// Pops a completed read response together with the DRAM cycle at which
+    /// its data burst finished (the CAS completion time, before any
+    /// response-queue residency).
+    pub fn pop_response_cas(&mut self) -> Option<(Cycle, MemFetch)> {
         self.response.pop()
     }
 
     /// Peeks the oldest completed read response without removing it, so
     /// the owner can verify the L2 can take the fill before popping.
     pub fn peek_response(&self) -> Option<&MemFetch> {
-        self.response.front()
+        self.response.front().map(|(_, f)| f)
     }
 
     /// Whether any work (queued, in flight, or buffered responses) remains.
@@ -253,11 +262,11 @@ impl DramChannel {
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].0 <= now {
-                let (_, f) = self.in_flight.swap_remove(i);
+                let (t, f) = self.in_flight.swap_remove(i);
                 // INVARIANT: try_cas only issues a read when in_flight +
                 // response stay within the response queue capacity.
                 self.response
-                    .push(f)
+                    .push((t, f))
                     .expect("response slot reserved at CAS");
             } else {
                 i += 1;

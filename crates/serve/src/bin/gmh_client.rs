@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gmh-client --addr HOST:PORT submit WORKLOAD [--label L] [--seed N] [--set KEY=N]...
+//! gmh-client --addr HOST:PORT trace  WORKLOAD [--label L] [--seed N] [--set KEY=N]...
 //! gmh-client --addr HOST:PORT metrics
 //! gmh-client --addr HOST:PORT ping
 //! gmh-client --addr HOST:PORT shutdown
@@ -9,9 +10,12 @@
 //! ```
 //!
 //! Exit codes mirror the terminal reply: `0` OK, `2` BUSY, `3` ERR,
-//! `4` TIMEOUT. `smoke` runs the end-to-end self-check CI uses: a tiny job
-//! twice (second must hit the cache byte-identically), then verifies the
-//! metrics reconcile.
+//! `4` TIMEOUT. `trace` submits the job with per-fetch lifecycle sampling
+//! and prints the Chrome-trace JSON payload bare (redirect it to a file and
+//! load it in Perfetto / `chrome://tracing`). `ping` prints the daemon's
+//! version and git revision. `smoke` runs the end-to-end self-check CI
+//! uses: a tiny job twice (second must hit the cache byte-identically),
+//! then verifies the metrics reconcile.
 
 use gmh_serve::metrics::sample;
 use gmh_serve::protocol::Reply;
@@ -19,7 +23,7 @@ use gmh_serve::Client;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: gmh-client --addr HOST:PORT <submit WORKLOAD [--label L] [--seed N] \
+    "usage: gmh-client --addr HOST:PORT <submit|trace WORKLOAD [--label L] [--seed N] \
      [--set KEY=N]... | metrics | ping | shutdown | smoke>"
 }
 
@@ -74,7 +78,24 @@ fn smoke(client: &mut Client) -> Result<(), String> {
     let Reply::Err(_) = bad else {
         return Err(format!("invalid workload not refused: {}", bad.render()));
     };
+    let traced = client
+        .submit_traced("nn", Some("base"), Some(0xC0FFEE), &ovr)
+        .map_err(io)?;
+    let Reply::Ok(trace_json) = traced else {
+        return Err(format!("traced submit not OK: {}", traced.render()));
+    };
+    gmh_serve::json::parse(&trace_json)
+        .map_err(|e| format!("trace payload is not valid JSON: {e}"))?;
+    if !trace_json.contains("\"traceEvents\"") {
+        return Err("trace payload missing traceEvents".to_string());
+    }
     let text = client.metrics().map_err(io)?;
+    if !text.contains("gmh_build_info{version=") {
+        return Err(format!("metrics missing gmh_build_info:\n{text}"));
+    }
+    if !text.contains("gmh_fetch_queueing_ps_bucket{level=") {
+        return Err(format!("metrics missing latency histograms:\n{text}"));
+    }
     let get =
         |name: &str| sample(&text, name).ok_or_else(|| format!("metrics missing {name}:\n{text}"));
     let accepted = get("gmh_requests_accepted_total")?;
@@ -116,7 +137,7 @@ fn run() -> Result<ExitCode, String> {
     let io = |e: std::io::Error| format!("i/o error: {e}");
 
     match rest.first().map(String::as_str) {
-        Some("submit") => {
+        Some(cmd @ ("submit" | "trace")) => {
             let workload = rest.get(1).ok_or_else(usage)?;
             let mut label = None;
             let mut seed = None;
@@ -146,8 +167,20 @@ fn run() -> Result<ExitCode, String> {
                         ));
                         i += 2;
                     }
-                    other => return Err(format!("unknown submit flag {other:?}\n{}", usage())),
+                    other => return Err(format!("unknown {cmd} flag {other:?}\n{}", usage())),
                 }
+            }
+            if cmd == "trace" {
+                let reply = client
+                    .submit_traced(workload, label.as_deref(), seed, &overrides)
+                    .map_err(io)?;
+                // Print the trace payload bare so the output is a loadable
+                // JSON document, not a protocol line.
+                if let Reply::Ok(json) = &reply {
+                    println!("{json}");
+                    return Ok(ExitCode::SUCCESS);
+                }
+                return Ok(reply_exit(&reply));
             }
             let reply = client
                 .submit(workload, label.as_deref(), seed, &overrides)

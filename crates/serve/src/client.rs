@@ -75,7 +75,24 @@ impl Client {
         seed: Option<u64>,
         overrides: &[(String, u64)],
     ) -> io::Result<Reply> {
-        self.request_reply(&job_line(workload, label, seed, overrides))
+        self.request_reply(&job_line(workload, label, seed, overrides, false))
+    }
+
+    /// Submits a traced job: the `OK` payload is Chrome-trace JSON of the
+    /// sampled per-fetch lifecycle (load it in Perfetto), not the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; protocol-level refusals come back as
+    /// [`Reply`] variants, not errors.
+    pub fn submit_traced(
+        &mut self,
+        workload: &str,
+        label: Option<&str>,
+        seed: Option<u64>,
+        overrides: &[(String, u64)],
+    ) -> io::Result<Reply> {
+        self.request_reply(&job_line(workload, label, seed, overrides, true))
     }
 
     /// Sends a raw (possibly invalid) job line; for robustness tests.

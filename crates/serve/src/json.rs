@@ -59,6 +59,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The object map, if this is an object.
     pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
         match self {

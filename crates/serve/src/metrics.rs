@@ -13,6 +13,8 @@
 //! in-flight amount — the `gmh_jobs_inflight`/`gmh_queue_depth` gauges make
 //! that visible.
 
+use gmh_types::{Histogram, Level, LevelLatency};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic service counters. All loads/stores are `Relaxed`: each counter
@@ -155,6 +157,78 @@ impl Metrics {
     }
 }
 
+/// Renders the `gmh_build_info` gauge: a constant-1 series whose labels
+/// carry the daemon's version and git revision (the standard Prometheus
+/// idiom for exposing build metadata).
+pub fn render_build_info(version: &str, git_sha: &str) -> String {
+    format!(
+        "# HELP gmh_build_info Daemon build metadata (constant 1).\n\
+         # TYPE gmh_build_info gauge\n\
+         gmh_build_info{{version=\"{version}\",git_sha=\"{git_sha}\"}} 1\n"
+    )
+}
+
+/// Appends one Prometheus histogram series (`_bucket`/`_sum`/`_count`)
+/// with a `level` label. Buckets are cumulative with `le` upper bounds;
+/// empty trailing buckets are elided (the mandatory `+Inf` bucket closes
+/// the series).
+fn histogram_series(out: &mut String, name: &str, level: Level, h: &Histogram) {
+    let counts = h.counts();
+    let last = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().take(last).enumerate() {
+        cumulative += c;
+        out.push_str(&format!(
+            "{name}_bucket{{level=\"{}\",le=\"{}\"}} {cumulative}\n",
+            level.name(),
+            Histogram::bucket_upper(i)
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{level=\"{}\",le=\"+Inf\"}} {}\n",
+        level.name(),
+        h.count()
+    ));
+    out.push_str(&format!(
+        "{name}_sum{{level=\"{}\"}} {}\n",
+        level.name(),
+        h.sum()
+    ));
+    out.push_str(&format!(
+        "{name}_count{{level=\"{}\"}} {}\n",
+        level.name(),
+        h.count()
+    ));
+}
+
+/// Renders the per-level queueing/service latency decomposition as two
+/// Prometheus histogram families, `gmh_fetch_queueing_ps` and
+/// `gmh_fetch_service_ps`, one `level`-labeled series each per hierarchy
+/// level. Values are picoseconds from the sampled per-fetch trace of every
+/// fresh (non-cached) run the daemon has completed.
+pub fn render_histograms(levels: &BTreeMap<Level, LevelLatency>) -> String {
+    let mut out = String::new();
+    for (name, help, pick) in [
+        (
+            "gmh_fetch_queueing_ps",
+            "Sampled per-fetch queue residency per hierarchy level, picoseconds.",
+            true,
+        ),
+        (
+            "gmh_fetch_service_ps",
+            "Sampled per-fetch service time per hierarchy level, picoseconds.",
+            false,
+        ),
+    ] {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        for (&level, lat) in levels {
+            let h = if pick { &lat.queueing } else { &lat.service };
+            histogram_series(&mut out, name, level, h);
+        }
+    }
+    out
+}
+
 /// Extracts `name value` from a metrics text block (client/test helper).
 pub fn sample(text: &str, name: &str) -> Option<u64> {
     text.lines().find_map(|l| {
@@ -200,6 +274,38 @@ mod tests {
         Metrics::add(&fast.completed, 100);
         Metrics::add(&fast.sim_wall_ms, 100);
         assert_eq!(fast.avg_job_ms(), 25, "clamped below");
+    }
+
+    #[test]
+    fn build_info_renders_labels() {
+        let text = render_build_info("0.1.0", "abc123");
+        assert!(text.contains("# TYPE gmh_build_info gauge"));
+        assert!(text.contains("gmh_build_info{version=\"0.1.0\",git_sha=\"abc123\"} 1"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_with_inf() {
+        let mut levels: BTreeMap<Level, LevelLatency> = BTreeMap::new();
+        let mut lat = LevelLatency::default();
+        lat.queueing.record(0); // bucket le="0"
+        lat.queueing.record(3); // bucket le="3"
+        lat.queueing.record(3);
+        lat.service.record(100);
+        levels.insert(Level::L2, lat);
+        levels.insert(Level::Dram, LevelLatency::default());
+        let text = render_histograms(&levels);
+        // One TYPE per family, not per level.
+        assert_eq!(text.matches("# TYPE").count(), 2);
+        assert!(text.contains("# TYPE gmh_fetch_queueing_ps histogram"));
+        assert!(text.contains("gmh_fetch_queueing_ps_bucket{level=\"l2\",le=\"0\"} 1"));
+        assert!(text.contains("gmh_fetch_queueing_ps_bucket{level=\"l2\",le=\"3\"} 3"));
+        assert!(text.contains("gmh_fetch_queueing_ps_bucket{level=\"l2\",le=\"+Inf\"} 3"));
+        assert!(text.contains("gmh_fetch_queueing_ps_sum{level=\"l2\"} 6"));
+        assert!(text.contains("gmh_fetch_queueing_ps_count{level=\"l2\"} 3"));
+        assert!(text.contains("gmh_fetch_service_ps_count{level=\"l2\"} 1"));
+        // An empty level still closes its series with the +Inf bucket.
+        assert!(text.contains("gmh_fetch_service_ps_bucket{level=\"dram\",le=\"+Inf\"} 0"));
+        assert!(text.contains("gmh_fetch_service_ps_count{level=\"dram\"} 0"));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! job      = '{' "workload": string
 //!                [, "config_label": string]          ; default "base"
 //!                [, "config_overrides": { key: int }]
-//!                [, "seed": int] '}'
+//!                [, "seed": int]
+//!                [, "trace": bool] '}'               ; default false
 //! reply    = "OK " json | "BUSY " json | "ERR " json | "TIMEOUT " json
 //!          | "METRICS" NL *(metric-line NL) "END"
 //! ```
@@ -39,6 +40,10 @@ pub struct JobRequest {
     pub label: String,
     /// The (possibly overridden) validated GPU configuration.
     pub config: GpuConfig,
+    /// When set, the `OK` payload is the Chrome-trace JSON of the sampled
+    /// per-fetch lifecycle trace instead of the report (and the result
+    /// cache is bypassed — the cache stores reports only).
+    pub trace: bool,
 }
 
 /// One parsed request line.
@@ -164,7 +169,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     for key in obj.keys() {
         if !matches!(
             key.as_str(),
-            "workload" | "config_label" | "config_overrides" | "seed"
+            "workload" | "config_label" | "config_overrides" | "seed" | "trace"
         ) {
             return Err(format!("unknown field {key:?}"));
         }
@@ -205,6 +210,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             .ok_or("\"seed\" must be a non-negative integer")?;
     }
 
+    let trace = match obj.get("trace") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("\"trace\" must be a boolean")?,
+    };
+
     if let Some(ovr) = obj.get("config_overrides") {
         let map = ovr
             .as_obj()
@@ -229,6 +239,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         workload,
         label,
         config,
+        trace,
     })))
 }
 
@@ -273,12 +284,14 @@ fn apply_override(
 }
 
 /// Builds the JSON request line for a job submission (the client side of
-/// [`parse_request`]).
+/// [`parse_request`]). With `trace` set the daemon replies with Chrome-trace
+/// JSON instead of the report.
 pub fn job_line(
     workload: &str,
     label: Option<&str>,
     seed: Option<u64>,
     overrides: &[(String, u64)],
+    trace: bool,
 ) -> String {
     let mut s = format!("{{\"workload\":\"{}\"", json_escape(workload));
     if let Some(l) = label {
@@ -293,6 +306,9 @@ pub fn job_line(
             .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
             .collect();
         s.push_str(&format!(",\"config_overrides\":{{{}}}", body.join(",")));
+    }
+    if trace {
+        s.push_str(",\"trace\":true");
     }
     s.push('}');
     s
@@ -338,6 +354,7 @@ mod tests {
             Some("L2"),
             Some(7),
             &[("n_cores".into(), 2), ("insts_per_warp".into(), 50)],
+            false,
         );
         let Ok(Request::Job(job)) = parse_request(&line) else {
             panic!("round-trip job should parse: {line}");
@@ -346,9 +363,22 @@ mod tests {
         assert_eq!(job.workload.insts_per_warp, 50);
         assert_eq!(job.config.n_cores, 2);
         assert_eq!(job.label, "L2");
+        assert!(!job.trace, "trace defaults to off");
         // The L2 label is the ×4-scaled config of Fig. 10.
         let base = GpuConfig::gtx480_baseline();
         assert_eq!(job.config.l2_access_queue, 4 * base.l2_access_queue);
+    }
+
+    #[test]
+    fn trace_flag_round_trips() {
+        let line = job_line("nn", None, None, &[], true);
+        let Ok(Request::Job(job)) = parse_request(&line) else {
+            panic!("traced job should parse: {line}");
+        };
+        assert!(job.trace);
+        assert!(parse_request(r#"{"workload":"mm","trace":1}"#)
+            .unwrap_err()
+            .contains("must be a boolean"));
     }
 
     #[test]

@@ -24,12 +24,13 @@
 //! service latency are *operational* time, not model time; `lint.toml`
 //! carries the reasoned R1 exception for this file.
 
-use crate::metrics::{Gauges, Metrics};
+use crate::metrics::{render_build_info, render_histograms, Gauges, Metrics};
 use crate::protocol::{parse_request, JobRequest, Reply, Request, MAX_LINE_BYTES};
 use gmh_core::GpuSim;
 use gmh_exp::cache::{job_key, DiskCache};
-use gmh_exp::report_json;
-use gmh_types::BoundedQueue;
+use gmh_exp::{chrome_trace_json, report_json};
+use gmh_types::{BoundedQueue, Level, LevelLatency};
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -87,6 +88,10 @@ struct Shared {
     metrics: Metrics,
     cache: DiskCache,
     state: Mutex<Admission>,
+    /// Per-level queueing/service histograms merged from the sampled
+    /// per-fetch trace of every fresh run (cache hits contribute nothing:
+    /// they never simulate).
+    latency: Mutex<BTreeMap<Level, LevelLatency>>,
     work_ready: Condvar,
     drained: Condvar,
     stop_accept: AtomicBool,
@@ -140,6 +145,7 @@ pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
         cache,
         addr,
         cfg,
+        latency: Mutex::new(Level::ALL.map(|l| (l, LevelLatency::default())).into()),
         work_ready: Condvar::new(),
         drained: Condvar::new(),
         stop_accept: AtomicBool::new(false),
@@ -281,7 +287,14 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
                 Metrics::inc(&shared.metrics.errored);
                 write_reply(&mut writer, &Reply::Err(msg).render())?;
             }
-            Ok(Request::Ping) => write_reply(&mut writer, "OK {\"pong\":true}")?,
+            Ok(Request::Ping) => {
+                let line = format!(
+                    "OK {{\"pong\":true,\"version\":\"{}\",\"git_sha\":\"{}\"}}",
+                    env!("CARGO_PKG_VERSION"),
+                    env!("GMH_GIT_SHA"),
+                );
+                write_reply(&mut writer, &line)?;
+            }
             Ok(Request::Metrics) => {
                 let text = shared.metrics_text();
                 writer.write_all(b"METRICS\n")?;
@@ -315,13 +328,16 @@ fn submit_job(shared: &Arc<Shared>, job: Box<JobRequest>) -> Reply {
     let key = job_key(&job.label, &job.config, &job.workload);
 
     // Cache first: a hit bypasses admission entirely — repeats are free and
-    // byte-identical, even while the queue is saturated.
-    if let Some(json) = shared.cache.get(key) {
-        Metrics::inc(&shared.metrics.cache_hits);
-        Metrics::inc(&shared.metrics.completed);
-        return Reply::Ok(json);
+    // byte-identical, even while the queue is saturated. Traced jobs skip
+    // the cache both ways: it stores reports, not traces.
+    if !job.trace {
+        if let Some(json) = shared.cache.get(key) {
+            Metrics::inc(&shared.metrics.cache_hits);
+            Metrics::inc(&shared.metrics.completed);
+            return Reply::Ok(json);
+        }
+        Metrics::inc(&shared.metrics.cache_misses);
     }
-    Metrics::inc(&shared.metrics.cache_misses);
 
     let (reply_tx, reply_rx) = mpsc::channel();
     {
@@ -390,7 +406,14 @@ fn execute_job(shared: &Arc<Shared>, job: JobRequest, key: u64) -> Reply {
     let started = Instant::now();
     let timeout = Duration::from_millis(shared.cfg.job_timeout_ms);
     let (tx, rx) = mpsc::channel();
-    let config = job.config.clone();
+    let mut config = job.config.clone();
+    // Every fresh run samples its fetch lifecycles so the METRICS
+    // histograms stay live; tracing is read-only observation (the report
+    // is bit-identical traced or untraced) and `job_key` hashes the
+    // client's config, so cached repeats stay byte-identical too.
+    if config.trace_sample == 0 {
+        config.trace_sample = 16;
+    }
     let workload = job.workload.clone();
     let helper = std::thread::Builder::new()
         .name("gmh-sim".to_string())
@@ -404,10 +427,16 @@ fn execute_job(shared: &Arc<Shared>, job: JobRequest, key: u64) -> Reply {
     }
     match rx.recv_timeout(timeout) {
         Ok(stats) => {
-            let json = report_json(&job.label, job.workload.name, &stats);
-            if let Err(e) = shared.cache.put(key, &job.workload, &job.label, &json) {
-                eprintln!("gmh-serve: cache write failed (serving anyway): {e}");
-            }
+            shared.merge_latency(&stats.trace.levels);
+            let json = if job.trace {
+                chrome_trace_json(job.workload.name, &stats.trace)
+            } else {
+                let json = report_json(&job.label, job.workload.name, &stats);
+                if let Err(e) = shared.cache.put(key, &job.workload, &job.label, &json) {
+                    eprintln!("gmh-serve: cache write failed (serving anyway): {e}");
+                }
+                json
+            };
             let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
             Metrics::add(&shared.metrics.sim_cycles, stats.core_cycles);
             Metrics::add(&shared.metrics.sim_wall_ms, wall_ms);
@@ -437,7 +466,31 @@ impl Shared {
             in_flight: st.in_flight,
         };
         drop(st);
-        self.metrics.render(gauges)
+        let mut text = self.metrics.render(gauges);
+        text.push_str(&render_build_info(
+            env!("CARGO_PKG_VERSION"),
+            env!("GMH_GIT_SHA"),
+        ));
+        {
+            // INVARIANT: latency-lock holders never panic, so the mutex is
+            // never poisoned.
+            let latency = self.latency.lock().expect("latency lock");
+            text.push_str(&render_histograms(&latency));
+        }
+        text
+    }
+
+    /// Folds one finished run's per-level decomposition into the live
+    /// histograms behind METRICS.
+    fn merge_latency(&self, levels: &BTreeMap<Level, LevelLatency>) {
+        // INVARIANT: latency-lock holders never panic, so the mutex is
+        // never poisoned.
+        let mut latency = self.latency.lock().expect("latency lock");
+        for (level, lat) in levels {
+            let agg = latency.entry(*level).or_default();
+            agg.queueing.merge(&lat.queueing);
+            agg.service.merge(&lat.service);
+        }
     }
 
     /// Graceful shutdown, phase 1: refuse new jobs, drain accepted ones,

@@ -189,6 +189,85 @@ fn repeat_job_is_byte_identical_from_cache_and_metrics_reconcile() {
 }
 
 #[test]
+fn traced_job_returns_chrome_trace_and_histograms_go_live() {
+    let (handle, dir) = boot("trace", 2, 4, 120_000);
+    let mut c = Client::connect(handle.addr).expect("connect");
+    let ovr = tiny_overrides();
+
+    // PING carries the build metadata.
+    let Reply::Ok(pong) = c.ping().expect("ping") else {
+        panic!("ping must return OK");
+    };
+    assert!(pong.contains("\"version\""), "{pong}");
+    assert!(pong.contains("\"git_sha\""), "{pong}");
+
+    // A traced job answers with Chrome-trace JSON, not a report.
+    let Reply::Ok(trace_json) = c
+        .submit_traced("nn", Some("base"), Some(42), &ovr)
+        .expect("traced submit")
+    else {
+        panic!("traced run must succeed");
+    };
+    let doc = gmh_serve::json::parse(&trace_json).expect("trace payload parses");
+    assert!(
+        matches!(
+            doc.get("traceEvents"),
+            Some(gmh_serve::json::Json::Arr(a)) if !a.is_empty()
+        ),
+        "traceEvents must be a non-empty array"
+    );
+    assert!(
+        doc.get("workload").is_none(),
+        "trace payload must not be the report"
+    );
+
+    // Tracing is observation only: the same job submitted untraced still
+    // produces (and caches) the ordinary report.
+    let Reply::Ok(report) = c
+        .submit("nn", Some("base"), Some(42), &ovr)
+        .expect("submit")
+    else {
+        panic!("untraced run must succeed");
+    };
+    assert!(report.contains("\"workload\":\"nn\""));
+
+    // Both fresh runs fed the live latency histograms; build info renders.
+    let text = c.metrics().expect("metrics");
+    assert!(text.contains("gmh_build_info{version="), "{text}");
+    assert!(
+        text.contains("# TYPE gmh_fetch_queueing_ps histogram"),
+        "{text}"
+    );
+    for level in ["l1", "icnt", "l2", "dram"] {
+        assert!(
+            text.contains(&format!("gmh_fetch_queueing_ps_count{{level=\"{level}\"}}")),
+            "missing queueing count for {level}:\n{text}"
+        );
+    }
+    let l1_count = text
+        .lines()
+        .find_map(|l| l.strip_prefix("gmh_fetch_queueing_ps_count{level=\"l1\"}"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("l1 queueing count present");
+    assert!(l1_count > 0, "fresh runs must populate the histograms");
+
+    // The ledger still reconciles with the trace path in the mix.
+    let get = |name: &str| sample(&text, name).unwrap_or_else(|| panic!("missing {name}"));
+    assert_eq!(
+        get("gmh_requests_accepted_total"),
+        get("gmh_requests_completed_total")
+            + get("gmh_requests_shed_total")
+            + get("gmh_requests_errored_total")
+            + get("gmh_requests_timeout_total"),
+        "accepted must reconcile with terminal outcomes:\n{text}"
+    );
+
+    assert!(matches!(c.shutdown().expect("shutdown"), Reply::Ok(_)));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cache_survives_server_restart() {
     let dir = temp_cache_dir("persist");
     let _ = std::fs::remove_dir_all(&dir);

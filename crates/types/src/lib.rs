@@ -32,6 +32,7 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
+pub mod trace;
 
 pub use addr::{Address, LineAddr, LINE_SIZE};
 pub use clock::{ClockDomain, ClockDomains, DomainId, Picos};
@@ -39,8 +40,12 @@ pub use fetch::{AccessKind, FetchId, MemFetch, Timestamps};
 pub use hash::{stable_hash_str, StableHasher};
 pub use queue::{BoundedQueue, OccupancyHistogram};
 pub use rng::Xoshiro256;
-pub use stats::{Counter, LatencyHistogram, MeanAccumulator, RatioStat};
+pub use stats::{Counter, Histogram, LatencyHistogram, MeanAccumulator, RatioStat};
 pub use telemetry::{AuditSummary, FetchAudit, SeriesId, Telemetry, TelemetrySnapshot};
+pub use trace::{
+    spans_of, Level, LevelLatency, Span, StallCause, TraceData, TraceEvent, TraceEventKind,
+    TraceSink,
+};
 
 /// A cycle count within a single clock domain.
 pub type Cycle = u64;

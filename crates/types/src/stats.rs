@@ -209,6 +209,152 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Number of buckets in a [`Histogram`]: one per possible bit length of a
+/// `u64` sample (0 through 64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (durations in picoseconds,
+/// queue depths, byte counts — anything non-negative with a long tail).
+///
+/// Bucket `i` counts samples whose bit length is `i`: bucket 0 holds the
+/// value 0, and bucket `i ≥ 1` covers `[2^(i-1), 2^i - 1]`. Log2 bucketing
+/// gives constant relative resolution across nine orders of magnitude with
+/// 65 fixed buckets and no configuration — the right shape for latency
+/// distributions whose interesting structure spans L1-hit picoseconds to
+/// congested-DRAM microseconds. No external dependencies.
+///
+/// # Example
+///
+/// ```
+/// use gmh_types::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(3);
+/// h.record(1000);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.sum(), 1003);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// The bucket index a value falls into (its bit length).
+    fn bucket_of(v: u64) -> usize {
+        // lint: allow(R3): a u64 bit length is at most 64.
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i` (`0`, then `2^i - 1`).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64.checked_shl(u32::try_from(i.min(64)).unwrap_or(64))
+                .map_or(u64::MAX, |v| v - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts, indexed by bit length (see type docs).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the inclusive upper bound of
+    /// the bucket where the cumulative count crosses the target; 0.0 with
+    /// no samples.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // lint: allow(R3): float-to-int `as` saturates, and the target is
+        // bounded by count (q is clamped to [0, 1]).
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper(i) as f64;
+            }
+        }
+        Self::bucket_upper(HISTOGRAM_BUCKETS - 1) as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count += other.count;
+    }
+
+    /// Cumulative `(upper_bound, count ≤ upper_bound)` pairs over a bucket
+    /// range, in Prometheus `le` convention (the last pair carries the
+    /// total count). Buckets below `lo` fold into the first pair; buckets
+    /// at or above `hi` fold into the last.
+    pub fn cumulative(&self, lo: usize, hi: usize) -> Vec<(u64, u64)> {
+        let lo = lo.min(HISTOGRAM_BUCKETS - 1);
+        let hi = hi.clamp(lo + 1, HISTOGRAM_BUCKETS);
+        let mut out = Vec::with_capacity(hi - lo);
+        let mut cum: u64 = self.counts[..=lo].iter().sum();
+        out.push((Self::bucket_upper(lo), cum));
+        for i in lo + 1..hi {
+            cum += self.counts[i];
+            out.push((Self::bucket_upper(i), cum));
+        }
+        if let Some(last) = out.last_mut() {
+            last.1 = self.count;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +456,73 @@ mod tests {
         let mut a = LatencyHistogram::new(100.0, 10);
         let b = LatencyHistogram::new(200.0, 10);
         a.merge(&b);
+    }
+
+    #[test]
+    fn log2_histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2: [2, 3]
+        h.record(3);
+        h.record(1023); // bucket 10: [512, 1023]
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[2], 2);
+        assert_eq!(h.counts()[10], 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1029);
+        assert!((h.mean() - 1029.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_histogram_bucket_bounds() {
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(1), 1);
+        assert_eq!(Histogram::bucket_upper(10), 1023);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn log2_histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.record(v);
+        }
+        // Median at the 5th sample (16) -> bucket upper bound 31.
+        assert_eq!(h.quantile(0.5), 31.0);
+        assert_eq!(h.quantile(1.0), 1023.0);
+        assert_eq!(Histogram::new().quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn log2_histogram_merge_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(u64::MAX); // top bucket, saturating sum
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.counts()[64], 2);
+        assert_eq!(a.sum(), u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn log2_histogram_cumulative_is_monotone_and_totals() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 100, 5_000, 1 << 40] {
+            h.record(v);
+        }
+        let cum = h.cumulative(1, 20);
+        assert_eq!(cum.first().unwrap().0, 1);
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1), "monotone");
+        assert_eq!(
+            cum.last().unwrap().1,
+            h.count(),
+            "last bucket folds in the overflow tail"
+        );
+        assert_eq!(cum[0].1, 1, "only the value 0 falls at or below le=1");
+        assert_eq!(cum[1], (3, 2), "le=3 adds the sample 3");
     }
 }

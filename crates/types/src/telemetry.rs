@@ -102,7 +102,14 @@ impl Telemetry {
     }
 
     /// Exports all series, including the trailing partial window.
+    ///
+    /// The partial window is flushed for *every* series as soon as *any*
+    /// series recorded a sample in it (a series that recorded nothing
+    /// contributes 0, exactly as `tick()` does at a full boundary) — so
+    /// all exported series always have the same length and CSV rows stay
+    /// aligned.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        let any_partial = self.series.iter().any(|s| s.n > 0);
         TelemetrySnapshot {
             window_cycles: self.window,
             series: self
@@ -110,8 +117,8 @@ impl Telemetry {
                 .iter()
                 .map(|s| {
                     let mut points = s.points.clone();
-                    if s.n > 0 {
-                        points.push(s.sum / s.n as f64);
+                    if any_partial {
+                        points.push(if s.n == 0 { 0.0 } else { s.sum / s.n as f64 });
                     }
                     SeriesData {
                         name: s.name.clone(),
@@ -472,6 +479,58 @@ mod tests {
         t.record(a, 7.0);
         t.tick(); // far from a boundary
         assert_eq!(t.snapshot().series[0].points, vec![7.0]);
+    }
+
+    #[test]
+    fn partial_window_keeps_series_aligned() {
+        // Regression: when only SOME series record in the trailing partial
+        // window, snapshot() used to append a point to those alone, so
+        // series lengths (and CSV rows) went out of step.
+        let mut t = Telemetry::new(4);
+        let a = t.series("a");
+        let b = t.series("b");
+        t.record(a, 1.0);
+        t.record(b, 2.0);
+        for _ in 0..4 {
+            t.tick();
+        }
+        t.record(a, 9.0); // partial window: only "a" records
+        t.tick();
+        let snap = t.snapshot();
+        assert_eq!(snap.series[0].points, vec![1.0, 9.0]);
+        assert_eq!(
+            snap.series[1].points,
+            vec![2.0, 0.0],
+            "silent series still gets its partial-window zero"
+        );
+        // CSV rows align: every row has a cell for every series.
+        let csv = snap.to_csv();
+        assert_eq!(csv, "window,a,b\n0,1,2\n1,9,0\n");
+    }
+
+    #[test]
+    fn empty_series_exports_cleanly() {
+        // Regression: a registered series with zero windows must export
+        // as an empty points array / a header-only CSV, not malformed
+        // output.
+        let mut t = Telemetry::new(8);
+        t.series("quiet");
+        let snap = t.snapshot();
+        assert_eq!(snap.series.len(), 1);
+        assert!(snap.series[0].points.is_empty());
+        assert_eq!(
+            snap.to_json(),
+            "{\"window_cycles\":8,\"series\":[{\"name\":\"quiet\",\"points\":[]}]}"
+        );
+        assert_eq!(snap.to_csv(), "window,quiet\n", "header only, no rows");
+    }
+
+    #[test]
+    fn no_series_at_all_exports_cleanly() {
+        let t = Telemetry::new(8);
+        let snap = t.snapshot();
+        assert_eq!(snap.to_json(), "{\"window_cycles\":8,\"series\":[]}");
+        assert_eq!(snap.to_csv(), "window\n");
     }
 
     #[test]

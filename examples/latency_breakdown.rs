@@ -1,0 +1,119 @@
+//! Per-fetch latency decomposition: where does a memory request spend its
+//! time?
+//!
+//! Runs a memory-intensive (`lbm`) and a compute-intensive (`mm`) catalog
+//! workload with 1-in-4 lifecycle sampling, prints the per-level
+//! queueing-vs-service table — the per-fetch counterpart of the paper's
+//! Figs. 4/5 congestion argument — and writes a Perfetto-loadable Chrome
+//! trace per workload under `target/traces/`.
+//!
+//! The headline the table reproduces: for memory-intensive workloads the
+//! *queueing* component at the L2 and DRAM exceeds the *service*
+//! component, i.e. congestion, not raw latency, dominates.
+//!
+//! ```text
+//! cargo run --release --example latency_breakdown            # full run
+//! cargo run --release --example latency_breakdown -- --smoke # CI smoke
+//! ```
+//!
+//! `--smoke` shrinks the runs and self-validates: the exported Chrome
+//! trace must parse with gmh-serve's in-tree JSON parser, contain one
+//! named track per hierarchy level, and show L2/DRAM queueing dominating
+//! service for the memory-intensive workload.
+
+use gmh::core::{GpuConfig, GpuSim, SimStats};
+use gmh::exp::{chrome_trace_json, latency_table};
+use gmh::types::trace::Level;
+use gmh::workloads::catalog;
+use gmh_serve::json::{self, Json};
+use std::path::PathBuf;
+
+/// Runs one catalog workload with sampled tracing.
+fn traced_run(name: &str, smoke: bool) -> SimStats {
+    let mut cfg = GpuConfig::gtx480_baseline();
+    cfg.trace_sample = 4;
+    if smoke {
+        cfg.n_cores = 4;
+        cfg.max_core_cycles = 200_000;
+    }
+    let wl = catalog::by_name(name).expect("catalog workload");
+    GpuSim::new(cfg, &wl).run()
+}
+
+/// Validates an exported Chrome trace with gmh-serve's JSON parser:
+/// syntactic well-formedness, one named metadata track per hierarchy
+/// level, and at least one complete-span event. Returns the number of
+/// `traceEvents`.
+fn validate_chrome_trace(trace_json: &str) -> Result<usize, String> {
+    let doc = json::parse(trace_json)?;
+    let events = doc.get("traceEvents").ok_or("missing traceEvents")?;
+    let Json::Arr(events) = events else {
+        return Err("traceEvents is not an array".into());
+    };
+    for level in Level::ALL {
+        let named = events.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("thread_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    == Some(level.name())
+        });
+        if !named {
+            return Err(format!("no thread_name track for level {}", level.name()));
+        }
+    }
+    let spans = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .count();
+    if spans == 0 {
+        return Err("no complete-span events".into());
+    }
+    Ok(events.len())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_dir = PathBuf::from("target/traces");
+    std::fs::create_dir_all(&out_dir).expect("create target/traces");
+
+    println!(
+        "Per-fetch latency decomposition (1-in-4 sampling{})\n",
+        if smoke { ", smoke-sized runs" } else { "" }
+    );
+
+    for name in ["lbm", "mm"] {
+        let stats = traced_run(name, smoke);
+        print!("{}", latency_table(name, &stats.trace));
+
+        let l2 = &stats.trace.levels[&Level::L2];
+        let dram = &stats.trace.levels[&Level::Dram];
+        let congested =
+            l2.queueing.sum() > l2.service.sum() || dram.queueing.sum() > dram.service.sum();
+        println!(
+            "  -> L2+DRAM queueing {} service for {name}\n",
+            if congested { "exceeds" } else { "stays below" }
+        );
+        if name == "lbm" {
+            // The paper's congestion thesis, checked, not just printed.
+            assert!(
+                congested,
+                "memory-intensive {name} must queue longer than it is serviced at L2/DRAM"
+            );
+        }
+
+        let trace_json = chrome_trace_json(name, &stats.trace);
+        match validate_chrome_trace(&trace_json) {
+            Ok(n) => {
+                let path = out_dir.join(format!("{name}.trace.json"));
+                std::fs::write(&path, &trace_json).expect("write trace");
+                println!(
+                    "  wrote {} ({n} trace events; load it in Perfetto / chrome://tracing)\n",
+                    path.display()
+                );
+            }
+            Err(e) => panic!("Chrome trace for {name} failed validation: {e}"),
+        }
+    }
+    println!("latency_breakdown: OK");
+}

@@ -61,6 +61,59 @@ fn identical_config_and_seed_replay_byte_identical() {
 }
 
 #[test]
+fn traces_replay_byte_identical_on_every_memory_model() {
+    // The tracing counterpart of the report check above: the sampled
+    // per-fetch trace — sampling decisions, event order, every timestamp —
+    // must be a pure function of (config, seed), on all four memory
+    // models. Verified at the strictest boundary: byte-identical exported
+    // Chrome-trace JSON.
+    use gmh::core::config::MemoryModel;
+    use gmh::exp::chrome_trace_json;
+    let wl = workload();
+    for model in [
+        MemoryModel::Full,
+        MemoryModel::FixedL1MissLatency(120),
+        MemoryModel::InfiniteBw {
+            l2_hit: 120,
+            dram: 220,
+        },
+        MemoryModel::InfiniteDram { latency: 100 },
+    ] {
+        let mut cfg = small_gpu();
+        cfg.memory_model = model.clone();
+        cfg.trace_sample = 4;
+        let a = GpuSim::new(cfg.clone(), &wl).run();
+        let b = GpuSim::new(cfg, &wl).run();
+        assert!(
+            a.trace.sampled > 0,
+            "{model:?}: the trace must sample fetches"
+        );
+        assert_eq!(
+            chrome_trace_json(wl.name, &a.trace),
+            chrome_trace_json(wl.name, &b.trace),
+            "{model:?}: identical (config, seed) must replay a byte-identical trace"
+        );
+    }
+}
+
+#[test]
+fn tracing_leaves_the_report_byte_identical() {
+    // Tracing is observation only: switching it on must not perturb the
+    // simulation, so the exported report is byte-for-byte the same with
+    // and without a sampled trace attached.
+    let wl = workload();
+    let untraced = GpuSim::new(small_gpu(), &wl).run();
+    let mut cfg = small_gpu();
+    cfg.trace_sample = 4;
+    let traced = GpuSim::new(cfg, &wl).run();
+    assert_eq!(
+        report_json("gtx480_small", wl.name, &untraced),
+        report_json("gtx480_small", wl.name, &traced),
+        "a sampled trace must not change the simulation"
+    );
+}
+
+#[test]
 fn different_seed_actually_changes_the_run() {
     // Guards against the trivial failure mode where the report ignores
     // the simulation entirely (a constant report would pass the test
