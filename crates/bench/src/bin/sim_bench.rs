@@ -1,26 +1,37 @@
-//! `sim-bench`: simulator throughput with lifecycle tracing off vs on.
+//! `sim-bench`: simulator throughput with lifecycle tracing off vs on,
+//! plus a per-phase wall-time breakdown of the run loop.
 //!
 //! Runs a small batch of catalog workloads twice — once with tracing
 //! disabled (`trace_sample = 0`, the disabled sink costs one branch per
 //! call site) and once with 1-in-16 sampling — and reports simulated
 //! core-cycles per wall-clock second for each, plus the sampling overhead
-//! percentage. Writes `BENCH_sim.json` at the repo root.
+//! percentage. A third pass with `profile_phases` on attributes the wall
+//! time to core / interconnect / DRAM ticks, telemetry sampling and the
+//! fast-forward scheduler (probe cost and ticks skipped). Writes
+//! `BENCH_sim.json` at the repo root.
 //!
 //! The off pass is the production configuration: tracing must be free when
 //! nobody asked for it. The run also cross-checks that tracing is pure
 //! observation — per-workload IPC must be bit-identical in both passes.
 //!
 //! ```text
-//! cargo run --release -p gmh-bench --bin sim-bench [-- --quick]
+//! cargo run --release -p gmh-bench --bin sim-bench [-- --quick | --smoke]
 //! ```
+//!
+//! `--smoke` is the CI profile: a short batch that exercises both passes
+//! and the identity cross-check without touching `BENCH_sim.json`.
 
-use gmh_core::{GpuConfig, GpuSim};
+use gmh_core::{FastForwardStats, GpuConfig, GpuSim, PhaseProfile};
 use gmh_workloads::catalog;
 use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 
 const WORKLOADS: &[&str] = &["mm", "lbm", "bfs"];
+
+/// `sim_cycles_per_sec` (tracing off) recorded before the run-loop
+/// overhaul, kept for the speedup line in the report.
+const PRE_OVERHAUL_CPS: f64 = 86_849.3;
 
 /// One pass over the batch; returns (elapsed seconds, total core cycles,
 /// per-workload IPC).
@@ -40,9 +51,51 @@ fn run_pass(trace_sample: u64, max_cycles: u64) -> (f64, u64, Vec<f64>) {
     (started.elapsed().as_secs_f64(), cycles, ipcs)
 }
 
+/// The profiled pass: tracing off, phase timers on. Returns the summed
+/// per-phase profile, fast-forward counters and per-workload IPC (which
+/// must match the unprofiled passes — the timers are pure observation).
+fn run_profiled(max_cycles: u64) -> (PhaseProfile, FastForwardStats, Vec<f64>) {
+    let mut profile = PhaseProfile::default();
+    let mut ff = FastForwardStats::default();
+    let mut ipcs = Vec::new();
+    for name in WORKLOADS {
+        let mut cfg = GpuConfig::gtx480_baseline();
+        cfg.max_core_cycles = max_cycles;
+        cfg.profile_phases = true;
+        let wl = catalog::by_name(name).expect("catalog workload");
+        let mut sim = GpuSim::new(cfg, &wl);
+        let stats = sim.run();
+        ipcs.push(stats.ipc);
+        let p = sim.phase_profile();
+        profile.core += p.core;
+        profile.icnt += p.icnt;
+        profile.dram += p.dram;
+        profile.telemetry += p.telemetry;
+        profile.fast_forward += p.fast_forward;
+        let f = sim.ff_stats();
+        ff.jumps += f.jumps;
+        ff.skipped_core += f.skipped_core;
+        ff.skipped_icnt += f.skipped_icnt;
+        ff.skipped_dram += f.skipped_dram;
+        ff.busy_core += f.busy_core;
+        ff.busy_icnt += f.busy_icnt;
+        ff.busy_bank += f.busy_bank;
+        ff.busy_dram += f.busy_dram;
+        ff.zero_window += f.zero_window;
+    }
+    (profile, ff, ipcs)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let max_cycles: u64 = if quick { 100_000 } else { 500_000 };
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let max_cycles: u64 = if smoke {
+        20_000
+    } else if quick {
+        100_000
+    } else {
+        500_000
+    };
     println!(
         "sim-bench: {} workloads x {max_cycles} core cycles, tracing off vs 1-in-16",
         WORKLOADS.len()
@@ -54,10 +107,15 @@ fn main() {
 
     let (off_s, off_cycles, off_ipcs) = run_pass(0, max_cycles);
     let (on_s, on_cycles, on_ipcs) = run_pass(16, max_cycles);
+    let (profile, ff, prof_ipcs) = run_profiled(max_cycles);
 
     assert_eq!(
         off_ipcs, on_ipcs,
         "tracing must not change simulation results"
+    );
+    assert_eq!(
+        off_ipcs, prof_ipcs,
+        "phase timers must not change simulation results"
     );
     assert_eq!(off_cycles, on_cycles, "both passes simulate the same work");
 
@@ -67,6 +125,40 @@ fn main() {
     println!("tracing off: {off_cycles} cycles in {off_s:.3}s = {off_cps:.0} cycles/s");
     println!("1-in-16 on:  {on_cycles} cycles in {on_s:.3}s = {on_cps:.0} cycles/s");
     println!("sampling overhead: {overhead_pct:.1}% (results bit-identical)");
+    println!(
+        "speedup vs pre-overhaul baseline ({PRE_OVERHAUL_CPS:.1} cycles/s): {:.2}x",
+        off_cps / PRE_OVERHAUL_CPS
+    );
+
+    let phase_s = |d: std::time::Duration| d.as_secs_f64();
+    let phases = [
+        ("core", phase_s(profile.core)),
+        ("icnt", phase_s(profile.icnt)),
+        ("dram", phase_s(profile.dram)),
+        ("telemetry", phase_s(profile.telemetry)),
+        ("fast_forward", phase_s(profile.fast_forward)),
+    ];
+    let phase_total: f64 = phases.iter().map(|(_, s)| s).sum();
+    println!("per-phase wall time (profiled pass):");
+    for (name, s) in phases {
+        println!(
+            "  {name:<13} {s:>8.3}s  ({:5.1}%)",
+            100.0 * s / phase_total.max(f64::MIN_POSITIVE)
+        );
+    }
+    println!(
+        "fast-forward: {} jumps, {} ticks skipped (core {}, icnt {}, dram {})",
+        ff.jumps,
+        ff.skipped_total(),
+        ff.skipped_core,
+        ff.skipped_icnt,
+        ff.skipped_dram
+    );
+
+    if smoke {
+        println!("smoke profile: skipping BENCH_sim.json");
+        return;
+    }
 
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -81,12 +173,25 @@ fn main() {
          \"tracing_1_in_16\": {{\n    \"seconds\": {on_s:.6},\n    \
          \"sim_cycles\": {on_cycles},\n    \"sim_cycles_per_sec\": {on_cps:.1}\n  }},\n  \
          \"sampling_overhead_pct\": {overhead_pct:.2},\n  \
+         \"pre_overhaul_sim_cycles_per_sec\": {PRE_OVERHAUL_CPS:.1},\n  \
+         \"speedup_vs_pre_overhaul\": {:.3},\n  \
+         \"phase_profile_seconds\": {{\n    \"core\": {:.6},\n    \"icnt\": {:.6},\n    \
+         \"dram\": {:.6},\n    \"telemetry\": {:.6},\n    \"fast_forward\": {:.6}\n  }},\n  \
+         \"fast_forward\": {{\n    \"jumps\": {},\n    \"ticks_skipped\": {}\n  }},\n  \
          \"results_identical\": true\n}}\n",
         WORKLOADS
             .iter()
             .map(|w| format!("\"{w}\""))
             .collect::<Vec<_>>()
             .join(", "),
+        off_cps / PRE_OVERHAUL_CPS,
+        phase_s(profile.core),
+        phase_s(profile.icnt),
+        phase_s(profile.dram),
+        phase_s(profile.telemetry),
+        phase_s(profile.fast_forward),
+        ff.jumps,
+        ff.skipped_total(),
     );
     let mut f = std::fs::File::create(&out).expect("create BENCH_sim.json");
     f.write_all(json.as_bytes()).expect("write BENCH_sim.json");

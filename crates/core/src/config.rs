@@ -83,6 +83,17 @@ pub struct GpuConfig {
     /// the cap are counted as dropped). Must be non-zero when
     /// `trace_sample` is.
     pub trace_event_cap: u64,
+    /// Disables the idle-phase fast-forward scheduler: every clock edge is
+    /// stepped naively. The fast-forward path is bit-identical by
+    /// construction; this switch exists so equivalence tests (and
+    /// benchmark overhead measurements) can run the reference loop.
+    pub force_naive_loop: bool,
+    /// Times every run-loop phase (core/icnt/dram/telemetry/fast-forward)
+    /// with wall-clock timers so `sim-bench` can report a per-phase
+    /// breakdown. Off by default: the timed dispatch adds two `Instant`
+    /// reads per tick, which would distort the headline throughput numbers.
+    /// Simulation results are identical either way.
+    pub profile_phases: bool,
 }
 
 impl GpuConfig {
@@ -108,6 +119,8 @@ impl GpuConfig {
             telemetry_window: 512,
             trace_sample: 0,
             trace_event_cap: 65_536,
+            force_naive_loop: false,
+            profile_phases: false,
         }
     }
 

@@ -7,7 +7,7 @@ use gmh_cache::{
     ProbeResult, WriteOutcome,
 };
 use gmh_types::trace::{Level, TraceEventKind, TraceSink};
-use gmh_types::{BoundedQueue, Cycle, FetchId, MemFetch, OccupancyHistogram, Picos};
+use gmh_types::{BoundedQueue, Cycle, EventBound, FetchId, MemFetch, OccupancyHistogram, Picos};
 
 /// One L2 bank: cache slice + queues + port + stall attribution.
 #[derive(Clone, Debug)]
@@ -161,6 +161,37 @@ impl L2Bank {
                 .push((ready, fetch))
                 .expect("caller reserved response space");
         }
+    }
+
+    /// Conservative idle probe for the fast-forward scheduler: `Busy`
+    /// unless the bank provably does nothing strictly before its own cycle
+    /// `bound`. Quiescence requires an empty access queue (a queued head is
+    /// processed — or charged a stall — every cycle) and an empty miss
+    /// queue (the DRAM scheduler could accept its head on any dram tick);
+    /// a parked response is inert until its pipeline-release cycle.
+    /// Outstanding MSHR fills are travelling inside the DRAM channel, whose
+    /// own probe covers them.
+    pub fn next_event_bound(&self) -> EventBound {
+        if !self.access_queue.is_empty() || self.cache.miss_queue_len() != 0 {
+            return EventBound::Busy;
+        }
+        match self.response_queue.front() {
+            // Poppable on the next icnt tick (`ready <= now'` with
+            // `now' = now + 1`): the reply network may inject it.
+            Some((ready, _)) if *ready <= self.now + 1 => EventBound::Busy,
+            Some((ready, _)) => EventBound::quiet_until(*ready),
+            None => EventBound::quiet_external(),
+        }
+    }
+
+    /// Applies `k` quiescent cycles in one step: exactly what `k` calls of
+    /// [`L2Bank::cycle`] would do from a state where
+    /// [`L2Bank::next_event_bound`] returned quiet — advance the clock.
+    /// (The per-cycle occupancy sample is a no-op: the access queue is
+    /// empty, outside the histogram's usage lifetime.)
+    pub fn skip_cycles(&mut self, k: u64) {
+        debug_assert!(!matches!(self.next_event_bound(), EventBound::Busy));
+        self.now += k;
     }
 
     /// Whether all bank state has drained.

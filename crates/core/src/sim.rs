@@ -6,10 +6,11 @@ use crate::stats::SimStats;
 use gmh_cache::TagArray;
 use gmh_dram::DramChannel;
 use gmh_icnt::Crossbar;
-use gmh_simt::SimtCore;
+use gmh_simt::{CoreIdleProbe, IssueStallKind, SimtCore};
 use gmh_types::trace::{Level, TraceEventKind, TraceSink};
 use gmh_types::{
-    stable_hash_str, ClockDomains, DomainId, FetchAudit, MemFetch, Picos, SeriesId, Telemetry,
+    stable_hash_str, ClockDomains, DomainId, EventBound, FetchAudit, MemFetch, Picos, SeriesId,
+    Telemetry,
 };
 use gmh_workloads::WorkloadSpec;
 use std::collections::VecDeque;
@@ -70,6 +71,53 @@ impl SeriesIds {
     }
 }
 
+/// Wall-clock time spent in each run-loop phase, collected only when
+/// [`GpuConfig::profile_phases`] is set (purely observational).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseProfile {
+    /// Core-domain ticks (issue/fetch/LSU/ideal delivery).
+    pub core: std::time::Duration,
+    /// Interconnect ticks (crossbar, L2 banks, DRAM hand-off).
+    pub icnt: std::time::Duration,
+    /// DRAM-domain ticks.
+    pub dram: std::time::Duration,
+    /// Telemetry sampling (one sample per interconnect tick).
+    pub telemetry: std::time::Duration,
+    /// Fast-forward probes and bulk skips.
+    pub fast_forward: std::time::Duration,
+}
+
+/// Counters describing how often the fast-forward scheduler engaged and
+/// why it refused (purely observational — never fed back into simulation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FastForwardStats {
+    /// Successful jumps (≥1 tick skipped).
+    pub jumps: u64,
+    /// Core-domain ticks skipped across all jumps.
+    pub skipped_core: u64,
+    /// Interconnect-domain ticks skipped across all jumps.
+    pub skipped_icnt: u64,
+    /// DRAM-domain ticks skipped across all jumps.
+    pub skipped_dram: u64,
+    /// Probe refusals where a core was the first component found busy.
+    pub busy_core: u64,
+    /// Probe refusals where a network (or its ejection backlog) was busy.
+    pub busy_icnt: u64,
+    /// Probe refusals where an L2 bank was busy.
+    pub busy_bank: u64,
+    /// Probe refusals where a DRAM channel (or ideal queue) was busy.
+    pub busy_dram: u64,
+    /// Probes where everything was quiet but no tick fit under the bound.
+    pub zero_window: u64,
+}
+
+impl FastForwardStats {
+    /// Total ticks skipped across all domains.
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped_core + self.skipped_icnt + self.skipped_dram
+    }
+}
+
 /// The simulated GPU: cores, crossbar, L2 banks and DRAM channels advanced
 /// under three clock domains.
 ///
@@ -102,6 +150,18 @@ pub struct GpuSim {
     prev_rep_flits: u64,
     /// Last-sampled L2 stall totals (bp-ICNT, port, cache, MSHR, bp-DRAM).
     prev_l2_stalls: [u64; 5],
+    /// Per-core blocked flags reused by [`GpuSim::deliver_ideal`] every core
+    /// cycle (hoisted out of the hot loop so it allocates nothing).
+    ideal_blocked: Vec<bool>,
+    /// Reusable holding deque for the ideal-delivery compaction pass.
+    ideal_scratch: VecDeque<(u64, MemFetch)>,
+    /// Per-core stall classes captured by the last successful fast-forward
+    /// probe (scratch; valid only inside [`GpuSim::try_fast_forward`]).
+    ff_stalls: Vec<Option<IssueStallKind>>,
+    /// Observational fast-forward engagement counters.
+    ff_stats: FastForwardStats,
+    /// Per-phase wall time (populated only under `cfg.profile_phases`).
+    profile: PhaseProfile,
     workload: String,
 }
 
@@ -194,6 +254,11 @@ impl GpuSim {
             prev_req_flits: 0,
             prev_rep_flits: 0,
             prev_l2_stalls: [0; 5],
+            ideal_blocked: vec![false; cfg.n_cores],
+            ideal_scratch: VecDeque::new(),
+            ff_stalls: vec![None; cfg.n_cores],
+            ff_stats: FastForwardStats::default(),
+            profile: PhaseProfile::default(),
             workload: name.to_string(),
             cfg,
         }
@@ -202,6 +267,17 @@ impl GpuSim {
     /// The workload name this sim runs.
     pub fn workload(&self) -> &str {
         &self.workload
+    }
+
+    /// Fast-forward engagement counters for the run so far.
+    pub fn ff_stats(&self) -> &FastForwardStats {
+        &self.ff_stats
+    }
+
+    /// Per-phase wall-time breakdown (all zero unless the run was
+    /// configured with [`GpuConfig::profile_phases`]).
+    pub fn phase_profile(&self) -> &PhaseProfile {
+        &self.profile
     }
 
     fn uses_hierarchy(&self) -> bool {
@@ -236,31 +312,56 @@ impl GpuSim {
     }
 
     /// Runs to completion (or the cycle cap) and returns the statistics.
+    ///
+    /// The loop is event-aware: when every component proves itself inert
+    /// (the internal `try_fast_forward` probe) the clocks jump to the earliest
+    /// possible next event in one step, with each component replaying its
+    /// per-cycle bookkeeping in bulk. The jump is bit-identical to stepping
+    /// naively by construction; `cfg.force_naive_loop` disables it so
+    /// equivalence tests can compare both paths.
     pub fn run(&mut self) -> SimStats {
         let mut hit_cap = false;
+        // Probe throttle: a failed probe (something was busy) predicts more
+        // busy cycles, so back off exponentially before probing again.
+        // Probes are pure, so any throttle policy preserves bit-identity.
+        let mut ff_backoff: u64 = 0;
+        let mut ff_cooldown: u64 = 0;
         loop {
             let core_cycles = self.clocks.domain(DomainId::Core).cycles();
             if core_cycles >= self.cfg.max_core_cycles {
                 hit_cap = true;
                 break;
             }
-            // done() walks every warp; poll it coarsely.
+            // done() is cheap (drained-warp counters), but the coarse
+            // 64-cycle stride is kept because it pins the recorded
+            // termination cycle — which the fast-forward path must not
+            // overshoot (its probe refuses to skip once done() holds).
             if core_cycles.is_multiple_of(64) && self.done() {
                 break;
             }
+            if !self.cfg.force_naive_loop {
+                if ff_cooldown == 0 {
+                    let t0 = self.cfg.profile_phases.then(std::time::Instant::now);
+                    let jumped = self.try_fast_forward();
+                    if let Some(t0) = t0 {
+                        self.profile.fast_forward += t0.elapsed();
+                    }
+                    if jumped {
+                        ff_backoff = 0;
+                        continue;
+                    }
+                    ff_backoff = (ff_backoff * 2).clamp(1, 64);
+                    ff_cooldown = ff_backoff;
+                } else {
+                    ff_cooldown -= 1;
+                }
+            }
             let fired = self.clocks.advance();
             let now_ps = self.clocks.now();
-            if fired.icnt {
-                if self.uses_hierarchy() {
-                    self.icnt_tick(now_ps);
-                }
-                self.sample_telemetry();
-            }
-            if fired.dram {
-                self.dram_tick();
-            }
-            if fired.core {
-                self.core_tick(now_ps);
+            if self.cfg.profile_phases {
+                self.dispatch_ticks_profiled(fired, now_ps);
+            } else {
+                self.dispatch_ticks(fired, now_ps);
             }
         }
         let stats = self.collect(hit_cap);
@@ -284,35 +385,210 @@ impl GpuSim {
         stats
     }
 
-    /// Samples every observed queue/counter into the telemetry sink; runs
-    /// once per interconnect cycle.
-    fn sample_telemetry(&mut self) {
+    /// Runs every domain tick fired by one clock edge (the naive path).
+    fn dispatch_ticks(&mut self, fired: gmh_types::TickSet, now_ps: Picos) {
+        if fired.icnt {
+            if self.uses_hierarchy() {
+                self.icnt_tick(now_ps);
+            }
+            self.sample_telemetry();
+        }
+        if fired.dram {
+            self.dram_tick();
+        }
+        if fired.core {
+            self.core_tick(now_ps);
+        }
+    }
+
+    /// [`GpuSim::dispatch_ticks`] with a wall-clock timer around each phase
+    /// (same calls in the same order; results are identical).
+    fn dispatch_ticks_profiled(&mut self, fired: gmh_types::TickSet, now_ps: Picos) {
+        use std::time::Instant;
+        if fired.icnt {
+            if self.uses_hierarchy() {
+                let t0 = Instant::now();
+                self.icnt_tick(now_ps);
+                self.profile.icnt += t0.elapsed();
+            }
+            let t0 = Instant::now();
+            self.sample_telemetry();
+            self.profile.telemetry += t0.elapsed();
+        }
+        if fired.dram {
+            let t0 = Instant::now();
+            self.dram_tick();
+            self.profile.dram += t0.elapsed();
+        }
+        if fired.core {
+            let t0 = Instant::now();
+            self.core_tick(now_ps);
+            self.profile.core += t0.elapsed();
+        }
+    }
+
+    /// Attempts one idle-phase fast-forward jump. Returns `true` when it
+    /// advanced the clocks (the caller restarts its loop), `false` when any
+    /// component was busy or no tick fit under the bound.
+    ///
+    /// Safety argument: each component's probe answers `Busy` or a
+    /// conservative bound on the first tick of its own domain at which it
+    /// could act (see [`EventBound`]). While *every* component is inert, no
+    /// new event can be created — the machine's state is frozen apart from
+    /// constant per-cycle bookkeeping — so the minimum of all bounds (as an
+    /// exclusive picosecond instant) is a sound global jump target: every
+    /// skipped tick of every domain would have been a no-op apart from that
+    /// bookkeeping, which the per-component `skip`/`*_repeated` methods
+    /// replay in closed form. Probing is pure; under-skipping is always
+    /// safe and merely falls back to the naive loop.
+    fn try_fast_forward(&mut self) -> bool {
+        // A drained machine must step naively to its next 64-cycle done()
+        // poll so the recorded termination cycle is unchanged.
+        if self.done() {
+            return false;
+        }
+        let core_period = self.clocks.domain(DomainId::Core).period_ps();
+        let icnt_period = self.clocks.domain(DomainId::Icnt).period_ps();
+        let dram_period = self.clocks.domain(DomainId::Dram).period_ps();
+        // Exclusive picosecond bound on skippable tick instants. A domain
+        // tick with index N fires at (N-1)*period, so a component bound of
+        // "inert strictly before tick N" converts to (N-1)*period. Seed
+        // with the cycle cap: naive execution fires nothing at any instant
+        // after core tick `max_core_cycles` (time (max-1)*core_period).
+        let mut t: Picos = (self.cfg.max_core_cycles.saturating_sub(1)) * core_period + 1;
+
+        // Cheapest probes first, bailing out on the first busy component.
+        if self.uses_hierarchy() {
+            // Parked ejections are re-offered to L2 banks / core FIFOs on
+            // every icnt tick; only an empty backlog is inert.
+            if self.xbar.request().ejection_backlog() > 0
+                || self.xbar.reply().ejection_backlog() > 0
+            {
+                self.ff_stats.busy_icnt += 1;
+                return false;
+            }
+            for net in [self.xbar.request(), self.xbar.reply()] {
+                match net.next_event_bound() {
+                    EventBound::Busy => {
+                        self.ff_stats.busy_icnt += 1;
+                        return false;
+                    }
+                    EventBound::QuietUntil { bound: Some(b) } => {
+                        t = t.min((b - 1) * icnt_period);
+                    }
+                    EventBound::QuietUntil { bound: None } => {}
+                }
+            }
+            for bank in &self.banks {
+                match bank.next_event_bound() {
+                    EventBound::Busy => {
+                        self.ff_stats.busy_bank += 1;
+                        return false;
+                    }
+                    EventBound::QuietUntil { bound: Some(b) } => {
+                        t = t.min((b - 1) * icnt_period);
+                    }
+                    EventBound::QuietUntil { bound: None } => {}
+                }
+            }
+        }
+        if matches!(self.cfg.memory_model, MemoryModel::Full) {
+            let dram_now = self.clocks.domain(DomainId::Dram).cycles();
+            for ch in &self.channels {
+                match ch.next_event_bound(dram_now) {
+                    EventBound::Busy => {
+                        self.ff_stats.busy_dram += 1;
+                        return false;
+                    }
+                    EventBound::QuietUntil { bound: Some(b) } => {
+                        t = t.min((b - 1) * dram_period);
+                    }
+                    EventBound::QuietUntil { bound: None } => {}
+                }
+            }
+        }
+        // Ideal in-flight queues are FIFO by ready time, so the front is
+        // each queue's earliest event. No busy case: a due-but-blocked
+        // front simply pins `t` into the past and the jump fires nothing.
+        for q in [&self.ideal_fast, &self.ideal_slow] {
+            if let Some((ready_cycle, _)) = q.front() {
+                t = t.min(ready_cycle.saturating_sub(1) * core_period);
+            }
+        }
+        for q in &self.ideal_dram {
+            if let Some((ready_ps, _)) = q.front() {
+                t = t.min(*ready_ps);
+            }
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            match c.next_event_bound() {
+                CoreIdleProbe::Busy => {
+                    self.ff_stats.busy_core += 1;
+                    return false;
+                }
+                CoreIdleProbe::Quiet { bound, stall } => {
+                    self.ff_stalls[i] = stall;
+                    if let Some(b) = bound {
+                        t = t.min((b - 1) * core_period);
+                    }
+                }
+            }
+        }
+
+        let dram_now = self.clocks.domain(DomainId::Dram).cycles();
+        let counts = self.clocks.fast_forward(t);
+        if counts.total() == 0 {
+            self.ff_stats.zero_window += 1;
+            return false;
+        }
+        self.ff_stats.jumps += 1;
+        self.ff_stats.skipped_core += counts.core;
+        self.ff_stats.skipped_icnt += counts.icnt;
+        self.ff_stats.skipped_dram += counts.dram;
+        // Replay each skipped tick's constant bookkeeping in bulk, exactly
+        // as the naive loop's per-tick calls would have.
+        if counts.core > 0 {
+            for (i, c) in self.cores.iter_mut().enumerate() {
+                c.skip_idle(counts.core, self.ff_stalls[i]);
+            }
+        }
+        if counts.icnt > 0 {
+            if self.uses_hierarchy() {
+                self.xbar.request_mut().skip_cycles(counts.icnt);
+                self.xbar.reply_mut().skip_cycles(counts.icnt);
+                for bank in &mut self.banks {
+                    bank.skip_cycles(counts.icnt);
+                }
+            }
+            self.sample_telemetry_repeated(counts.icnt);
+        }
+        if counts.dram > 0 && matches!(self.cfg.memory_model, MemoryModel::Full) {
+            for ch in &mut self.channels {
+                ch.skip_cycles(counts.dram, dram_now);
+            }
+        }
+        true
+    }
+
+    /// Computes this interconnect cycle's sample for every telemetry series
+    /// (updating the flit/stall delta baselines as a side effect). Shared
+    /// by the per-cycle path and the fast-forward bulk replay — during a
+    /// quiescent window every one of these values is frozen, so computing
+    /// them once and repeating the sample is exact.
+    fn telemetry_values(&mut self) -> [(SeriesId, f64); 19] {
         let ids = self.ids;
         let l1_miss: usize = self.cores.iter().map(|c| c.miss_queue_len()).sum();
         let resp_fifo: usize = self.cores.iter().map(|c| c.response_fifo_len()).sum();
-        self.telemetry.record(ids.l1_miss_queue, l1_miss as f64);
-        self.telemetry
-            .record(ids.core_response_fifo, resp_fifo as f64);
 
         let req = self.xbar.request();
         let rep = self.xbar.reply();
         let (req_flits, rep_flits) = (req.stats().flits.get(), rep.stats().flits.get());
-        self.telemetry
-            .record(ids.req_inject_flits, req.buffered_flits() as f64);
-        self.telemetry
-            .record(ids.req_eject_backlog, req.ejection_backlog() as f64);
-        self.telemetry.record(
-            ids.req_flits_per_cycle,
-            (req_flits - self.prev_req_flits) as f64,
-        );
-        self.telemetry
-            .record(ids.rep_inject_flits, rep.buffered_flits() as f64);
-        self.telemetry
-            .record(ids.rep_eject_backlog, rep.ejection_backlog() as f64);
-        self.telemetry.record(
-            ids.rep_flits_per_cycle,
-            (rep_flits - self.prev_rep_flits) as f64,
-        );
+        let req_rate = req_flits - self.prev_req_flits;
+        let rep_rate = rep_flits - self.prev_rep_flits;
+        let req_buffered = req.buffered_flits();
+        let req_backlog = req.ejection_backlog();
+        let rep_buffered = rep.buffered_flits();
+        let rep_backlog = rep.ejection_backlog();
         self.prev_req_flits = req_flits;
         self.prev_rep_flits = rep_flits;
 
@@ -331,32 +607,68 @@ impl GpuSim {
             stalls[3] += s.mshr.get();
             stalls[4] += s.bp_dram.get();
         }
-        self.telemetry.record(ids.l2_access_queue, access_q as f64);
-        self.telemetry.record(ids.l2_miss_queue, miss_q as f64);
-        self.telemetry.record(ids.l2_response_queue, resp_q as f64);
-        for (id, i) in [
-            (ids.l2_stall_bp_icnt, 0),
-            (ids.l2_stall_port, 1),
-            (ids.l2_stall_cache, 2),
-            (ids.l2_stall_mshr, 3),
-            (ids.l2_stall_bp_dram, 4),
-        ] {
-            self.telemetry
-                .record(id, (stalls[i] - self.prev_l2_stalls[i]) as f64);
+        let mut stall_deltas = [0u64; 5];
+        for i in 0..5 {
+            stall_deltas[i] = stalls[i] - self.prev_l2_stalls[i];
         }
         self.prev_l2_stalls = stalls;
 
         let sched: usize = self.channels.iter().map(|c| c.queue_len()).sum();
         let dresp: usize = self.channels.iter().map(|c| c.response_queue_len()).sum();
-        self.telemetry.record(ids.dram_sched_queue, sched as f64);
-        self.telemetry.record(ids.dram_response_queue, dresp as f64);
 
         let ideal: usize = self.ideal_fast.len()
             + self.ideal_slow.len()
             + self.ideal_dram.iter().map(|q| q.len()).sum::<usize>();
-        self.telemetry.record(ids.ideal_in_flight, ideal as f64);
 
+        [
+            (ids.l1_miss_queue, l1_miss as f64),
+            (ids.core_response_fifo, resp_fifo as f64),
+            (ids.req_inject_flits, req_buffered as f64),
+            (ids.req_eject_backlog, req_backlog as f64),
+            (ids.req_flits_per_cycle, req_rate as f64),
+            (ids.rep_inject_flits, rep_buffered as f64),
+            (ids.rep_eject_backlog, rep_backlog as f64),
+            (ids.rep_flits_per_cycle, rep_rate as f64),
+            (ids.l2_access_queue, access_q as f64),
+            (ids.l2_miss_queue, miss_q as f64),
+            (ids.l2_response_queue, resp_q as f64),
+            (ids.l2_stall_bp_icnt, stall_deltas[0] as f64),
+            (ids.l2_stall_port, stall_deltas[1] as f64),
+            (ids.l2_stall_cache, stall_deltas[2] as f64),
+            (ids.l2_stall_mshr, stall_deltas[3] as f64),
+            (ids.l2_stall_bp_dram, stall_deltas[4] as f64),
+            (ids.dram_sched_queue, sched as f64),
+            (ids.dram_response_queue, dresp as f64),
+            (ids.ideal_in_flight, ideal as f64),
+        ]
+    }
+
+    /// Samples every observed queue/counter into the telemetry sink; runs
+    /// once per interconnect cycle.
+    fn sample_telemetry(&mut self) {
+        for (id, v) in self.telemetry_values() {
+            self.telemetry.record(id, v);
+        }
         self.telemetry.tick();
+    }
+
+    /// Replays `k` identical telemetry samples at once (the fast-forward
+    /// counterpart of [`GpuSim::sample_telemetry`]): the sampled values are
+    /// frozen across a quiescent window, so each skipped interconnect cycle
+    /// records the same sample. Windows are flushed at the same boundaries
+    /// the per-cycle path would hit; every sum stays exact because the
+    /// samples are integer-valued and far below 2^53.
+    fn sample_telemetry_repeated(&mut self, k: u64) {
+        let values = self.telemetry_values();
+        let mut left = k;
+        while left > 0 {
+            let chunk = left.min(self.telemetry.ticks_to_boundary());
+            for (id, v) in values {
+                self.telemetry.record_n(id, v, chunk);
+            }
+            self.telemetry.tick_n(chunk);
+            left -= chunk;
+        }
     }
 
     // ---- core domain --------------------------------------------------------
@@ -419,23 +731,36 @@ impl GpuSim {
         // but the queues are shared across cores: one core's full response
         // FIFO must not hold back other cores' ready responses behind it.
         // Scan past entries for blocked cores, preserving per-core order.
-        let mut blocked = vec![false; self.cores.len()];
-        for q in [&mut self.ideal_fast, &mut self.ideal_slow] {
-            blocked.fill(false);
-            let mut i = 0;
-            while i < q.len() {
-                let (ready, f) = &q[i];
-                if *ready > cyc {
-                    break; // ready times are non-decreasing
+        // The scan compacts survivors into a reusable scratch deque (a
+        // single O(n) pass instead of O(n) `VecDeque::remove` per
+        // delivery), and both the scratch and the per-core blocked flags
+        // live on the sim, so the per-cycle path allocates nothing.
+        for which in 0..2 {
+            let src = if which == 0 {
+                &mut self.ideal_fast
+            } else {
+                &mut self.ideal_slow
+            };
+            if !matches!(src.front(), Some((ready, _)) if *ready <= cyc) {
+                continue; // nothing due: the common (and hot) case
+            }
+            let mut q = std::mem::take(src);
+            let mut kept = std::mem::take(&mut self.ideal_scratch);
+            debug_assert!(kept.is_empty());
+            self.ideal_blocked.fill(false);
+            while let Some((ready, f)) = q.pop_front() {
+                if ready > cyc {
+                    // Ready times are non-decreasing: keep the tail as is.
+                    kept.push_back((ready, f));
+                    break;
                 }
                 let core = f.core_id;
-                if blocked[core] || !self.cores[core].can_accept_response() {
-                    blocked[core] = true;
-                    i += 1;
+                if self.ideal_blocked[core] || !self.cores[core].can_accept_response() {
+                    self.ideal_blocked[core] = true;
+                    kept.push_back((ready, f));
                     continue;
                 }
-                // INVARIANT: i < q.len() by the loop condition.
-                let (_, mut f) = q.remove(i).expect("index in range");
+                let mut f = f;
                 f.serviced_by = gmh_types::fetch::ServicedBy::Ideal;
                 f.time.returned = now_ps;
                 self.audit.returned(&f, now_ps);
@@ -444,6 +769,13 @@ impl GpuSim {
                 // INVARIANT: can_accept_response() held just above.
                 self.cores[core].push_response(f).expect("space checked");
             }
+            kept.append(&mut q);
+            *if which == 0 {
+                &mut self.ideal_fast
+            } else {
+                &mut self.ideal_slow
+            } = kept;
+            self.ideal_scratch = q; // drained, but keeps its capacity
         }
     }
 
@@ -478,30 +810,33 @@ impl GpuSim {
 
         // 3. Ejected requests enter L2 access queues (or stay in the
         //    crossbar's ejection buffers when a queue is full — that is the
-        //    back-pressure path up toward the L1s).
-        for b in 0..self.banks.len() {
-            while self.xbar.request().peek_eject(b).is_some() {
-                if !self.banks[b].can_accept() {
-                    break;
-                }
-                // INVARIANT: peek_eject() returned Some in the loop guard.
-                let mut f = self.xbar.request_mut().pop_eject(b).expect("peeked");
-                f.time.l2_arrive = now_ps;
-                self.trace
-                    .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Icnt));
-                if f.kind.wants_response() {
+        //    back-pressure path up toward the L1s). An empty backlog means
+        //    every per-bank loop below would fall through its peek guard.
+        if self.xbar.request().ejection_backlog() > 0 {
+            for b in 0..self.banks.len() {
+                while self.xbar.request().peek_eject(b).is_some() {
+                    if !self.banks[b].can_accept() {
+                        break;
+                    }
+                    // INVARIANT: peek_eject() returned Some in the loop guard.
+                    let mut f = self.xbar.request_mut().pop_eject(b).expect("peeked");
+                    f.time.l2_arrive = now_ps;
                     self.trace
-                        .record_fetch(&f, now_ps, TraceEventKind::EnqueuedAt(Level::L2));
-                } else {
-                    // A store reaching its L2 bank will be absorbed there
-                    // (the bank retries internally until it lands); this is
-                    // its terminal conservation event — and the trace's.
-                    self.audit.absorbed(&f);
-                    self.trace
-                        .record_fetch(&f, now_ps, TraceEventKind::Absorbed);
+                        .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Icnt));
+                    if f.kind.wants_response() {
+                        self.trace
+                            .record_fetch(&f, now_ps, TraceEventKind::EnqueuedAt(Level::L2));
+                    } else {
+                        // A store reaching its L2 bank will be absorbed there
+                        // (the bank retries internally until it lands); this is
+                        // its terminal conservation event — and the trace's.
+                        self.audit.absorbed(&f);
+                        self.trace
+                            .record_fetch(&f, now_ps, TraceEventKind::Absorbed);
+                    }
+                    // INVARIANT: can_accept() held just above.
+                    self.banks[b].push_access(f).expect("can_accept checked");
                 }
-                // INVARIANT: can_accept() held just above.
-                self.banks[b].push_access(f).expect("can_accept checked");
             }
         }
 
@@ -631,21 +966,24 @@ impl GpuSim {
             }
         }
 
-        // 8. Ejected replies enter core response FIFOs.
-        for c in 0..self.cores.len() {
-            while self.xbar.reply().peek_eject(c).is_some() {
-                if !self.cores[c].can_accept_response() {
-                    break;
+        // 8. Ejected replies enter core response FIFOs. Same early-out as
+        //    step 3: no backlog, nothing to re-offer.
+        if self.xbar.reply().ejection_backlog() > 0 {
+            for c in 0..self.cores.len() {
+                while self.xbar.reply().peek_eject(c).is_some() {
+                    if !self.cores[c].can_accept_response() {
+                        break;
+                    }
+                    // INVARIANT: peek_eject() returned Some in the loop guard.
+                    let f = self.xbar.reply_mut().pop_eject(c).expect("peeked");
+                    self.audit.returned(&f, now_ps);
+                    self.trace
+                        .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Icnt));
+                    self.trace
+                        .record_fetch(&f, now_ps, TraceEventKind::Returned);
+                    // INVARIANT: can_accept_response() held just above.
+                    self.cores[c].push_response(f).expect("space checked");
                 }
-                // INVARIANT: peek_eject() returned Some in the loop guard.
-                let f = self.xbar.reply_mut().pop_eject(c).expect("peeked");
-                self.audit.returned(&f, now_ps);
-                self.trace
-                    .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Icnt));
-                self.trace
-                    .record_fetch(&f, now_ps, TraceEventKind::Returned);
-                // INVARIANT: can_accept_response() held just above.
-                self.cores[c].push_response(f).expect("space checked");
             }
         }
     }

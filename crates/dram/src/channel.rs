@@ -2,7 +2,9 @@
 
 use crate::bank::BankState;
 use crate::timing::DramTiming;
-use gmh_types::{BoundedQueue, Cycle, LineAddr, MemFetch, OccupancyHistogram, RatioStat};
+use gmh_types::{
+    BoundedQueue, Cycle, EventBound, LineAddr, MemFetch, OccupancyHistogram, RatioStat,
+};
 
 /// Command-scheduling policy of the controller.
 ///
@@ -251,6 +253,52 @@ impl DramChannel {
 
     fn transfer_cycles(&self) -> Cycle {
         (gmh_types::LINE_SIZE as Cycle).div_ceil(self.cfg.bus_bytes_per_cycle as Cycle)
+    }
+
+    /// Conservative idle probe for the fast-forward scheduler. `now` is the
+    /// DRAM cycle count passed to the most recent [`DramChannel::cycle`]
+    /// call (the next call will receive `now + 1`).
+    ///
+    /// `Busy` unless the channel provably issues no command and delivers no
+    /// data strictly before its own cycle `bound`: buffered responses may
+    /// fill the L2 on any dram tick, and a scheduler-queue entry or
+    /// in-flight burst becoming visible/finished at or before `now + 1`
+    /// can act on the very next tick. While every entry is still hidden
+    /// behind the fixed off-chip latency (and every burst unfinished), the
+    /// command chooser deterministically picks nothing — only the constant
+    /// per-cycle occupancy sample and efficiency denominator advance, which
+    /// [`DramChannel::skip_cycles`] replays in bulk.
+    pub fn next_event_bound(&self, now: Cycle) -> EventBound {
+        if !self.response.is_empty() {
+            return EventBound::Busy;
+        }
+        let mut earliest = Cycle::MAX;
+        for p in self.queue.iter() {
+            if p.visible_at <= now + 1 {
+                return EventBound::Busy;
+            }
+            earliest = earliest.min(p.visible_at);
+        }
+        for (done, _) in &self.in_flight {
+            if *done <= now + 1 {
+                return EventBound::Busy;
+            }
+            earliest = earliest.min(*done);
+        }
+        EventBound::quiet_until(earliest)
+    }
+
+    /// Applies `k` quiescent cycles in one step: exactly what `k` calls of
+    /// [`DramChannel::cycle`] would do from a state where
+    /// [`DramChannel::next_event_bound`] returned quiet — sample the frozen
+    /// scheduler-queue occupancy and count the pending-work cycles into the
+    /// bandwidth-efficiency denominator.
+    pub fn skip_cycles(&mut self, k: u64, now: Cycle) {
+        debug_assert!(!matches!(self.next_event_bound(now), EventBound::Busy));
+        self.queue.sample_occupancy_n(k);
+        if !self.queue.is_empty() || !self.in_flight.is_empty() {
+            self.stats.efficiency.add(0, k);
+        }
     }
 
     /// Advances the channel by one command-clock cycle.

@@ -9,7 +9,7 @@
 //! buffers — and from there to the L1 miss queues / L2 response queues.
 
 use gmh_types::queue::BoundedQueue;
-use gmh_types::{Counter, Cycle, MemFetch};
+use gmh_types::{Counter, Cycle, EventBound, MemFetch};
 
 #[derive(Clone, Debug)]
 struct Packet {
@@ -56,6 +56,20 @@ pub struct Network {
     output_speedup: usize,
     now: Cycle,
     stats: NetworkStats,
+    /// Per-cycle "input already sent a flit" scratch, hoisted out of
+    /// [`Network::cycle`] so the hot loop never allocates.
+    input_used: Vec<bool>,
+    /// Per-destination scratch lists of sources whose head packet is
+    /// eligible this cycle, in ascending source order (reused; only the
+    /// destinations in `active_dsts` are populated and cleared).
+    dst_members: Vec<Vec<usize>>,
+    /// Destinations with a non-empty `dst_members` list this cycle.
+    active_dsts: Vec<usize>,
+    /// Total flits across all injection buffers (incremental mirror of
+    /// `input_flits`, so telemetry reads are O(1)).
+    buffered_total: usize,
+    /// Total packets across all ejection buffers (incremental, O(1) reads).
+    backlog_total: usize,
 }
 
 impl Network {
@@ -128,6 +142,11 @@ impl Network {
             output_speedup,
             now: 0,
             stats: NetworkStats::default(),
+            input_used: vec![false; n_src],
+            dst_members: vec![Vec::new(); n_dst],
+            active_dsts: Vec::with_capacity(n_dst),
+            buffered_total: 0,
+            backlog_total: 0,
         }
     }
 
@@ -188,6 +207,8 @@ impl Network {
         }
         // lint: allow(R3): u32 -> usize is lossless on supported targets.
         self.input_flits[src] += flits as usize;
+        // lint: allow(R3): u32 -> usize is lossless on supported targets.
+        self.buffered_total += flits as usize;
         let packet = Packet {
             fetch,
             dst,
@@ -209,6 +230,7 @@ impl Network {
         let f = self.outputs[dst].pop();
         if f.is_some() {
             self.output_reserved[dst] -= 1;
+            self.backlog_total -= 1;
         }
         f
     }
@@ -218,14 +240,19 @@ impl Network {
         self.outputs[dst].front()
     }
 
-    /// Flits currently buffered in all injection queues (telemetry).
+    /// Flits currently buffered in all injection queues (telemetry; O(1)).
     pub fn buffered_flits(&self) -> usize {
-        self.input_flits.iter().sum()
+        debug_assert_eq!(self.buffered_total, self.input_flits.iter().sum::<usize>());
+        self.buffered_total
     }
 
-    /// Delivered packets waiting in all ejection buffers (telemetry).
+    /// Delivered packets waiting in all ejection buffers (telemetry; O(1)).
     pub fn ejection_backlog(&self) -> usize {
-        self.outputs.iter().map(|q| q.len()).sum()
+        debug_assert_eq!(
+            self.backlog_total,
+            self.outputs.iter().map(|q| q.len()).sum::<usize>()
+        );
+        self.backlog_total
     }
 
     /// Whether any packets are buffered anywhere in the network.
@@ -237,37 +264,64 @@ impl Network {
     /// flit from one input, each input sends at most one flit.
     pub fn cycle(&mut self) {
         self.now += 1;
-        let mut input_used = vec![false; self.n_src];
-        let mut any_waiting = false;
+        if self.buffered_total == 0 {
+            // No buffered flits anywhere: the dst/src scan below would find
+            // no head, move nothing and charge nothing. Exact early-out.
+            return;
+        }
+        self.input_used.fill(false);
         let mut any_moved = false;
 
-        for dst in 0..self.n_dst {
+        // Index this cycle's eligible heads (past their router latency) by
+        // destination, in ascending source order. Only destinations somebody
+        // actually wants are arbitrated below; scanning a bucket in
+        // round-robin order (members >= rr first, then members < rr) visits
+        // sources in exactly the order the full dst x src sweep would.
+        debug_assert!(self.active_dsts.is_empty());
+        for src in 0..self.n_src {
+            if let Some(head) = self.inputs[src].front() {
+                if head.ready_at < self.now {
+                    let dst = head.dst;
+                    if self.dst_members[dst].is_empty() {
+                        self.active_dsts.push(dst);
+                    }
+                    self.dst_members[dst].push(src);
+                }
+            }
+        }
+
+        for di in 0..self.active_dsts.len() {
+            let dst = self.active_dsts[di];
             // Round-robin arbitration over inputs for this output; with
             // output speedup, repeat the grant up to `output_speedup` times.
             for _pass in 0..self.output_speedup {
                 let start = self.rr[dst];
+                let n_members = self.dst_members[dst].len();
                 let mut granted = None;
-                for k in 0..self.n_src {
-                    let src = (start + k) % self.n_src;
-                    if input_used[src] {
-                        continue;
+                'scan: for round in 0..2 {
+                    for mi in 0..n_members {
+                        let src = self.dst_members[dst][mi];
+                        // round 0 takes members >= start, round 1 the rest.
+                        if (src >= start) != (round == 0) {
+                            continue;
+                        }
+                        if self.input_used[src] {
+                            continue;
+                        }
+                        // INVARIANT: bucket membership implies a present head
+                        // for this dst; a consumed input is fenced off by
+                        // `input_used`, so the head is the one indexed above.
+                        let head = self.inputs[src].front().expect("indexed head exists");
+                        // A packet occupies an ejection slot from its first flit.
+                        if !head.reserved && self.output_reserved[dst] >= self.output_capacity {
+                            continue;
+                        }
+                        granted = Some(src);
+                        break 'scan;
                     }
-                    let Some(head) = self.inputs[src].front() else {
-                        continue;
-                    };
-                    any_waiting = true;
-                    if head.dst != dst || head.ready_at >= self.now {
-                        continue;
-                    }
-                    // A packet occupies an ejection slot from its first flit.
-                    if !head.reserved && self.output_reserved[dst] >= self.output_capacity {
-                        continue;
-                    }
-                    granted = Some(src);
-                    break;
                 }
                 let Some(src) = granted else { break };
-                input_used[src] = true;
+                self.input_used[src] = true;
                 any_moved = true;
                 self.rr[dst] = (src + 1) % self.n_src;
                 // INVARIANT: the grant loop selected src from non-empty inputs.
@@ -278,6 +332,7 @@ impl Network {
                 }
                 head.flits_sent += 1;
                 self.input_flits[src] -= 1;
+                self.buffered_total -= 1;
                 self.stats.flits.inc();
                 if head.flits_sent == head.flits_total {
                     // INVARIANT: the grant loop just inspected this head.
@@ -287,13 +342,66 @@ impl Network {
                     self.outputs[dst]
                         .push(pkt.fetch)
                         .expect("ejection slot reserved at first flit");
+                    self.backlog_total += 1;
                     self.stats.packets.inc();
                 }
             }
         }
 
-        if any_waiting && !any_moved {
+        for di in 0..self.active_dsts.len() {
+            let dst = self.active_dsts[di];
+            self.dst_members[dst].clear();
+        }
+        self.active_dsts.clear();
+
+        // With flits buffered and none moved, no input was consumed this
+        // cycle, so every non-empty input still held a waiting head — the
+        // exact condition the full sweep charged as a blocked cycle.
+        if !any_moved {
             self.stats.blocked_cycles.inc();
+        }
+    }
+
+    /// Conservative idle probe for the fast-forward scheduler, over this
+    /// network's own cycle counter.
+    ///
+    /// Returns [`EventBound::Busy`] when a flit could move on the very next
+    /// cycle (some head packet is past its router latency — even if it
+    /// would then lose arbitration or find its ejection slot full, deciding
+    /// that is this switch's job, not the prober's). Otherwise the switch
+    /// provably moves nothing before the returned cycle: every buffered
+    /// head still sits in its router pipeline (`ready_at >= now`), and a
+    /// head becomes eligible only on the cycle *after* `ready_at`.
+    ///
+    /// Ejection backlogs do not factor in here: draining them is the
+    /// caller's per-cycle work, so the caller must treat a non-empty
+    /// backlog as busy on its own.
+    pub fn next_event_bound(&self) -> EventBound {
+        if self.buffered_total == 0 {
+            return EventBound::quiet_external();
+        }
+        let mut earliest = Cycle::MAX;
+        for q in &self.inputs {
+            if let Some(head) = q.front() {
+                if head.ready_at <= self.now {
+                    return EventBound::Busy;
+                }
+                earliest = earliest.min(head.ready_at + 1);
+            }
+        }
+        EventBound::quiet_until(earliest)
+    }
+
+    /// Applies `k` quiescent cycles in one step: exactly what `k` calls of
+    /// [`Network::cycle`] would do from a state where
+    /// [`Network::next_event_bound`] promised no movement — advance the
+    /// clock, and charge a blocked cycle per tick while packets wait in
+    /// the router pipeline.
+    pub fn skip_cycles(&mut self, k: u64) {
+        debug_assert!(!matches!(self.next_event_bound(), EventBound::Busy));
+        self.now += k;
+        if self.buffered_total > 0 {
+            self.stats.blocked_cycles.add(k);
         }
     }
 }

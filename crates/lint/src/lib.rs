@@ -6,7 +6,7 @@
 //! in a fixed priority order, and every fetch flowing through bounded
 //! queues that exert back-pressure. PR 1 added the *runtime* audit
 //! (fetch conservation); this crate is the *static* layer that catches
-//! violations at review time. Five rules:
+//! violations at review time. Six rules:
 //!
 //! - **R1 determinism** — no `HashMap`/`HashSet`, wall-clock time, or
 //!   unseeded RNG in model crates ([`rules::determinism`]);
@@ -18,7 +18,10 @@
 //!   `// INVARIANT:` comment ([`rules::panics`]);
 //! - **R5 stall-attribution exhaustiveness** — every stall variant
 //!   attributed exactly once, in paper-precedence order
-//!   ([`rules::stalls`]).
+//!   ([`rules::stalls`]);
+//! - **R6 zero-allocation hot loops** — no `vec![..]`, `Vec::new()`,
+//!   `Box::new()` or `.collect()` inside the per-cycle functions of model
+//!   crates ([`rules::alloc`]).
 //!
 //! Deliberately dependency-free (no `syn`, no `toml`): the build
 //! environment is offline, so the scanner works on a masked lexical view
@@ -40,7 +43,7 @@ pub use source::SourceFile;
 /// One rule violation.
 #[derive(Clone, Debug)]
 pub struct Finding {
-    /// Rule id (`"R1"`..`"R5"`).
+    /// Rule id (`"R1"`..`"R6"`).
     pub rule: &'static str,
     /// Repo-relative, `/`-separated path.
     pub path: String,
@@ -78,6 +81,7 @@ pub fn run(cfg: &LintConfig, files: &[SourceFile]) -> Vec<Finding> {
         rules::queues::check(cfg, f, &mut findings);
         rules::casts::check(cfg, f, &mut findings);
         rules::panics::check(cfg, f, &mut findings);
+        rules::alloc::check(cfg, f, &mut findings);
     }
     rules::stalls::check(cfg, files, &mut findings);
 
@@ -174,7 +178,7 @@ pub fn render(findings: &[Finding], files_scanned: usize) -> String {
     }
     if findings.is_empty() {
         out.push_str(&format!(
-            "gmh-lint: clean — {files_scanned} files, 5 rules, 0 findings\n"
+            "gmh-lint: clean — {files_scanned} files, 6 rules, 0 findings\n"
         ));
     } else {
         out.push_str(&format!(

@@ -1,7 +1,8 @@
-//! The five invariant rules. Each `check` pushes [`crate::Finding`]s;
+//! The six invariant rules. Each `check` pushes [`crate::Finding`]s;
 //! allowlist filtering (inline directives are rule-local, `lint.toml`
 //! entries are applied centrally in [`crate::run`]).
 
+pub mod alloc;
 pub mod casts;
 pub mod determinism;
 pub mod panics;

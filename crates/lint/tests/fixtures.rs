@@ -103,6 +103,25 @@ fn r4_flags_unjustified_unwrap() {
 }
 
 #[test]
+fn r6_flags_allocation_in_hot_loop_only() {
+    let f = SourceFile::parse(
+        "crates/cache/src/r6_alloc.rs",
+        include_str!("fixtures/r6_alloc.rs"),
+    );
+    let findings = run(&base_cfg(), &[f]);
+    // The vec![..] and .collect() inside `cycle` (the justified site and
+    // everything in the cold `reset` stays silent).
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("R6", 11), ("R6", 13)],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("vec![..]"));
+    assert!(findings[0].message.contains("`cycle`"));
+    assert!(findings[1].message.contains(".collect()"));
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     let f = SourceFile::parse(
         "crates/cache/src/clean.rs",

@@ -40,7 +40,16 @@ pub struct Metrics {
     pub sim_cycles: AtomicU64,
     /// Total wall-clock milliseconds spent simulating fresh runs.
     pub sim_wall_ms: AtomicU64,
+    /// EWMA of simulated cycles per wall second over completed fresh runs
+    /// (f64 bits; 0 until the first completion). Updated via
+    /// [`Metrics::record_job_rate`].
+    sim_cps_ewma: AtomicU64,
 }
+
+/// EWMA smoothing factor for [`Metrics::record_job_rate`]: each completed
+/// job contributes 20%, so the gauge settles within a handful of jobs but
+/// one outlier (cold cache, tiny workload) cannot swing it.
+const CPS_EWMA_ALPHA: f64 = 0.2;
 
 /// Point-in-time gauges sampled under the admission lock.
 #[derive(Clone, Copy, Debug, Default)]
@@ -67,6 +76,29 @@ impl Metrics {
     /// Reads a counter.
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+
+    /// Folds one completed fresh run into the simulated-throughput EWMA.
+    /// Zero-duration runs are counted as 1 ms so the rate stays finite.
+    ///
+    /// The read-modify-write is not atomic; racing workers may lose an
+    /// update. That is fine for a smoothed operational gauge — every
+    /// surviving update still moves toward the true rate.
+    pub fn record_job_rate(&self, cycles: u64, wall_ms: u64) {
+        let rate = cycles as f64 / (wall_ms.max(1) as f64 / 1000.0);
+        let prev = f64::from_bits(self.sim_cps_ewma.load(Ordering::Relaxed));
+        let next = if prev == 0.0 {
+            rate
+        } else {
+            CPS_EWMA_ALPHA * rate + (1.0 - CPS_EWMA_ALPHA) * prev
+        };
+        self.sim_cps_ewma.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The simulated-throughput EWMA (cycles per wall second; 0 before the
+    /// first completed fresh run).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        f64::from_bits(self.sim_cps_ewma.load(Ordering::Relaxed))
     }
 
     /// Mean wall time of a completed fresh run, for the `BUSY` retry hint.
@@ -153,6 +185,13 @@ impl Metrics {
             "Jobs currently executing on workers.",
             g.in_flight,
         );
+        out.push_str(&format!(
+            "# HELP gmh_sim_cycles_per_sec EWMA of simulated cycles per wall \
+             second over completed fresh runs.\n\
+             # TYPE gmh_sim_cycles_per_sec gauge\n\
+             gmh_sim_cycles_per_sec {:.1}\n",
+            self.sim_cycles_per_sec()
+        ));
         out
     }
 }
@@ -260,7 +299,26 @@ mod tests {
         assert_eq!(sample(&text, "gmh_jobs_inflight"), Some(1));
         assert_eq!(sample(&text, "gmh_nonexistent"), None);
         // Exposition hygiene: HELP/TYPE precede every series.
-        assert_eq!(text.matches("# TYPE").count(), 12);
+        assert_eq!(text.matches("# TYPE").count(), 13);
+    }
+
+    #[test]
+    fn throughput_ewma_seeds_then_smooths() {
+        let m = Metrics::default();
+        let text = m.render(Gauges::default());
+        assert!(
+            text.contains("gmh_sim_cycles_per_sec 0.0"),
+            "gauge renders 0 before the first completion:\n{text}"
+        );
+        // First job seeds the EWMA directly: 500k cycles in 2 s.
+        m.record_job_rate(1_000_000, 2_000);
+        assert_eq!(m.sim_cycles_per_sec(), 500_000.0);
+        // Second at 100k/s moves it 20% of the way: 0.2*1e5 + 0.8*5e5.
+        m.record_job_rate(100_000, 1_000);
+        assert_eq!(m.sim_cycles_per_sec(), 420_000.0);
+        // A zero-duration run is clamped to 1 ms, not a division by zero.
+        m.record_job_rate(1_000, 0);
+        assert!(m.sim_cycles_per_sec().is_finite());
     }
 
     #[test]

@@ -440,6 +440,7 @@ fn execute_job(shared: &Arc<Shared>, job: JobRequest, key: u64) -> Reply {
             let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
             Metrics::add(&shared.metrics.sim_cycles, stats.core_cycles);
             Metrics::add(&shared.metrics.sim_wall_ms, wall_ms);
+            shared.metrics.record_job_rate(stats.core_cycles, wall_ms);
             Metrics::inc(&shared.metrics.completed);
             Reply::Ok(json)
         }

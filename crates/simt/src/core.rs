@@ -18,6 +18,25 @@ use gmh_types::{
 /// the same kernel), so instruction misses hit the same L2 lines.
 pub const CODE_SEGMENT_BASE: u64 = 1 << 40;
 
+/// Result of [`SimtCore::next_event_bound`]: whether the core is provably
+/// quiescent, and if so until when and with what constant stall class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreIdleProbe {
+    /// The core may act on the next cycle; the window must not be skipped.
+    Busy,
+    /// The core provably does nothing but count one stall cycle per tick
+    /// strictly before core cycle `bound` (or until external input arrives,
+    /// when `bound` is `None`).
+    Quiet {
+        /// First core-cycle index at which the core could act on its own —
+        /// the earliest ALU scoreboard release among blocked warps.
+        bound: Option<Cycle>,
+        /// The issue-stall classification every skipped cycle records
+        /// (`None` = idle); constant across the window by construction.
+        stall: Option<IssueStallKind>,
+    },
+}
+
 /// Static configuration of a [`SimtCore`].
 #[derive(Clone, Debug)]
 pub struct CoreConfig {
@@ -97,6 +116,25 @@ pub struct SimtCore {
     id: usize,
     cfg: CoreConfig,
     warps: Vec<Warp>,
+    /// Per-warp "fully drained" flags mirrored by `n_drained`. Drained
+    /// (finished, no pending loads, no outstanding I-miss) is an absorbing
+    /// state: `finished()` can never revert, loads and I-misses are only
+    /// added by unfinished warps. The counter makes [`SimtCore::done`] O(1).
+    drained: Vec<bool>,
+    n_drained: usize,
+    /// No-issue verdict `(stall, wake)` memoized from the last full issue
+    /// scan. Warp eligibility only changes through discrete events — a
+    /// response intake, an instruction-buffer refill, an LSU pop, an actual
+    /// issue (each sets `issue_dirty`) — or the clock reaching `wake`, the
+    /// earliest ALU-ready time among blocked warps. Until one of those
+    /// happens, every input to the scan is frozen, so replaying the verdict
+    /// is exactly what the scan would conclude (bit-identical, just O(1)).
+    issue_memo: Option<(Option<IssueStallKind>, Cycle)>,
+    issue_dirty: bool,
+    /// Per-warp needs-refill mirror with its population count, so the fetch
+    /// stage skips its round-robin scan while no warp needs a fetch.
+    need_fetch: Vec<bool>,
+    n_need_fetch: usize,
     sched: WarpScheduler,
     order_buf: Vec<usize>,
     lsu: LoadStoreUnit,
@@ -125,12 +163,20 @@ impl std::fmt::Debug for SimtCore {
 impl SimtCore {
     /// Creates core `id` running instructions from `source`.
     pub fn new(id: usize, cfg: CoreConfig, source: Box<dyn InstSource>) -> Self {
-        let warps = (0..cfg.max_warps)
+        let warps: Vec<Warp> = (0..cfg.max_warps)
             .map(|w| Warp::new(w, cfg.ibuffer_size))
             .collect();
         let code_lines = source.code_lines().max(1);
+        let need_fetch: Vec<bool> = warps.iter().map(Warp::needs_fetch).collect();
+        let n_need_fetch = need_fetch.iter().filter(|&&b| b).count();
         SimtCore {
             id,
+            drained: vec![false; cfg.max_warps],
+            n_drained: 0,
+            issue_memo: None,
+            issue_dirty: true,
+            need_fetch,
+            n_need_fetch,
             warps,
             sched: WarpScheduler::new(cfg.sched_policy, cfg.max_warps),
             order_buf: Vec::with_capacity(cfg.max_warps),
@@ -175,21 +221,151 @@ impl SimtCore {
     }
 
     /// Whether every warp has issued its whole stream and all memory
-    /// activity visible to the core has drained.
+    /// activity visible to the core has drained. O(1): warps are counted
+    /// into `n_drained` as they drain, and every queue length is cached.
     pub fn done(&self) -> bool {
-        self.warps
-            .iter()
-            .all(|w| w.finished() && !w.has_pending_loads() && !w.fetch_outstanding())
+        let done = self.n_drained == self.warps.len()
             && self.lsu.is_empty()
             && self.response_fifo.is_empty()
             && self.l1d.miss_queue_len() == 0
-            && self.l1i.miss_queue_len() == 0
+            && self.l1i.miss_queue_len() == 0;
+        debug_assert_eq!(
+            done,
+            self.warps
+                .iter()
+                .all(|w| w.finished() && !w.has_pending_loads() && !w.fetch_outstanding())
+                && self.lsu.is_empty()
+                && self.response_fifo.is_empty()
+                && self.l1d.miss_queue_len() == 0
+                && self.l1i.miss_queue_len() == 0,
+            "drained-warp counter out of sync with warp state"
+        );
+        done
+    }
+
+    /// Folds warp `wid`'s state into the drained counter; call after any
+    /// event that could complete the warp's last obligation.
+    fn update_drained(&mut self, wid: usize) {
+        let w = &self.warps[wid];
+        let now_drained = w.finished() && !w.has_pending_loads() && !w.fetch_outstanding();
+        debug_assert!(
+            now_drained || !self.drained[wid],
+            "a drained warp came back to life"
+        );
+        if now_drained && !self.drained[wid] {
+            self.drained[wid] = true;
+            self.n_drained += 1;
+        }
+    }
+
+    /// Folds warp `wid`'s state into the needs-fetch mirror; call after any
+    /// event that changes its instruction buffer, outstanding-fetch flag or
+    /// stream state.
+    fn update_fetch_need(&mut self, wid: usize) {
+        let need = self.warps[wid].needs_fetch();
+        if need != self.need_fetch[wid] {
+            self.need_fetch[wid] = need;
+            if need {
+                self.n_need_fetch += 1;
+            } else {
+                self.n_need_fetch -= 1;
+            }
+        }
     }
 
     /// Whether every warp has issued its whole instruction stream (memory
     /// may still be draining).
     pub fn finished_issuing(&self) -> bool {
         self.warps.iter().all(|w| w.finished())
+    }
+
+    /// Conservative idle probe for the fast-forward scheduler.
+    ///
+    /// Answers `Busy` unless the core provably does nothing but count one
+    /// stall cycle per tick until either an external input arrives (a fill
+    /// response or I-miss return) or the returned `bound` cycle, whichever
+    /// comes first: the response FIFO, LSU and both miss queues are empty,
+    /// no warp can fetch, and every live warp is pinned by a hazard whose
+    /// clearing the window excludes. The stall classification is computed
+    /// once — it is constant across the window because every input to the
+    /// naive per-cycle classification is frozen inside it.
+    pub fn next_event_bound(&self) -> CoreIdleProbe {
+        if !self.response_fifo.is_empty()
+            || !self.lsu.is_empty()
+            || self.l1d.miss_queue_len() != 0
+            || self.l1i.miss_queue_len() != 0
+        {
+            return CoreIdleProbe::Busy;
+        }
+        let mut saw_fetch_blocked = false;
+        let mut saw_mem_dep = false;
+        let mut saw_alu_dep = false;
+        let mut saw_str_mem = false;
+        let mut any_live = false;
+        let mut wake = Cycle::MAX;
+        for w in &self.warps {
+            if w.finished() {
+                continue;
+            }
+            any_live = true;
+            if w.needs_fetch() {
+                return CoreIdleProbe::Busy;
+            }
+            let Some(head) = w.head() else {
+                // Buffer empty, not finished, no fetch needed: an I-miss is
+                // outstanding; issue sees a fetch hazard until it returns.
+                saw_fetch_blocked = true;
+                continue;
+            };
+            // Hazards in the same order the issue stage checks them.
+            if head.wait_mem && w.has_pending_loads() {
+                saw_mem_dep = true;
+                continue;
+            }
+            if head.wait_alu && w.alu_pending(self.now + 1) {
+                saw_alu_dep = true;
+                wake = wake.min(w.alu_ready_at());
+                continue;
+            }
+            if head.kind.is_mem() && !self.lsu.can_accept(head.kind.accesses()) {
+                // The LSU is empty here, so only an instruction wider than
+                // the whole memory pipeline lands in this arm; the naive
+                // loop would record str-MEM forever.
+                saw_str_mem = true;
+                continue;
+            }
+            // The warp could issue next cycle.
+            return CoreIdleProbe::Busy;
+        }
+        // Precedence as in the issue stage's end-of-cycle classification.
+        let stall = Self::classify_issue_stall(
+            any_live,
+            saw_str_mem,
+            saw_mem_dep,
+            saw_alu_dep,
+            saw_fetch_blocked,
+        );
+        CoreIdleProbe::Quiet {
+            bound: (wake != Cycle::MAX).then_some(wake),
+            stall,
+        }
+    }
+
+    /// Applies `k` quiescent cycles in one step: exactly what `k` calls of
+    /// [`SimtCore::cycle`] would do from a state where
+    /// [`SimtCore::next_event_bound`] returned `Quiet` — advance the clock
+    /// and record `k` cycles of the window's constant stall class. (The
+    /// per-cycle L1 occupancy samples are no-ops in such a state: both
+    /// miss queues are empty, and empty queues are outside the occupancy
+    /// histograms' usage lifetime.)
+    pub fn skip_idle(&mut self, k: u64, stall: Option<IssueStallKind>) {
+        debug_assert!(matches!(
+            self.next_event_bound(),
+            CoreIdleProbe::Quiet { .. }
+        ));
+        self.now += k;
+        self.stats.cycles += k;
+        self.stats.issue.record_n(stall, k);
     }
 
     fn alloc_fetch_id(&mut self) -> u64 {
@@ -286,6 +462,8 @@ impl SimtCore {
         let Some(mut fetch) = self.response_fifo.pop() else {
             return;
         };
+        // A fill wakes warps (pending-load release or I-buffer refill).
+        self.issue_dirty = true;
         fetch.time.returned = now_ps;
         match fetch.kind {
             AccessKind::InstFetch => {
@@ -309,9 +487,11 @@ impl SimtCore {
                     trace.record(self.id, w.id, now_ps, TraceEventKind::Returned);
                     self.record_load_return(&w);
                     self.warps[w.warp_id].load_returned();
+                    self.update_drained(w.warp_id);
                 }
                 self.record_load_return(&fetch);
                 self.warps[fetch.warp_id].load_returned();
+                self.update_drained(fetch.warp_id);
             }
             AccessKind::Store | AccessKind::L2WriteBack => {
                 unreachable!("stores and write-backs never generate responses")
@@ -337,10 +517,18 @@ impl SimtCore {
         let src = &mut self.source;
         let n_insts = self.cfg.ibuffer_size;
         self.warps[wid].refill((0..n_insts).map(|_| src.next_inst(wid)));
+        // The refill may have hit the stream end with nothing buffered.
+        self.update_drained(wid);
+        self.update_fetch_need(wid);
     }
 
     /// Attempts one instruction-buffer refill per cycle (round-robin).
     fn fetch_stage(&mut self, now_ps: Picos, trace: &mut TraceSink) {
+        if self.n_need_fetch == 0 {
+            // Exact early-out: the scan below would find nothing.
+            debug_assert!(self.warps.iter().all(|w| !w.needs_fetch()));
+            return;
+        }
         let n = self.warps.len();
         let Some(offset) = (0..n).find(|k| self.warps[(self.fetch_rr + k) % n].needs_fetch())
         else {
@@ -371,6 +559,10 @@ impl SimtCore {
                 let src = &mut self.source;
                 let n_insts = self.cfg.ibuffer_size;
                 self.warps[wid].refill((0..n_insts).map(|_| src.next_inst(wid)));
+                self.update_drained(wid);
+                self.update_fetch_need(wid);
+                // The refill may have given the warp an issuable head.
+                self.issue_dirty = true;
             }
             (AccessResult::MissIssued, _) => {
                 trace.issued(&probe, now_ps);
@@ -383,6 +575,7 @@ impl SimtCore {
                 // The refill completes when the response arrives (see
                 // `fetch_returned`); the group advances there.
                 self.warps[wid].set_fetch_outstanding();
+                self.update_fetch_need(wid);
             }
             (AccessResult::MissMerged, _) => {
                 trace.issued(&probe, now_ps);
@@ -393,6 +586,7 @@ impl SimtCore {
                     TraceEventKind::MshrMerged(Level::L1),
                 );
                 self.warps[wid].set_fetch_outstanding();
+                self.update_fetch_need(wid);
             }
             (AccessResult::Blocked(_), _) => {
                 // I-cache resources exhausted; the warp retries the same
@@ -406,11 +600,28 @@ impl SimtCore {
     /// stall classification when nothing issues.
     fn issue_stage(&mut self, now_ps: Picos, trace: &mut TraceSink) {
         let now = self.now;
+        // Replay the memoized no-issue verdict while its inputs are frozen
+        // (see the `issue_memo` field docs): identical stats, no scan.
+        if !self.issue_dirty {
+            if let Some((stall, wake)) = self.issue_memo {
+                if now < wake {
+                    self.sched.stalled();
+                    match stall {
+                        Some(k) => self.stats.issue.record(k),
+                        None => self.stats.issue.idle.inc(),
+                    }
+                    return;
+                }
+            }
+        }
+        self.issue_dirty = false;
+        self.issue_memo = None;
         let mut saw_fetch_blocked = false;
         let mut saw_mem_dep = false;
         let mut saw_alu_dep = false;
         let mut saw_str_mem = false;
         let mut any_live = false;
+        let mut wake = Cycle::MAX;
 
         // Candidate order per the configured policy, into a reused buffer
         // (no steady-state allocation).
@@ -433,6 +644,7 @@ impl SimtCore {
             }
             if head.wait_alu && warp.alu_pending(now) {
                 saw_alu_dep = true;
+                wake = wake.min(warp.alu_ready_at());
                 continue;
             }
             if head.kind.is_mem() && !self.lsu.can_accept(head.kind.accesses()) {
@@ -471,6 +683,10 @@ impl SimtCore {
                 }
             }
             self.sched.issued(wid);
+            self.update_drained(wid);
+            self.update_fetch_need(wid);
+            // Issuing mutates warp/LSU state; rescan next cycle.
+            self.issue_dirty = true;
             issued = true;
             break;
         }
@@ -479,16 +695,43 @@ impl SimtCore {
             return;
         }
 
-        // Nothing issued: classify per §IV-A.5. Structural hazards take
-        // precedence (a dependence-free warp was blocked by resources),
-        // then data hazards, then fetch starvation.
+        // Nothing issued: classify and charge the cycle, and memoize the
+        // verdict — it holds verbatim until an event or `wake`.
         self.sched.stalled();
+        let kind = Self::classify_issue_stall(
+            any_live,
+            saw_str_mem,
+            saw_mem_dep,
+            saw_alu_dep,
+            saw_fetch_blocked,
+        );
+        self.issue_memo = Some((kind, wake));
+        match kind {
+            Some(k) => self.stats.issue.record(k),
+            None => self.stats.issue.idle.inc(),
+        }
+    }
+
+    /// Classifies a no-issue cycle per §IV-A.5: structural hazards take
+    /// precedence (a dependence-free warp was blocked by resources), then
+    /// data hazards, then fetch starvation; `None` is idle time (no live
+    /// warps, or only unclassified tail-drain cycles).
+    ///
+    /// This is the single attribution site for [`IssueStallKind`] (R5):
+    /// both the per-cycle issue stage and the fast-forward probe classify
+    /// through it, so their verdicts cannot drift apart.
+    fn classify_issue_stall(
+        any_live: bool,
+        saw_str_mem: bool,
+        saw_mem_dep: bool,
+        saw_alu_dep: bool,
+        saw_fetch_blocked: bool,
+    ) -> Option<IssueStallKind> {
         if !any_live {
             // All warps finished issuing; the tail drain is idle time.
-            self.stats.issue.idle.inc();
-            return;
+            return None;
         }
-        let kind = if saw_str_mem {
+        if saw_str_mem {
             Some(IssueStallKind::StrMem)
         } else if saw_mem_dep {
             Some(IssueStallKind::DataMem)
@@ -498,10 +741,6 @@ impl SimtCore {
             Some(IssueStallKind::Fetch)
         } else {
             None
-        };
-        match kind {
-            Some(k) => self.stats.issue.record(k),
-            None => self.stats.issue.idle.inc(),
         }
     }
 
@@ -518,9 +757,12 @@ impl SimtCore {
             match self.l1d.access_write(fetch, now_ps) {
                 (WriteOutcome::Absorbed, _) => {
                     trace.record(self.id, fid, now_ps, TraceEventKind::Absorbed);
+                    // The LSU drained a slot; a str-MEM warp may now issue.
+                    self.issue_dirty = true;
                 }
                 (WriteOutcome::Forwarded, _) => {
                     trace.record(self.id, fid, now_ps, TraceEventKind::EnqueuedAt(Level::L1));
+                    self.issue_dirty = true;
                 }
                 (WriteOutcome::Blocked(reason), Some(fetch)) => {
                     self.record_l1_block(reason, fid, now_ps, trace);
@@ -541,12 +783,16 @@ impl SimtCore {
                     trace.record(self.id, fid, now_ps, TraceEventKind::Returned);
                     // L1 hits complete through the pipelined hit path.
                     self.warps[f.warp_id].load_returned();
+                    self.update_drained(f.warp_id);
+                    self.issue_dirty = true;
                 }
                 (AccessResult::MissIssued, _) => {
                     trace.record(self.id, fid, now_ps, TraceEventKind::EnqueuedAt(Level::L1));
+                    self.issue_dirty = true;
                 }
                 (AccessResult::MissMerged, _) => {
                     trace.record(self.id, fid, now_ps, TraceEventKind::MshrMerged(Level::L1));
+                    self.issue_dirty = true;
                 }
                 (AccessResult::Blocked(reason), Some(fetch)) => {
                     self.record_l1_block(reason, fid, now_ps, trace);

@@ -51,6 +51,22 @@ impl IssueStallCounters {
         }
     }
 
+    /// Records `n` identical cycles at once: `Some(kind)` stalled cycles or
+    /// `None` idle cycles. The bulk form of [`IssueStallCounters::record`]
+    /// (plus the idle arm of the issue stage), used when the fast-forward
+    /// scheduler replays a quiescent window whose classification is
+    /// constant by construction.
+    pub fn record_n(&mut self, kind: Option<IssueStallKind>, n: u64) {
+        match kind {
+            Some(IssueStallKind::StrMem) => self.str_mem.add(n),
+            Some(IssueStallKind::StrAlu) => self.str_alu.add(n),
+            Some(IssueStallKind::DataMem) => self.data_mem.add(n),
+            Some(IssueStallKind::DataAlu) => self.data_alu.add(n),
+            Some(IssueStallKind::Fetch) => self.fetch.add(n),
+            None => self.idle.add(n),
+        }
+    }
+
     /// Total classified stall cycles.
     pub fn total_stalls(&self) -> u64 {
         self.str_mem.get()

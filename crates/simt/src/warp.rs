@@ -171,6 +171,13 @@ impl Warp {
     pub fn alu_pending(&self, now: Cycle) -> bool {
         now < self.alu_ready_at
     }
+
+    /// The cycle at which the most recent ALU result becomes available
+    /// (the warp's scoreboard-release wakeup for the fast-forward
+    /// scheduler).
+    pub fn alu_ready_at(&self) -> Cycle {
+        self.alu_ready_at
+    }
 }
 
 #[cfg(test)]

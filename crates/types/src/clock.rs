@@ -12,6 +12,45 @@
 /// Simulated time in picoseconds.
 pub type Picos = u64;
 
+/// Outcome of a component's conservative idle probe, used by the run loop's
+/// fast-forward scheduler.
+///
+/// The contract: a component answering `QuietUntil { bound }` guarantees it
+/// is *inert* — apart from constant per-cycle bookkeeping its skip method
+/// reproduces — on every tick of its clock domain whose index is strictly
+/// below `bound`. Under-estimating (answering `Busy`, or a smaller bound) is
+/// always safe; over-estimating breaks bit-identical replay. `bound == None`
+/// means the component only wakes on external input and imposes no bound of
+/// its own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventBound {
+    /// The component may act on its very next tick; do not skip.
+    Busy,
+    /// No state change strictly before tick index `bound` of the
+    /// component's own domain (`None`: woken only by external input).
+    QuietUntil {
+        /// First tick index (1-based, matching [`ClockDomain::cycles`])
+        /// at which the component could possibly act again.
+        bound: Option<u64>,
+    },
+}
+
+impl EventBound {
+    /// Quiescent with no self-imposed wakeup (external input only).
+    pub fn quiet_external() -> Self {
+        EventBound::QuietUntil { bound: None }
+    }
+
+    /// Quiescent until tick index `bound` of the component's own domain.
+    /// `u64::MAX` is treated as "no bound" for callers that fold with
+    /// `min`.
+    pub fn quiet_until(bound: u64) -> Self {
+        EventBound::QuietUntil {
+            bound: if bound == u64::MAX { None } else { Some(bound) },
+        }
+    }
+}
+
 /// Identifies one of the three clock domains of the simulated GPU.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DomainId {
@@ -161,6 +200,63 @@ impl ClockDomains {
     pub fn ps_to_core_cycles(&self, ps: Picos) -> f64 {
         ps as f64 / self.core.period_ps as f64
     }
+
+    /// Bulk-advances every domain past all tick instants strictly before
+    /// `target_ps`, without firing components, and returns how many ticks
+    /// each domain skipped.
+    ///
+    /// This is the clock half of the fast-forward scheduler: the caller
+    /// proves (via component [`EventBound`]s) that every skipped tick would
+    /// have been inert, then replays the per-tick constant bookkeeping
+    /// itself. The per-domain tick counts — and therefore the exact
+    /// interleaving a naive [`ClockDomains::advance`] loop would have
+    /// produced — are preserved: after the jump, `cycles()`, `next_tick()`
+    /// and `now()` are exactly what that loop would have left behind.
+    ///
+    /// Returns all-zero counts (and changes nothing) when no domain has a
+    /// tick before `target_ps`.
+    pub fn fast_forward(&mut self, target_ps: Picos) -> TickCounts {
+        let mut counts = TickCounts::default();
+        let mut last_fired: Option<Picos> = None;
+        for (dom, k) in [
+            (&mut self.core, &mut counts.core),
+            (&mut self.icnt, &mut counts.icnt),
+            (&mut self.dram, &mut counts.dram),
+        ] {
+            if dom.next_tick >= target_ps {
+                continue;
+            }
+            // Number of ticks at instants next_tick + n*period < target_ps.
+            let n = (target_ps - dom.next_tick).div_ceil(dom.period_ps);
+            let last = dom.next_tick + (n - 1) * dom.period_ps;
+            last_fired = Some(last_fired.map_or(last, |t| t.max(last)));
+            dom.cycles += n;
+            dom.next_tick += n * dom.period_ps;
+            *k = n;
+        }
+        if let Some(t) = last_fired {
+            self.now = t;
+        }
+        counts
+    }
+}
+
+/// Per-domain tick counts skipped by [`ClockDomains::fast_forward`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TickCounts {
+    /// Core-domain ticks skipped.
+    pub core: u64,
+    /// Interconnect/L2-domain ticks skipped.
+    pub icnt: u64,
+    /// DRAM-domain ticks skipped.
+    pub dram: u64,
+}
+
+impl TickCounts {
+    /// Total ticks skipped across all domains.
+    pub fn total(&self) -> u64 {
+        self.core + self.icnt + self.dram
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +321,53 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_frequency_panics() {
         let _ = ClockDomain::new(0);
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_advance_loop() {
+        // Jump to an arbitrary target, then compare against a clock that
+        // took the same ticks one advance() at a time.
+        for target in [1u64, 713, 1000, 12_345, 1_000_000] {
+            let mut jumped = ClockDomains::new(1400, 700, 924);
+            let mut naive = ClockDomains::new(1400, 700, 924);
+            // Move both off the origin so the jump starts mid-stream.
+            for _ in 0..7 {
+                jumped.advance();
+                naive.advance();
+            }
+            let counts = jumped.fast_forward(target);
+            let mut naive_counts = TickCounts::default();
+            while naive
+                .core
+                .next_tick
+                .min(naive.icnt.next_tick)
+                .min(naive.dram.next_tick)
+                < target
+            {
+                let fired = naive.advance();
+                naive_counts.core += u64::from(fired.core);
+                naive_counts.icnt += u64::from(fired.icnt);
+                naive_counts.dram += u64::from(fired.dram);
+            }
+            assert_eq!(counts, naive_counts, "target {target}");
+            for id in [DomainId::Core, DomainId::Icnt, DomainId::Dram] {
+                assert_eq!(jumped.domain(id).cycles(), naive.domain(id).cycles());
+                assert_eq!(jumped.domain(id).next_tick(), naive.domain(id).next_tick());
+            }
+            if counts.total() > 0 {
+                assert_eq!(jumped.now(), naive.now(), "target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_before_any_tick_is_a_no_op() {
+        let mut c = ClockDomains::new(1400, 700, 924);
+        c.advance();
+        let before = (c.now(), c.domain(DomainId::Core).cycles());
+        let counts = c.fast_forward(c.domain(DomainId::Core).next_tick());
+        assert_eq!(counts, TickCounts::default());
+        assert_eq!((c.now(), c.domain(DomainId::Core).cycles()), before);
     }
 
     #[test]

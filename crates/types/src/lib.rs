@@ -35,7 +35,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use addr::{Address, LineAddr, LINE_SIZE};
-pub use clock::{ClockDomain, ClockDomains, DomainId, Picos};
+pub use clock::{ClockDomain, ClockDomains, DomainId, EventBound, Picos, TickCounts, TickSet};
 pub use fetch::{AccessKind, FetchId, MemFetch, Timestamps};
 pub use hash::{stable_hash_str, StableHasher};
 pub use queue::{BoundedQueue, OccupancyHistogram};

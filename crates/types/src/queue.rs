@@ -41,6 +41,27 @@ impl OccupancyHistogram {
         self.buckets[idx] += 1;
     }
 
+    /// Records `count` cycles with the same `len` of `cap` entries
+    /// occupied — the bulk form of [`OccupancyHistogram::record`], used
+    /// when the fast-forward scheduler replays skipped cycles over a
+    /// frozen queue.
+    pub fn record_n(&mut self, len: usize, cap: usize, count: u64) {
+        if len == 0 || cap == 0 {
+            return;
+        }
+        let idx = if len >= cap {
+            4
+        } else {
+            match (4 * len) / cap {
+                0 => 0,
+                1 => 1,
+                2 => 2,
+                _ => 3,
+            }
+        };
+        self.buckets[idx] += count;
+    }
+
     /// Raw cycle counts per bucket.
     pub fn buckets(&self) -> [u64; OCCUPANCY_BUCKETS] {
         self.buckets
@@ -194,6 +215,12 @@ impl<T> BoundedQueue<T> {
     /// cycle of the owning clock domain.
     pub fn sample_occupancy(&mut self) {
         self.hist.record(self.items.len(), self.capacity);
+    }
+
+    /// Records `count` cycles of the current (frozen) occupancy at once;
+    /// the fast-forward counterpart of [`BoundedQueue::sample_occupancy`].
+    pub fn sample_occupancy_n(&mut self, count: u64) {
+        self.hist.record_n(self.items.len(), self.capacity, count);
     }
 
     /// The accumulated occupancy histogram.

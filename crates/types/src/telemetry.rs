@@ -87,17 +87,54 @@ impl Telemetry {
         s.n += 1;
     }
 
+    /// Adds the same sample `count` times to `id`'s current window.
+    ///
+    /// Used by the fast-forward scheduler to replay the samples of skipped
+    /// cycles in bulk. For the integer-valued samples the simulator
+    /// records, `sum += value * count` is exact (both are well under
+    /// 2^53), so the flushed window means are bit-identical to `count`
+    /// individual [`Telemetry::record`] calls.
+    pub fn record_n(&mut self, id: SeriesId, value: f64, count: u64) {
+        let s = &mut self.series[id.0];
+        s.sum += value * count as f64;
+        s.n += count;
+    }
+
     /// Advances one cycle; at each window boundary every series flushes the
     /// mean of its samples (0 if it recorded nothing) as one point.
     pub fn tick(&mut self) {
         self.cycle += 1;
         if self.cycle.is_multiple_of(self.window) {
-            for s in &mut self.series {
-                let mean = if s.n == 0 { 0.0 } else { s.sum / s.n as f64 };
-                s.points.push(mean);
-                s.sum = 0.0;
-                s.n = 0;
-            }
+            self.flush_window();
+        }
+    }
+
+    /// Advances `count` cycles at once. `count` must not run past the next
+    /// window boundary — chunk bulk advances with
+    /// [`Telemetry::ticks_to_boundary`] so every boundary still flushes.
+    pub fn tick_n(&mut self, count: u64) {
+        debug_assert!(
+            count <= self.ticks_to_boundary(),
+            "tick_n({count}) would cross a window boundary"
+        );
+        self.cycle += count;
+        if self.cycle.is_multiple_of(self.window) {
+            self.flush_window();
+        }
+    }
+
+    /// Cycles remaining until the next window-boundary flush (always in
+    /// `1..=window`).
+    pub fn ticks_to_boundary(&self) -> u64 {
+        self.window - self.cycle % self.window
+    }
+
+    fn flush_window(&mut self) {
+        for s in &mut self.series {
+            let mean = if s.n == 0 { 0.0 } else { s.sum / s.n as f64 };
+            s.points.push(mean);
+            s.sum = 0.0;
+            s.n = 0;
         }
     }
 

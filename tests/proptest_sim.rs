@@ -98,6 +98,45 @@ proptest! {
         prop_assert_eq!(p.insts, wl.total_insts(2));
     }
 
+    /// The fast-forward run loop is an optimization, not a model change:
+    /// on arbitrary workloads under all four memory models, a run with the
+    /// scheduler enabled and a run forced down the naive one-tick loop
+    /// produce identical cycle counts, instruction counts, stall totals and
+    /// audit ledgers — and byte-identical sampled trace replays.
+    #[test]
+    fn fast_forward_matches_naive_loop_on_all_models(wl in arb_workload()) {
+        use gmh::exp::chrome_trace_json;
+        let models = [
+            MemoryModel::Full,
+            MemoryModel::FixedL1MissLatency(80),
+            MemoryModel::InfiniteBw { l2_hit: 50, dram: 150 },
+            MemoryModel::InfiniteDram { latency: 90 },
+        ];
+        for model in models {
+            let mut cfg = tiny_gpu();
+            cfg.memory_model = model.clone();
+            cfg.trace_sample = 4;
+            let mut naive_cfg = cfg.clone();
+            naive_cfg.force_naive_loop = true;
+            let fast = GpuSim::new(cfg, &wl).run();
+            let naive = GpuSim::new(naive_cfg, &wl).run();
+            prop_assert_eq!(fast.core_cycles, naive.core_cycles, "cycles under {:?}", model);
+            prop_assert_eq!(fast.insts, naive.insts, "insts under {:?}", model);
+            prop_assert_eq!(
+                fast.issue.total_stalls(), naive.issue.total_stalls(),
+                "stall totals under {:?}", model
+            );
+            prop_assert_eq!(fast.audit.emitted, naive.audit.emitted, "audit under {:?}", model);
+            prop_assert_eq!(fast.audit.returned, naive.audit.returned, "audit under {:?}", model);
+            prop_assert_eq!(fast.audit.absorbed, naive.audit.absorbed, "audit under {:?}", model);
+            prop_assert_eq!(
+                chrome_trace_json(wl.name, &fast.trace),
+                chrome_trace_json(wl.name, &naive.trace),
+                "trace replay under {:?}", model
+            );
+        }
+    }
+
     /// The fetch-conservation audit holds on arbitrary (config, workload)
     /// pairs under all four memory models: `GpuSim::run` panics on any
     /// leaked/duplicated/time-reversed fetch, so a clean return IS the
