@@ -5,9 +5,15 @@
 //! disabled (`trace_sample = 0`, the disabled sink costs one branch per
 //! call site) and once with 1-in-16 sampling — and reports simulated
 //! core-cycles per wall-clock second for each, plus the sampling overhead
-//! percentage. A third pass with `profile_phases` on attributes the wall
-//! time to core / interconnect / DRAM ticks, telemetry sampling and the
-//! fast-forward scheduler (probe cost and ticks skipped). Writes
+//! percentage. The overhead is defined as *throughput loss*,
+//! `(1 - on_cps / off_cps) · 100`, so the headline number is directly
+//! comparable across machines and batch sizes (wall-seconds ratios are
+//! not: they inflate the same slowdown on a slower host). A third pass
+//! with `profile_phases` on attributes the wall time to core /
+//! interconnect / DRAM ticks, telemetry sampling and the fast-forward
+//! scheduler (probe cost and ticks skipped); a final sweep runs the
+//! tracing-off batch at 1/2/4/8 scheduler threads and cross-checks that
+//! every thread count reproduces the serial IPCs bit-identically. Writes
 //! `BENCH_sim.json` at the repo root.
 //!
 //! The off pass is the production configuration: tracing must be free when
@@ -33,9 +39,12 @@ const WORKLOADS: &[&str] = &["mm", "lbm", "bfs"];
 /// overhaul, kept for the speedup line in the report.
 const PRE_OVERHAUL_CPS: f64 = 86_849.3;
 
-/// One pass over the batch; returns (elapsed seconds, total core cycles,
-/// per-workload IPC).
-fn run_pass(trace_sample: u64, max_cycles: u64) -> (f64, u64, Vec<f64>) {
+/// Scheduler thread counts for the scaling sweep.
+const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// One pass over the batch at a given scheduler width; returns (elapsed
+/// seconds, total core cycles, per-workload IPC).
+fn run_pass(trace_sample: u64, max_cycles: u64, threads: usize) -> (f64, u64, Vec<f64>) {
     let started = Instant::now();
     let mut cycles = 0u64;
     let mut ipcs = Vec::new();
@@ -43,6 +52,7 @@ fn run_pass(trace_sample: u64, max_cycles: u64) -> (f64, u64, Vec<f64>) {
         let mut cfg = GpuConfig::gtx480_baseline();
         cfg.max_core_cycles = max_cycles;
         cfg.trace_sample = trace_sample;
+        cfg.sim_threads = threads;
         let wl = catalog::by_name(name).expect("catalog workload");
         let stats = GpuSim::new(cfg, &wl).run();
         cycles += stats.core_cycles;
@@ -103,10 +113,10 @@ fn main() {
 
     // Warm-up pass so first-touch costs (page faults, lazy init) hit
     // neither measured pass.
-    run_pass(0, max_cycles / 10);
+    run_pass(0, max_cycles / 10, 1);
 
-    let (off_s, off_cycles, off_ipcs) = run_pass(0, max_cycles);
-    let (on_s, on_cycles, on_ipcs) = run_pass(16, max_cycles);
+    let (off_s, off_cycles, off_ipcs) = run_pass(0, max_cycles, 1);
+    let (on_s, on_cycles, on_ipcs) = run_pass(16, max_cycles, 1);
     let (profile, ff, prof_ipcs) = run_profiled(max_cycles);
 
     assert_eq!(
@@ -121,10 +131,33 @@ fn main() {
 
     let off_cps = off_cycles as f64 / off_s;
     let on_cps = on_cycles as f64 / on_s;
-    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+    // Throughput loss, not wall-seconds inflation: 1 - on/off cycles/s.
+    let overhead_pct = (1.0 - on_cps / off_cps) * 100.0;
     println!("tracing off: {off_cycles} cycles in {off_s:.3}s = {off_cps:.0} cycles/s");
     println!("1-in-16 on:  {on_cycles} cycles in {on_s:.3}s = {on_cps:.0} cycles/s");
-    println!("sampling overhead: {overhead_pct:.1}% (results bit-identical)");
+    println!("sampling overhead: {overhead_pct:.1}% throughput loss (results bit-identical)");
+
+    // Scheduler-thread scaling sweep (tracing off). Every width must
+    // reproduce the serial IPCs bit-identically — the bench doubles as a
+    // coarse-grained equivalence check on the real catalog workloads.
+    let mut thread_points: Vec<(usize, f64, f64)> = Vec::new();
+    for &threads in THREAD_SWEEP {
+        let (t_s, t_cycles, t_ipcs) = run_pass(0, max_cycles, threads);
+        assert_eq!(
+            off_ipcs, t_ipcs,
+            "{threads}-thread scheduler must not change simulation results"
+        );
+        assert_eq!(off_cycles, t_cycles, "same work at every thread count");
+        thread_points.push((threads, t_s, t_cycles as f64 / t_s));
+    }
+    println!("scheduler-thread sweep (tracing off):");
+    for &(threads, t_s, t_cps) in &thread_points {
+        println!(
+            "  {threads} thread{} {t_s:>8.3}s = {t_cps:.0} cycles/s ({:.2}x serial)",
+            if threads == 1 { ": " } else { "s:" },
+            t_cps / off_cps
+        );
+    }
     println!(
         "speedup vs pre-overhaul baseline ({PRE_OVERHAUL_CPS:.1} cycles/s): {:.2}x",
         off_cps / PRE_OVERHAUL_CPS
@@ -165,6 +198,17 @@ fn main() {
         .nth(2)
         .expect("crates/bench sits two levels below the repo root");
     let out = root.join("BENCH_sim.json");
+    let threads_json = thread_points
+        .iter()
+        .map(|&(threads, t_s, t_cps)| {
+            format!(
+                "    {{\"threads\": {threads}, \"seconds\": {t_s:.6}, \
+                 \"sim_cycles_per_sec\": {t_cps:.1}, \"speedup_vs_serial\": {:.3}}}",
+                t_cps / off_cps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"gmh simulator, lifecycle tracing off vs 1-in-16\",\n  \
          \"workloads\": [{}],\n  \"core_cycles_per_workload\": {max_cycles},\n  \
@@ -173,8 +217,10 @@ fn main() {
          \"tracing_1_in_16\": {{\n    \"seconds\": {on_s:.6},\n    \
          \"sim_cycles\": {on_cycles},\n    \"sim_cycles_per_sec\": {on_cps:.1}\n  }},\n  \
          \"sampling_overhead_pct\": {overhead_pct:.2},\n  \
+         \"sampling_overhead_definition\": \"throughput loss: (1 - on_cps/off_cps) * 100\",\n  \
          \"pre_overhaul_sim_cycles_per_sec\": {PRE_OVERHAUL_CPS:.1},\n  \
          \"speedup_vs_pre_overhaul\": {:.3},\n  \
+         \"threads\": [\n{threads_json}\n  ],\n  \
          \"phase_profile_seconds\": {{\n    \"core\": {:.6},\n    \"icnt\": {:.6},\n    \
          \"dram\": {:.6},\n    \"telemetry\": {:.6},\n    \"fast_forward\": {:.6}\n  }},\n  \
          \"fast_forward\": {{\n    \"jumps\": {},\n    \"ticks_skipped\": {}\n  }},\n  \

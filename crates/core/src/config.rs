@@ -94,6 +94,19 @@ pub struct GpuConfig {
     /// reads per tick, which would distort the headline throughput numbers.
     /// Simulation results are identical either way.
     pub profile_phases: bool,
+    /// Forces the single-shard serial scheduler regardless of
+    /// `sim_threads` / `GMH_THREADS`: the equivalence oracle for the
+    /// parallel path (the parallel scheduler is bit-identical by
+    /// construction; this switch pins the reference side of that claim in
+    /// tests and benchmarks).
+    pub force_serial: bool,
+    /// Worker threads for the parallel scheduler: the machine is sharded
+    /// into this many tick domains (SM clusters, L2-bank partitions, DRAM
+    /// channel groups) advancing in lock-step with deterministic merges.
+    /// `0` defers to the `GMH_SIM_THREADS` / `GMH_THREADS` environment
+    /// variables (in that order), defaulting to 1 (serial). Clamped to the
+    /// machine's shardable width at run time.
+    pub sim_threads: usize,
 }
 
 impl GpuConfig {
@@ -121,6 +134,8 @@ impl GpuConfig {
             trace_event_cap: 65_536,
             force_naive_loop: false,
             profile_phases: false,
+            force_serial: false,
+            sim_threads: 0,
         }
     }
 

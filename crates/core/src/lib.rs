@@ -35,6 +35,7 @@
 pub mod area;
 pub mod config;
 pub mod l2bank;
+mod par;
 pub mod sim;
 pub mod stats;
 

@@ -1,0 +1,260 @@
+//! Deterministic parallel scheduler: shards and the ownership-passing
+//! worker pool.
+//!
+//! The machine is partitioned into [`Shard`]s — contiguous slices of the
+//! SIMT cores, L2 banks, DRAM channels, plus the two crossbar networks —
+//! and each run-loop phase that is embarrassingly parallel across
+//! components (core cycles, bank pipelines, channel cycles, network
+//! switching) becomes a [`Region`] executed on every shard. Everything
+//! else (injection, ejection, miss hand-off, fills) stays on the
+//! coordinator thread, which owns all shards between regions.
+//!
+//! ## Why ownership passing
+//!
+//! Determinism is enforced structurally, not by locking discipline: a
+//! shard is *moved* to a worker over a channel, mutated there with
+//! exclusive ownership, and moved back before the coordinator touches any
+//! cross-shard state. There is no shared mutable state, no lock, and no
+//! unsafe code — the borrow checker proves the absence of data races, and
+//! the coordinator's fixed shard-order merge ([`gmh_types::trace::TraceSink::absorb`],
+//! plus plain field access for everything else) makes the result
+//! byte-identical to the serial sweep for any worker count. A region's
+//! effects are confined to the shard's own components, so the execution
+//! interleaving across workers is unobservable.
+//!
+//! On a single hardware thread the pool degrades gracefully: blocking
+//! `mpsc` receives yield to the OS scheduler instead of spinning, so an
+//! oversubscribed host loses throughput but never correctness.
+
+use crate::l2bank::L2Bank;
+use gmh_dram::DramChannel;
+use gmh_icnt::Network;
+use gmh_simt::SimtCore;
+use gmh_types::trace::TraceSink;
+use gmh_types::Picos;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// One tick domain: a contiguous slice of the machine that can advance a
+/// [`Region`] without observing any other shard.
+pub(crate) struct Shard {
+    /// Stable shard index; also the merge position (shard sinks are
+    /// absorbed in ascending `id` order).
+    pub id: usize,
+    /// SIMT cores owned by this shard (global ids are contiguous).
+    pub cores: Vec<SimtCore>,
+    /// L2 banks owned by this shard.
+    pub banks: Vec<L2Bank>,
+    /// DRAM channels owned by this shard.
+    pub channels: Vec<DramChannel>,
+    /// Crossbar networks owned by this shard (request and reply switch
+    /// independently; the coordinator serializes all inject/eject).
+    pub nets: Vec<Network>,
+    /// Private trace sink, drained into the global sink at every merge
+    /// point in shard order.
+    pub trace: TraceSink,
+    /// Regions this shard actually executed (it owned ≥1 component of the
+    /// region's class) — observational, for the shard-utilization tests.
+    pub active_regions: u64,
+}
+
+/// One parallel phase of the run loop. Carries the scalar clock context a
+/// worker needs, because workers see nothing but the shard itself.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Region {
+    /// Switch the crossbar networks this shard owns.
+    Net,
+    /// Advance every L2 bank pipeline one interconnect cycle.
+    Bank {
+        /// Wall-clock picosecond of this tick.
+        now_ps: Picos,
+    },
+    /// Advance every SIMT core one core cycle.
+    Core {
+        /// Wall-clock picosecond of this tick.
+        now_ps: Picos,
+    },
+    /// Advance every DRAM channel one DRAM cycle.
+    Dram {
+        /// Current DRAM-domain cycle count.
+        cyc: u64,
+    },
+}
+
+impl Shard {
+    /// A hollow placeholder left behind while the real shard visits a
+    /// worker. Allocation-free (`Vec::new` and the disabled sink hold no
+    /// heap), so swapping it in costs nothing per region.
+    pub fn empty(id: usize) -> Self {
+        Shard {
+            id,
+            cores: Vec::new(),
+            banks: Vec::new(),
+            channels: Vec::new(),
+            nets: Vec::new(),
+            trace: TraceSink::disabled(),
+            active_regions: 0,
+        }
+    }
+
+    /// Whether the shard owns any component of `region`'s class. Empty
+    /// shards skip the dispatch entirely — the region provably cannot
+    /// touch them, so skipping is a pure scheduling choice with no effect
+    /// on results.
+    pub fn wants(&self, region: Region) -> bool {
+        match region {
+            Region::Net => !self.nets.is_empty(),
+            Region::Bank { .. } => !self.banks.is_empty(),
+            Region::Core { .. } => !self.cores.is_empty(),
+            Region::Dram { .. } => !self.channels.is_empty(),
+        }
+    }
+
+    /// Executes one region over this shard's components, in ascending
+    /// component order — the same order the serial sweep visits them.
+    pub fn run_region(&mut self, region: Region) {
+        if !self.wants(region) {
+            return;
+        }
+        self.active_regions += 1;
+        match region {
+            Region::Net => {
+                for n in &mut self.nets {
+                    n.cycle();
+                }
+            }
+            Region::Bank { now_ps } => {
+                let Shard { banks, trace, .. } = self;
+                for b in banks {
+                    b.cycle_traced(now_ps, trace);
+                }
+            }
+            Region::Core { now_ps } => {
+                let Shard { cores, trace, .. } = self;
+                for c in cores {
+                    c.cycle_traced(now_ps, trace);
+                }
+            }
+            Region::Dram { cyc } => {
+                for ch in &mut self.channels {
+                    ch.cycle(cyc);
+                }
+            }
+        }
+    }
+}
+
+/// The worker pool: one thread per non-coordinator shard, fed over
+/// per-worker channels, returning shards over one shared channel.
+///
+/// The channels are the synchronization barrier: the coordinator blocks in
+/// [`ParPool::collect`] until every dispatched shard has come home, so no
+/// serial step ever observes a shard mid-region.
+pub(crate) struct ParPool {
+    to_workers: Vec<mpsc::Sender<(Region, Shard)>>,
+    from_workers: mpsc::Receiver<Shard>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ParPool {
+    /// Spawns `n_workers` threads, each waiting for `(region, shard)`
+    /// work items.
+    pub fn spawn(n_workers: usize) -> Self {
+        let (ret_tx, from_workers) = mpsc::channel();
+        let mut to_workers = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (tx, rx) = mpsc::channel::<(Region, Shard)>();
+            let ret = ret_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok((region, mut shard)) = rx.recv() {
+                    shard.run_region(region);
+                    if ret.send(shard).is_err() {
+                        break; // coordinator gone: shut down
+                    }
+                }
+            }));
+            to_workers.push(tx);
+        }
+        ParPool {
+            to_workers,
+            from_workers,
+            handles,
+        }
+    }
+
+    /// Hands `shard` to `worker` for one region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread died (itself only possible via a panic
+    /// in model code — fail fast rather than deadlock).
+    pub fn dispatch(&self, worker: usize, region: Region, shard: Shard) {
+        // INVARIANT: workers only exit when their sender is dropped (in
+        // `shutdown`) or after a panic in model code — fail fast then.
+        self.to_workers[worker]
+            .send((region, shard))
+            .expect("worker thread alive");
+    }
+
+    /// Receives one finished shard (any worker, completion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every worker died before returning a dispatched shard.
+    pub fn collect(&self) -> Shard {
+        // INVARIANT: called once per dispatched shard, and a live worker
+        // always returns its shard; a dead worker means model code
+        // panicked — fail fast rather than deadlock.
+        self.from_workers.recv().expect("worker thread alive")
+    }
+
+    /// Shuts the pool down: closing the work channels ends each worker's
+    /// receive loop, then the threads are joined.
+    pub fn shutdown(self) {
+        drop(self.to_workers);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bare_shard(id: usize) -> Shard {
+        Shard::empty(id)
+    }
+
+    #[test]
+    fn empty_shard_wants_nothing() {
+        let s = bare_shard(3);
+        assert!(!s.wants(Region::Net));
+        assert!(!s.wants(Region::Bank { now_ps: 0 }));
+        assert!(!s.wants(Region::Core { now_ps: 0 }));
+        assert!(!s.wants(Region::Dram { cyc: 0 }));
+        assert_eq!(s.id, 3);
+    }
+
+    #[test]
+    fn run_region_on_empty_shard_counts_nothing() {
+        let mut s = bare_shard(0);
+        s.run_region(Region::Core { now_ps: 10 });
+        s.run_region(Region::Dram { cyc: 5 });
+        assert_eq!(s.active_regions, 0);
+    }
+
+    #[test]
+    fn pool_round_trips_shards() {
+        let pool = ParPool::spawn(2);
+        pool.dispatch(0, Region::Net, bare_shard(1));
+        pool.dispatch(1, Region::Net, bare_shard(2));
+        let a = pool.collect();
+        let b = pool.collect();
+        let mut ids = [a.id, b.id];
+        ids.sort_unstable();
+        assert_eq!(ids, [1, 2]);
+        pool.shutdown();
+    }
+}

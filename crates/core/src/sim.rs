@@ -2,10 +2,11 @@
 
 use crate::config::{GpuConfig, MemoryModel};
 use crate::l2bank::L2Bank;
+use crate::par::{ParPool, Region, Shard};
 use crate::stats::SimStats;
 use gmh_cache::TagArray;
 use gmh_dram::DramChannel;
-use gmh_icnt::Crossbar;
+use gmh_icnt::{Crossbar, Network};
 use gmh_simt::{CoreIdleProbe, IssueStallKind, SimtCore};
 use gmh_types::trace::{Level, TraceEventKind, TraceSink};
 use gmh_types::{
@@ -19,6 +20,38 @@ use std::collections::VecDeque;
 /// workload's own address/instruction RNG streams (the sim results must be
 /// bit-identical with tracing on or off).
 const TRACE_SEED_SALT: u64 = 0x5452_4143_455F_5631;
+
+/// Upper bound on shards (and so worker threads). Far above the component
+/// counts where sharding still helps; a backstop against absurd
+/// `GMH_THREADS` values, not a tuning knob.
+const MAX_SHARDS: usize = 16;
+
+/// How the machine's components map onto shards: contiguous chunks of
+/// `chunk` components per shard, so global component order equals
+/// (shard order × within-shard order) — the property the deterministic
+/// merge relies on.
+#[derive(Clone, Copy, Debug)]
+struct Layout {
+    core_chunk: usize,
+    bank_chunk: usize,
+    chan_chunk: usize,
+}
+
+impl Layout {
+    fn new(cfg: &GpuConfig, n_shards: usize) -> Self {
+        Layout {
+            core_chunk: cfg.n_cores.div_ceil(n_shards),
+            bank_chunk: cfg.n_l2_banks.div_ceil(n_shards),
+            chan_chunk: cfg.n_channels.div_ceil(n_shards),
+        }
+    }
+}
+
+/// Moves the next contiguous chunk of up to `k` components out of `v`.
+fn take_chunk<T>(v: &mut Vec<T>, k: usize) -> Vec<T> {
+    let k = k.min(v.len());
+    v.drain(..k).collect()
+}
 
 /// Interned telemetry series handles, one per observed structure class
 /// (values aggregate across instances: all cores, all banks, all channels).
@@ -125,10 +158,11 @@ impl FastForwardStats {
 pub struct GpuSim {
     cfg: GpuConfig,
     clocks: ClockDomains,
-    cores: Vec<SimtCore>,
-    xbar: Crossbar,
-    banks: Vec<L2Bank>,
-    channels: Vec<DramChannel>,
+    /// The machine, partitioned into parallel tick domains. One shard =
+    /// the serial machine; the coordinator owns every shard between
+    /// regions, so all cross-shard steps are plain field access.
+    shards: Vec<Shard>,
+    layout: Layout,
     /// Ideal-memory in-flight queues; each holds `(ready_core_cycle,
     /// fetch)` in FIFO order (constant latency per queue).
     ideal_fast: VecDeque<(u64, MemFetch)>,
@@ -200,14 +234,14 @@ impl GpuSim {
     pub fn from_sources(
         cfg: GpuConfig,
         name: &str,
-        mut factory: impl FnMut(usize) -> Box<dyn gmh_simt::inst::InstSource>,
+        mut factory: impl FnMut(usize) -> Box<dyn gmh_simt::inst::InstSource + Send>,
     ) -> Self {
         cfg.validate()
             .unwrap_or_else(|e| panic!("invalid config: {e}"));
-        let cores = (0..cfg.n_cores)
+        let mut cores: Vec<SimtCore> = (0..cfg.n_cores)
             .map(|c| SimtCore::new(c, cfg.core.clone(), factory(c)))
             .collect();
-        let banks = (0..cfg.n_l2_banks)
+        let mut banks: Vec<L2Bank> = (0..cfg.n_l2_banks)
             .map(|_| {
                 L2Bank::new(
                     cfg.l2_bank.clone(),
@@ -218,10 +252,11 @@ impl GpuSim {
                 )
             })
             .collect();
-        let channels = (0..cfg.n_channels)
+        let mut channels: Vec<DramChannel> = (0..cfg.n_channels)
             .map(|ch| DramChannel::new(cfg.dram.clone(), ch))
             .collect();
-        let xbar = Crossbar::new(cfg.icnt.clone(), cfg.n_cores, cfg.n_l2_banks);
+        let (req_net, rep_net) =
+            Crossbar::new(cfg.icnt.clone(), cfg.n_cores, cfg.n_l2_banks).into_parts();
         let functional_l2 = match cfg.memory_model {
             MemoryModel::InfiniteBw { .. } => {
                 // One functional tag array covering the whole shared L2.
@@ -232,17 +267,37 @@ impl GpuSim {
         };
         let mut telemetry = Telemetry::new(cfg.telemetry_window);
         let ids = SeriesIds::register(&mut telemetry);
+        let trace_seed = stable_hash_str(name) ^ TRACE_SEED_SALT;
         let trace = TraceSink::new(
             cfg.trace_sample,
             usize::try_from(cfg.trace_event_cap).unwrap_or(usize::MAX),
-            stable_hash_str(name) ^ TRACE_SEED_SALT,
+            trace_seed,
         );
+        let n_shards = Self::resolved_threads(&cfg);
+        let layout = Layout::new(&cfg, n_shards);
+        let mut shards: Vec<Shard> = (0..n_shards)
+            .map(|id| Shard {
+                id,
+                cores: take_chunk(&mut cores, layout.core_chunk),
+                banks: take_chunk(&mut banks, layout.bank_chunk),
+                channels: take_chunk(&mut channels, layout.chan_chunk),
+                nets: Vec::new(),
+                trace: TraceSink::shard(cfg.trace_sample, trace_seed),
+                active_regions: 0,
+            })
+            .collect();
+        debug_assert!(cores.is_empty() && banks.is_empty() && channels.is_empty());
+        if n_shards > 1 {
+            shards[0].nets.push(req_net);
+            shards[1].nets.push(rep_net);
+        } else {
+            shards[0].nets.push(req_net);
+            shards[0].nets.push(rep_net);
+        }
         GpuSim {
             clocks: ClockDomains::new(cfg.core_mhz, cfg.icnt_mhz, cfg.dram_mhz),
-            cores,
-            xbar,
-            banks,
-            channels,
+            shards,
+            layout,
             ideal_fast: VecDeque::new(),
             ideal_slow: VecDeque::new(),
             ideal_dram: vec![VecDeque::new(); cfg.n_l2_banks],
@@ -264,9 +319,118 @@ impl GpuSim {
         }
     }
 
+    /// Resolves the shard/worker count for `cfg`: the `sim_threads` knob
+    /// when set, else the `GMH_SIM_THREADS` / `GMH_THREADS` environment
+    /// variables (the former wins so job-level parallelism in the
+    /// experiment runner can cap per-sim threads independently), else 1.
+    /// `force_serial` and `force_naive_loop` pin the serial oracle. The
+    /// count only affects scheduling, never results.
+    fn resolved_threads(cfg: &GpuConfig) -> usize {
+        if cfg.force_serial || cfg.force_naive_loop {
+            return 1;
+        }
+        let n = if cfg.sim_threads > 0 {
+            cfg.sim_threads
+        } else {
+            std::env::var("GMH_SIM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .or_else(|| {
+                    std::env::var("GMH_THREADS")
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                })
+                .unwrap_or(1)
+        };
+        n.clamp(1, MAX_SHARDS.min(cfg.n_cores))
+    }
+
+    // ---- component accessors -------------------------------------------------
+    //
+    // Global component indices map to (shard, slot) by the contiguous
+    // chunking in `Layout`; every serial step addresses components through
+    // these, so the sweep order is identical for any shard count.
+
+    fn core(&self, c: usize) -> &SimtCore {
+        &self.shards[c / self.layout.core_chunk].cores[c % self.layout.core_chunk]
+    }
+
+    fn core_mut(&mut self, c: usize) -> &mut SimtCore {
+        &mut self.shards[c / self.layout.core_chunk].cores[c % self.layout.core_chunk]
+    }
+
+    fn bank(&self, b: usize) -> &L2Bank {
+        &self.shards[b / self.layout.bank_chunk].banks[b % self.layout.bank_chunk]
+    }
+
+    fn bank_mut(&mut self, b: usize) -> &mut L2Bank {
+        &mut self.shards[b / self.layout.bank_chunk].banks[b % self.layout.bank_chunk]
+    }
+
+    fn channel(&self, ch: usize) -> &DramChannel {
+        &self.shards[ch / self.layout.chan_chunk].channels[ch % self.layout.chan_chunk]
+    }
+
+    fn channel_mut(&mut self, ch: usize) -> &mut DramChannel {
+        &mut self.shards[ch / self.layout.chan_chunk].channels[ch % self.layout.chan_chunk]
+    }
+
+    /// The request (core → L2) network: always shard 0's first net.
+    fn req(&self) -> &Network {
+        &self.shards[0].nets[0]
+    }
+
+    fn req_mut(&mut self) -> &mut Network {
+        &mut self.shards[0].nets[0]
+    }
+
+    /// The reply (L2 → core) network: shard 1's net when sharded (the two
+    /// networks switch independently), else shard 0's second net.
+    fn rep(&self) -> &Network {
+        if self.shards.len() > 1 {
+            &self.shards[1].nets[0]
+        } else {
+            &self.shards[0].nets[1]
+        }
+    }
+
+    fn rep_mut(&mut self) -> &mut Network {
+        if self.shards.len() > 1 {
+            &mut self.shards[1].nets[0]
+        } else {
+            &mut self.shards[0].nets[1]
+        }
+    }
+
+    fn cores(&self) -> impl Iterator<Item = &SimtCore> {
+        self.shards.iter().flat_map(|s| s.cores.iter())
+    }
+
+    fn banks(&self) -> impl Iterator<Item = &L2Bank> {
+        self.shards.iter().flat_map(|s| s.banks.iter())
+    }
+
+    fn channels(&self) -> impl Iterator<Item = &DramChannel> {
+        self.shards.iter().flat_map(|s| s.channels.iter())
+    }
+
     /// The workload name this sim runs.
     pub fn workload(&self) -> &str {
         &self.workload
+    }
+
+    /// Number of parallel tick domains this sim was built with (1 =
+    /// serial).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard count of regions actually executed (a shard is charged
+    /// only when it owned components of the region's class). Observational
+    /// — the shard-utilization tests pin that a saturated parallel run
+    /// really exercises multiple shards.
+    pub fn shard_activity(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.active_regions).collect()
     }
 
     /// Fast-forward engagement counters for the run so far.
@@ -288,7 +452,7 @@ impl GpuSim {
     }
 
     fn done(&self) -> bool {
-        if !self.cores.iter().all(|c| c.done()) {
+        if !self.cores().all(|c| c.done()) {
             return false;
         }
         if !self.ideal_fast.is_empty()
@@ -298,13 +462,13 @@ impl GpuSim {
             return false;
         }
         if self.uses_hierarchy() {
-            if !self.xbar.request().is_idle() || !self.xbar.reply().is_idle() {
+            if !self.req().is_idle() || !self.rep().is_idle() {
                 return false;
             }
-            if !self.banks.iter().all(|b| b.is_idle()) {
+            if !self.banks().all(|b| b.is_idle()) {
                 return false;
             }
-            if !self.channels.iter().all(|c| c.is_idle()) {
+            if !self.channels().all(|c| c.is_idle()) {
                 return false;
             }
         }
@@ -320,6 +484,18 @@ impl GpuSim {
     /// naively by construction; `cfg.force_naive_loop` disables it so
     /// equivalence tests can compare both paths.
     pub fn run(&mut self) -> SimStats {
+        // One worker thread per non-coordinator shard; the coordinator
+        // always runs shard 0's regions itself. Serial runs (one shard)
+        // spawn nothing and never touch a channel.
+        let pool = (self.shards.len() > 1).then(|| ParPool::spawn(self.shards.len() - 1));
+        let stats = self.run_loop(pool.as_ref());
+        if let Some(p) = pool {
+            p.shutdown();
+        }
+        stats
+    }
+
+    fn run_loop(&mut self, pool: Option<&ParPool>) -> SimStats {
         let mut hit_cap = false;
         // Probe throttle: a failed probe (something was busy) predicts more
         // busy cycles, so back off exponentially before probing again.
@@ -359,9 +535,9 @@ impl GpuSim {
             let fired = self.clocks.advance();
             let now_ps = self.clocks.now();
             if self.cfg.profile_phases {
-                self.dispatch_ticks_profiled(fired, now_ps);
+                self.dispatch_ticks_profiled(fired, now_ps, pool);
             } else {
-                self.dispatch_ticks(fired, now_ps);
+                self.dispatch_ticks(fired, now_ps, pool);
             }
         }
         let stats = self.collect(hit_cap);
@@ -386,29 +562,34 @@ impl GpuSim {
     }
 
     /// Runs every domain tick fired by one clock edge (the naive path).
-    fn dispatch_ticks(&mut self, fired: gmh_types::TickSet, now_ps: Picos) {
+    fn dispatch_ticks(&mut self, fired: gmh_types::TickSet, now_ps: Picos, pool: Option<&ParPool>) {
         if fired.icnt {
             if self.uses_hierarchy() {
-                self.icnt_tick(now_ps);
+                self.icnt_tick(now_ps, pool);
             }
             self.sample_telemetry();
         }
         if fired.dram {
-            self.dram_tick();
+            self.dram_tick(pool);
         }
         if fired.core {
-            self.core_tick(now_ps);
+            self.core_tick(now_ps, pool);
         }
     }
 
     /// [`GpuSim::dispatch_ticks`] with a wall-clock timer around each phase
     /// (same calls in the same order; results are identical).
-    fn dispatch_ticks_profiled(&mut self, fired: gmh_types::TickSet, now_ps: Picos) {
+    fn dispatch_ticks_profiled(
+        &mut self,
+        fired: gmh_types::TickSet,
+        now_ps: Picos,
+        pool: Option<&ParPool>,
+    ) {
         use std::time::Instant;
         if fired.icnt {
             if self.uses_hierarchy() {
                 let t0 = Instant::now();
-                self.icnt_tick(now_ps);
+                self.icnt_tick(now_ps, pool);
                 self.profile.icnt += t0.elapsed();
             }
             let t0 = Instant::now();
@@ -417,13 +598,51 @@ impl GpuSim {
         }
         if fired.dram {
             let t0 = Instant::now();
-            self.dram_tick();
+            self.dram_tick(pool);
             self.profile.dram += t0.elapsed();
         }
         if fired.core {
             let t0 = Instant::now();
-            self.core_tick(now_ps);
+            self.core_tick(now_ps, pool);
             self.profile.core += t0.elapsed();
+        }
+    }
+
+    /// Executes one parallel region over every shard and then merges: the
+    /// coordinator ships each non-empty worker shard out (by moving it —
+    /// `Shard::empty` is an allocation-free placeholder), runs shard 0's
+    /// slice itself, blocks until every shard is home, and finally drains
+    /// the shard trace sinks in ascending shard order. The drain is the
+    /// deterministic merge point: with contiguous chunking, shard order ×
+    /// within-shard order is exactly the serial sweep order, so the global
+    /// event stream is byte-identical for any shard count.
+    fn run_region(&mut self, region: Region, pool: Option<&ParPool>) {
+        match pool {
+            None => {
+                for s in &mut self.shards {
+                    s.run_region(region);
+                }
+            }
+            Some(pool) => {
+                let mut dispatched = 0;
+                for w in 1..self.shards.len() {
+                    if !self.shards[w].wants(region) {
+                        continue;
+                    }
+                    let sh = std::mem::replace(&mut self.shards[w], Shard::empty(w));
+                    pool.dispatch(w - 1, region, sh);
+                    dispatched += 1;
+                }
+                self.shards[0].run_region(region);
+                for _ in 0..dispatched {
+                    let sh = pool.collect();
+                    let id = sh.id;
+                    self.shards[id] = sh;
+                }
+            }
+        }
+        for s in &mut self.shards {
+            self.trace.absorb(&mut s.trace);
         }
     }
 
@@ -458,16 +677,22 @@ impl GpuSim {
         let mut t: Picos = (self.cfg.max_core_cycles.saturating_sub(1)) * core_period + 1;
 
         // Cheapest probes first, bailing out on the first busy component.
+        // Probes iterate the shard fields directly (global component order
+        // is preserved by the contiguous chunking) so the busy counters can
+        // be bumped without fighting the borrow on an accessor iterator.
         if self.uses_hierarchy() {
             // Parked ejections are re-offered to L2 banks / core FIFOs on
             // every icnt tick; only an empty backlog is inert.
-            if self.xbar.request().ejection_backlog() > 0
-                || self.xbar.reply().ejection_backlog() > 0
-            {
+            if self.req().ejection_backlog() > 0 || self.rep().ejection_backlog() > 0 {
                 self.ff_stats.busy_icnt += 1;
                 return false;
             }
-            for net in [self.xbar.request(), self.xbar.reply()] {
+            let nets: [&Network; 2] = if self.shards.len() > 1 {
+                [&self.shards[0].nets[0], &self.shards[1].nets[0]]
+            } else {
+                [&self.shards[0].nets[0], &self.shards[0].nets[1]]
+            };
+            for net in nets {
                 match net.next_event_bound() {
                     EventBound::Busy => {
                         self.ff_stats.busy_icnt += 1;
@@ -479,31 +704,35 @@ impl GpuSim {
                     EventBound::QuietUntil { bound: None } => {}
                 }
             }
-            for bank in &self.banks {
-                match bank.next_event_bound() {
-                    EventBound::Busy => {
-                        self.ff_stats.busy_bank += 1;
-                        return false;
+            for s in &self.shards {
+                for bank in &s.banks {
+                    match bank.next_event_bound() {
+                        EventBound::Busy => {
+                            self.ff_stats.busy_bank += 1;
+                            return false;
+                        }
+                        EventBound::QuietUntil { bound: Some(b) } => {
+                            t = t.min((b - 1) * icnt_period);
+                        }
+                        EventBound::QuietUntil { bound: None } => {}
                     }
-                    EventBound::QuietUntil { bound: Some(b) } => {
-                        t = t.min((b - 1) * icnt_period);
-                    }
-                    EventBound::QuietUntil { bound: None } => {}
                 }
             }
         }
         if matches!(self.cfg.memory_model, MemoryModel::Full) {
             let dram_now = self.clocks.domain(DomainId::Dram).cycles();
-            for ch in &self.channels {
-                match ch.next_event_bound(dram_now) {
-                    EventBound::Busy => {
-                        self.ff_stats.busy_dram += 1;
-                        return false;
+            for s in &self.shards {
+                for ch in &s.channels {
+                    match ch.next_event_bound(dram_now) {
+                        EventBound::Busy => {
+                            self.ff_stats.busy_dram += 1;
+                            return false;
+                        }
+                        EventBound::QuietUntil { bound: Some(b) } => {
+                            t = t.min((b - 1) * dram_period);
+                        }
+                        EventBound::QuietUntil { bound: None } => {}
                     }
-                    EventBound::QuietUntil { bound: Some(b) } => {
-                        t = t.min((b - 1) * dram_period);
-                    }
-                    EventBound::QuietUntil { bound: None } => {}
                 }
             }
         }
@@ -520,18 +749,22 @@ impl GpuSim {
                 t = t.min(*ready_ps);
             }
         }
-        for (i, c) in self.cores.iter().enumerate() {
-            match c.next_event_bound() {
-                CoreIdleProbe::Busy => {
-                    self.ff_stats.busy_core += 1;
-                    return false;
-                }
-                CoreIdleProbe::Quiet { bound, stall } => {
-                    self.ff_stalls[i] = stall;
-                    if let Some(b) = bound {
-                        t = t.min((b - 1) * core_period);
+        let mut i = 0;
+        for s in &self.shards {
+            for c in &s.cores {
+                match c.next_event_bound() {
+                    CoreIdleProbe::Busy => {
+                        self.ff_stats.busy_core += 1;
+                        return false;
+                    }
+                    CoreIdleProbe::Quiet { bound, stall } => {
+                        self.ff_stalls[i] = stall;
+                        if let Some(b) = bound {
+                            t = t.min((b - 1) * core_period);
+                        }
                     }
                 }
+                i += 1;
             }
         }
 
@@ -548,23 +781,31 @@ impl GpuSim {
         // Replay each skipped tick's constant bookkeeping in bulk, exactly
         // as the naive loop's per-tick calls would have.
         if counts.core > 0 {
-            for (i, c) in self.cores.iter_mut().enumerate() {
-                c.skip_idle(counts.core, self.ff_stalls[i]);
+            let mut i = 0;
+            for s in &mut self.shards {
+                for c in &mut s.cores {
+                    c.skip_idle(counts.core, self.ff_stalls[i]);
+                    i += 1;
+                }
             }
         }
         if counts.icnt > 0 {
             if self.uses_hierarchy() {
-                self.xbar.request_mut().skip_cycles(counts.icnt);
-                self.xbar.reply_mut().skip_cycles(counts.icnt);
-                for bank in &mut self.banks {
-                    bank.skip_cycles(counts.icnt);
+                self.req_mut().skip_cycles(counts.icnt);
+                self.rep_mut().skip_cycles(counts.icnt);
+                for s in &mut self.shards {
+                    for bank in &mut s.banks {
+                        bank.skip_cycles(counts.icnt);
+                    }
                 }
             }
             self.sample_telemetry_repeated(counts.icnt);
         }
         if counts.dram > 0 && matches!(self.cfg.memory_model, MemoryModel::Full) {
-            for ch in &mut self.channels {
-                ch.skip_cycles(counts.dram, dram_now);
+            for s in &mut self.shards {
+                for ch in &mut s.channels {
+                    ch.skip_cycles(counts.dram, dram_now);
+                }
             }
         }
         true
@@ -577,18 +818,19 @@ impl GpuSim {
     /// them once and repeating the sample is exact.
     fn telemetry_values(&mut self) -> [(SeriesId, f64); 19] {
         let ids = self.ids;
-        let l1_miss: usize = self.cores.iter().map(|c| c.miss_queue_len()).sum();
-        let resp_fifo: usize = self.cores.iter().map(|c| c.response_fifo_len()).sum();
+        let l1_miss: usize = self.cores().map(|c| c.miss_queue_len()).sum();
+        let resp_fifo: usize = self.cores().map(|c| c.response_fifo_len()).sum();
 
-        let req = self.xbar.request();
-        let rep = self.xbar.reply();
-        let (req_flits, rep_flits) = (req.stats().flits.get(), rep.stats().flits.get());
+        let (req_flits, rep_flits) = (
+            self.req().stats().flits.get(),
+            self.rep().stats().flits.get(),
+        );
         let req_rate = req_flits - self.prev_req_flits;
         let rep_rate = rep_flits - self.prev_rep_flits;
-        let req_buffered = req.buffered_flits();
-        let req_backlog = req.ejection_backlog();
-        let rep_buffered = rep.buffered_flits();
-        let rep_backlog = rep.ejection_backlog();
+        let req_buffered = self.req().buffered_flits();
+        let req_backlog = self.req().ejection_backlog();
+        let rep_buffered = self.rep().buffered_flits();
+        let rep_backlog = self.rep().ejection_backlog();
         self.prev_req_flits = req_flits;
         self.prev_rep_flits = rep_flits;
 
@@ -596,7 +838,7 @@ impl GpuSim {
         let mut miss_q = 0usize;
         let mut resp_q = 0usize;
         let mut stalls = [0u64; 5];
-        for b in &self.banks {
+        for b in self.banks() {
             access_q += b.access_queue_len();
             miss_q += b.miss_queue_len();
             resp_q += b.response_queue_len();
@@ -613,8 +855,8 @@ impl GpuSim {
         }
         self.prev_l2_stalls = stalls;
 
-        let sched: usize = self.channels.iter().map(|c| c.queue_len()).sum();
-        let dresp: usize = self.channels.iter().map(|c| c.response_queue_len()).sum();
+        let sched: usize = self.channels().map(|c| c.queue_len()).sum();
+        let dresp: usize = self.channels().map(|c| c.response_queue_len()).sum();
 
         let ideal: usize = self.ideal_fast.len()
             + self.ideal_slow.len()
@@ -673,16 +915,14 @@ impl GpuSim {
 
     // ---- core domain --------------------------------------------------------
 
-    fn core_tick(&mut self, now_ps: Picos) {
-        for c in &mut self.cores {
-            c.cycle_traced(now_ps, &mut self.trace);
-        }
+    fn core_tick(&mut self, now_ps: Picos, pool: Option<&ParPool>) {
+        self.run_region(Region::Core { now_ps }, pool);
         let cyc = self.clocks.domain(DomainId::Core).cycles();
         match self.cfg.memory_model {
             MemoryModel::Full | MemoryModel::InfiniteDram { .. } => {}
             MemoryModel::FixedL1MissLatency(lat) => {
-                for i in 0..self.cores.len() {
-                    while let Some(f) = self.cores[i].pop_outgoing() {
+                for i in 0..self.cfg.n_cores {
+                    while let Some(f) = self.core_mut(i).pop_outgoing() {
                         self.audit.emitted(&f);
                         self.trace
                             .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::L1));
@@ -699,8 +939,8 @@ impl GpuSim {
                 self.deliver_ideal(cyc, now_ps);
             }
             MemoryModel::InfiniteBw { l2_hit, dram } => {
-                for i in 0..self.cores.len() {
-                    while let Some(f) = self.cores[i].pop_outgoing() {
+                for i in 0..self.cfg.n_cores {
+                    while let Some(f) = self.core_mut(i).pop_outgoing() {
                         self.audit.emitted(&f);
                         self.trace
                             .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::L1));
@@ -755,7 +995,7 @@ impl GpuSim {
                     break;
                 }
                 let core = f.core_id;
-                if self.ideal_blocked[core] || !self.cores[core].can_accept_response() {
+                if self.ideal_blocked[core] || !self.core(core).can_accept_response() {
                     self.ideal_blocked[core] = true;
                     kept.push_back((ready, f));
                     continue;
@@ -767,7 +1007,7 @@ impl GpuSim {
                 self.trace
                     .record_fetch(&f, now_ps, TraceEventKind::Returned);
                 // INVARIANT: can_accept_response() held just above.
-                self.cores[core].push_response(f).expect("space checked");
+                self.core_mut(core).push_response(f).expect("space checked");
             }
             kept.append(&mut q);
             *if which == 0 {
@@ -781,15 +1021,15 @@ impl GpuSim {
 
     // ---- interconnect / L2 domain -------------------------------------------
 
-    fn icnt_tick(&mut self, now_ps: Picos) {
+    fn icnt_tick(&mut self, now_ps: Picos, pool: Option<&ParPool>) {
         // 1. Cores inject L1 miss traffic into the request network.
-        for c in 0..self.cores.len() {
-            if let Some(head) = self.cores[c].peek_outgoing() {
+        for c in 0..self.cfg.n_cores {
+            if let Some(head) = self.core(c).peek_outgoing() {
                 let bytes = head.request_bytes();
                 let dst = head.line.interleave(self.cfg.n_l2_banks);
-                if self.xbar.request().can_inject(c, bytes) {
+                if self.req().can_inject(c, bytes) {
                     // INVARIANT: peek_outgoing() returned Some above.
-                    let mut f = self.cores[c].pop_outgoing().expect("peeked");
+                    let mut f = self.core_mut(c).pop_outgoing().expect("peeked");
                     self.audit.emitted(&f);
                     self.trace
                         .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::L1));
@@ -797,29 +1037,29 @@ impl GpuSim {
                         .record_fetch(&f, now_ps, TraceEventKind::EnqueuedAt(Level::Icnt));
                     f.time.icnt_inject = now_ps;
                     // INVARIANT: can_inject() held just above.
-                    self.xbar
-                        .request_mut()
+                    self.req_mut()
                         .inject(c, dst, f, bytes)
                         .expect("can_inject checked");
                 }
             }
         }
 
-        // 2. Switch both networks.
-        self.xbar.cycle();
+        // 2. Switch both networks (independent — each in its own shard
+        //    when the machine is sharded).
+        self.run_region(Region::Net, pool);
 
         // 3. Ejected requests enter L2 access queues (or stay in the
         //    crossbar's ejection buffers when a queue is full — that is the
         //    back-pressure path up toward the L1s). An empty backlog means
         //    every per-bank loop below would fall through its peek guard.
-        if self.xbar.request().ejection_backlog() > 0 {
-            for b in 0..self.banks.len() {
-                while self.xbar.request().peek_eject(b).is_some() {
-                    if !self.banks[b].can_accept() {
+        if self.req().ejection_backlog() > 0 {
+            for b in 0..self.cfg.n_l2_banks {
+                while self.req().peek_eject(b).is_some() {
+                    if !self.bank(b).can_accept() {
                         break;
                     }
                     // INVARIANT: peek_eject() returned Some in the loop guard.
-                    let mut f = self.xbar.request_mut().pop_eject(b).expect("peeked");
+                    let mut f = self.req_mut().pop_eject(b).expect("peeked");
                     f.time.l2_arrive = now_ps;
                     self.trace
                         .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Icnt));
@@ -835,15 +1075,13 @@ impl GpuSim {
                             .record_fetch(&f, now_ps, TraceEventKind::Absorbed);
                     }
                     // INVARIANT: can_accept() held just above.
-                    self.banks[b].push_access(f).expect("can_accept checked");
+                    self.bank_mut(b).push_access(f).expect("can_accept checked");
                 }
             }
         }
 
         // 4. L2 bank pipelines.
-        for b in &mut self.banks {
-            b.cycle_traced(now_ps, &mut self.trace);
-        }
+        self.run_region(Region::Bank { now_ps }, pool);
 
         // 5. L2 miss queues drain toward DRAM (or the ideal-DRAM pipe).
         let dram_cyc = self.clocks.domain(DomainId::Dram).cycles();
@@ -851,15 +1089,15 @@ impl GpuSim {
             MemoryModel::InfiniteDram { latency } => Some(latency),
             _ => None,
         };
-        for b in 0..self.banks.len() {
-            let Some(head) = self.banks[b].miss_queue_front() else {
+        for b in 0..self.cfg.n_l2_banks {
+            let Some(head) = self.bank(b).miss_queue_front() else {
                 continue;
             };
             let ch = head.line.interleave(self.cfg.n_channels);
             match ideal_dram_lat {
                 Some(lat) => {
                     // INVARIANT: miss_queue_front() returned Some above.
-                    let mut f = self.banks[b].pop_miss().expect("peeked");
+                    let mut f = self.bank_mut(b).pop_miss().expect("peeked");
                     f.time.dram_arrive = now_ps;
                     self.trace
                         .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Dram));
@@ -870,12 +1108,12 @@ impl GpuSim {
                     // Write-backs are absorbed instantly by the ideal DRAM.
                 }
                 None => {
-                    if self.channels[ch].can_accept() {
+                    if self.channel(ch).can_accept() {
                         // INVARIANT: miss_queue_front() returned Some above.
-                        let mut f = self.banks[b].pop_miss().expect("peeked");
+                        let mut f = self.bank_mut(b).pop_miss().expect("peeked");
                         f.time.dram_arrive = now_ps;
                         // INVARIANT: can_accept() held just above.
-                        self.channels[ch]
+                        self.channel_mut(ch)
                             .push(f, dram_cyc)
                             .expect("can_accept checked");
                     }
@@ -886,13 +1124,14 @@ impl GpuSim {
         // 6. DRAM (or ideal-DRAM) responses fill the L2.
         match ideal_dram_lat {
             Some(_) => {
-                for bank in 0..self.banks.len() {
+                for bank in 0..self.cfg.n_l2_banks {
                     while let Some((ready, f)) = self.ideal_dram[bank].front() {
                         if *ready > now_ps {
                             break;
                         }
-                        if self.banks[bank].response_free()
-                            < self.banks[bank].fill_response_needs(f.line)
+                        let line = f.line;
+                        if self.bank(bank).response_free()
+                            < self.bank(bank).fill_response_needs(line)
                         {
                             break;
                         }
@@ -903,23 +1142,24 @@ impl GpuSim {
                             now_ps,
                             TraceEventKind::ServicedAt(Level::Dram),
                         );
-                        self.banks[bank].deliver_fill(f, now_ps);
+                        self.bank_mut(bank).deliver_fill(f, now_ps);
                     }
                 }
             }
             None => {
                 let dram_period = self.clocks.domain(DomainId::Dram).period_ps();
-                for ch in 0..self.channels.len() {
-                    while let Some(f) = self.channels[ch].peek_response() {
+                for ch in 0..self.cfg.n_channels {
+                    while let Some(f) = self.channel(ch).peek_response() {
                         let bank = f.line.interleave(self.cfg.n_l2_banks);
-                        if self.banks[bank].response_free()
-                            < self.banks[bank].fill_response_needs(f.line)
+                        let line = f.line;
+                        if self.bank(bank).response_free()
+                            < self.bank(bank).fill_response_needs(line)
                         {
                             break;
                         }
                         // INVARIANT: peek_response() returned Some in the
                         // loop guard.
-                        let (cas, f) = self.channels[ch].pop_response_cas().expect("peeked");
+                        let (cas, f) = self.channel_mut(ch).pop_response_cas().expect("peeked");
                         // DRAM cycle c fires at wall time (c-1)*period; the
                         // clamp keeps the event stream monotone even for
                         // degenerate clock configurations.
@@ -934,20 +1174,20 @@ impl GpuSim {
                             now_ps,
                             TraceEventKind::ServicedAt(Level::Dram),
                         );
-                        self.banks[bank].deliver_fill(f, now_ps);
+                        self.bank_mut(bank).deliver_fill(f, now_ps);
                     }
                 }
             }
         }
 
         // 7. L2 responses inject into the reply network.
-        for b in 0..self.banks.len() {
-            if let Some(resp) = self.banks[b].response_ready() {
+        for b in 0..self.cfg.n_l2_banks {
+            if let Some(resp) = self.bank(b).response_ready() {
                 let bytes = resp.response_bytes();
                 let dst = resp.core_id;
-                if self.xbar.reply().can_inject(b, bytes) {
+                if self.rep().can_inject(b, bytes) {
                     // INVARIANT: response_ready() returned Some above.
-                    let f = self.banks[b].pop_response().expect("ready");
+                    let f = self.bank_mut(b).pop_response().expect("ready");
                     // An L2 hit is "serviced" when its response leaves the
                     // bank: lookup pipeline plus response-queue residency.
                     // DRAM-filled responses were serviced at the channel.
@@ -958,8 +1198,7 @@ impl GpuSim {
                     self.trace
                         .record_fetch(&f, now_ps, TraceEventKind::EnqueuedAt(Level::Icnt));
                     // INVARIANT: can_inject() held just above.
-                    self.xbar
-                        .reply_mut()
+                    self.rep_mut()
                         .inject(b, dst, f, bytes)
                         .expect("can_inject checked");
                 }
@@ -968,21 +1207,21 @@ impl GpuSim {
 
         // 8. Ejected replies enter core response FIFOs. Same early-out as
         //    step 3: no backlog, nothing to re-offer.
-        if self.xbar.reply().ejection_backlog() > 0 {
-            for c in 0..self.cores.len() {
-                while self.xbar.reply().peek_eject(c).is_some() {
-                    if !self.cores[c].can_accept_response() {
+        if self.rep().ejection_backlog() > 0 {
+            for c in 0..self.cfg.n_cores {
+                while self.rep().peek_eject(c).is_some() {
+                    if !self.core(c).can_accept_response() {
                         break;
                     }
                     // INVARIANT: peek_eject() returned Some in the loop guard.
-                    let f = self.xbar.reply_mut().pop_eject(c).expect("peeked");
+                    let f = self.rep_mut().pop_eject(c).expect("peeked");
                     self.audit.returned(&f, now_ps);
                     self.trace
                         .record_fetch(&f, now_ps, TraceEventKind::DequeuedAt(Level::Icnt));
                     self.trace
                         .record_fetch(&f, now_ps, TraceEventKind::Returned);
                     // INVARIANT: can_accept_response() held just above.
-                    self.cores[c].push_response(f).expect("space checked");
+                    self.core_mut(c).push_response(f).expect("space checked");
                 }
             }
         }
@@ -990,14 +1229,12 @@ impl GpuSim {
 
     // ---- DRAM domain ---------------------------------------------------------
 
-    fn dram_tick(&mut self) {
+    fn dram_tick(&mut self, pool: Option<&ParPool>) {
         if !matches!(self.cfg.memory_model, MemoryModel::Full) {
             return;
         }
         let cyc = self.clocks.domain(DomainId::Dram).cycles();
-        for ch in &mut self.channels {
-            ch.cycle(cyc);
-        }
+        self.run_region(Region::Dram { cyc }, pool);
     }
 
     // ---- statistics -----------------------------------------------------------
@@ -1016,7 +1253,7 @@ impl GpuSim {
         let mut ahl_n = 0u64;
         let mut l1_reads = 0u64;
         let mut l1_hits = 0u64;
-        for c in &self.cores {
+        for c in self.cores() {
             let s = c.stats();
             stats.insts += s.insts_issued;
             stats.issue.merge(&s.issue);
@@ -1057,7 +1294,7 @@ impl GpuSim {
 
         let mut l2_reads = 0u64;
         let mut l2_hits = 0u64;
-        for b in &self.banks {
+        for b in self.banks() {
             stats.l2_stalls.merge(b.stalls());
             stats.l2_access_occupancy.merge(b.access_occupancy());
             l2_reads += b.cache().stats().reads;
@@ -1071,7 +1308,7 @@ impl GpuSim {
 
         let mut eff_num = 0u64;
         let mut eff_den = 0u64;
-        for ch in &self.channels {
+        for ch in self.channels() {
             stats.dram_queue_occupancy.merge(ch.queue_occupancy());
             eff_num += ch.stats().efficiency.numerator();
             eff_den += ch.stats().efficiency.denominator();
@@ -1251,9 +1488,9 @@ mod tests {
         let mut sim = GpuSim::new(cfg, &wl);
         // Saturate core 0's response FIFO.
         let mut id = 1000;
-        while sim.cores[0].can_accept_response() {
+        while sim.core(0).can_accept_response() {
             let f = MemFetch::new(id, 0, 0, AccessKind::Load, LineAddr::new(id), 0);
-            sim.cores[0].push_response(f).unwrap();
+            sim.core_mut(0).push_response(f).unwrap();
             id += 1;
         }
         // Ready responses in the shared queue: two for saturated core 0
@@ -1265,7 +1502,7 @@ mod tests {
         }
         sim.deliver_ideal(0, 0);
         assert_eq!(
-            sim.cores[1].response_fifo_len(),
+            sim.core(1).response_fifo_len(),
             2,
             "idle core's ready responses must not be blocked behind a \
              saturated core's"

@@ -42,8 +42,17 @@ use std::sync::Mutex;
 
 /// Stable cache key for one simulation job.
 ///
-/// See the module docs for the canonical document this hashes.
+/// See the module docs for the canonical document this hashes. The config
+/// is canonicalized first: knobs that only choose *how* the run executes —
+/// scheduler selection (`force_naive_loop`, `force_serial`, `sim_threads`)
+/// and phase profiling (`profile_phases`) — are zeroed before hashing,
+/// because every such combination produces byte-identical reports (the
+/// determinism and parallel-equivalence suites pin this). Hashing them
+/// would fragment the cache into copies of the same bytes and turn a warm
+/// hit into a cold re-simulation whenever a client merely changes thread
+/// count.
 pub fn job_key(config_label: &str, cfg: &GpuConfig, wl: &WorkloadSpec) -> u64 {
+    let cfg = canonical_cfg(cfg);
     let mut h = StableHasher::new();
     // The surrounding structure (quoted, comma-separated named fields)
     // keeps field boundaries unambiguous; Debug text never contains
@@ -56,6 +65,17 @@ pub fn job_key(config_label: &str, cfg: &GpuConfig, wl: &WorkloadSpec) -> u64 {
     h.write_str(&format!("{wl:?}"));
     h.write_str("\"}");
     h.finish()
+}
+
+/// Strips execution-only knobs (scheduler choice, profiling) down to their
+/// defaults so every equivalent execution strategy maps to one cache key.
+fn canonical_cfg(cfg: &GpuConfig) -> GpuConfig {
+    let mut c = cfg.clone();
+    c.force_naive_loop = false;
+    c.profile_phases = false;
+    c.force_serial = false;
+    c.sim_threads = 0;
+    c
 }
 
 /// One remembered entry, for the human-readable index.
@@ -262,6 +282,26 @@ mod tests {
         cfg2.l2_access_queue += 1;
         assert_ne!(job_key("base", &cfg, &wl), job_key("base", &cfg2, &wl));
         assert_ne!(job_key("base", &cfg, &wl), job_key("l2x4", &cfg, &wl));
+    }
+
+    #[test]
+    fn key_ignores_execution_only_knobs() {
+        // Scheduler selection and profiling change how a run executes, not
+        // what it produces — all combinations must share one cache entry.
+        let (cfg, wl) = tiny();
+        let base = job_key("base", &cfg, &wl);
+        let mut c = cfg.clone();
+        c.force_naive_loop = true;
+        assert_eq!(base, job_key("base", &c, &wl));
+        let mut c = cfg.clone();
+        c.force_serial = true;
+        assert_eq!(base, job_key("base", &c, &wl));
+        let mut c = cfg.clone();
+        c.sim_threads = 8;
+        assert_eq!(base, job_key("base", &c, &wl));
+        let mut c = cfg.clone();
+        c.profile_phases = true;
+        assert_eq!(base, job_key("base", &c, &wl));
     }
 
     #[test]

@@ -33,5 +33,21 @@ pub fn check(cfg: &LintConfig, f: &SourceFile, out: &mut Vec<Finding>) {
                     .to_string(),
             });
         }
+        // An mpsc channel is an unbounded queue the bandwidth model cannot
+        // see. Cross-thread boundary queues (the parallel scheduler's pool,
+        // the service layer's reply channels) must carry a written argument
+        // for why their occupancy is bounded by protocol.
+        if contains_token(code, "mpsc") {
+            out.push(Finding {
+                rule: RULE,
+                path: f.path.clone(),
+                line: i + 1,
+                message: "`mpsc` channel in a model crate is an unbounded queue".to_string(),
+                hint: "bound the occupancy by protocol and record the argument in lint.toml \
+                       (or buffer through BoundedQueue); unbounded boundary queues hide \
+                       back-pressure"
+                    .to_string(),
+            });
+        }
     }
 }

@@ -51,6 +51,21 @@ pub struct Metrics {
 /// one outlier (cold cache, tiny workload) cannot swing it.
 const CPS_EWMA_ALPHA: f64 = 0.2;
 
+/// `BUSY{retry_after_ms}` hint before the first fresh run completes.
+///
+/// The hint normally derives from the mean completed-job wall time, which
+/// is undefined exactly when shedding is most likely: a cold daemon hit by
+/// its first burst has `completed - cache_hits == 0` and would otherwise
+/// divide by zero (or, with naive arithmetic, hand clients a 0 ms hint —
+/// an instruction to hammer the queue harder). 100 ms is a deliberate
+/// middle ground: longer than any cache hit, shorter than any plausible
+/// fresh run, so early retries neither stampede nor stall.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 100;
+
+/// Bounds for the `BUSY` retry hint once real completions exist: one
+/// pathological job (instant or hour-long) cannot poison the hint.
+pub const RETRY_AFTER_CLAMP_MS: (u64, u64) = (25, 60_000);
+
 /// Point-in-time gauges sampled under the admission lock.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Gauges {
@@ -102,14 +117,15 @@ impl Metrics {
     }
 
     /// Mean wall time of a completed fresh run, for the `BUSY` retry hint.
-    /// Defaults to 100 ms before the first completion; clamped to
-    /// 25 ms ..= 60 s so one pathological job cannot poison the hint.
+    /// Zero completed fresh runs (a cold daemon shedding its first burst)
+    /// yields [`DEFAULT_RETRY_AFTER_MS`] — never 0, never a division by
+    /// zero; real averages are clamped to [`RETRY_AFTER_CLAMP_MS`].
     pub fn avg_job_ms(&self) -> u64 {
         let done = Self::get(&self.completed).saturating_sub(Self::get(&self.cache_hits));
-        let avg = Self::get(&self.sim_wall_ms)
-            .checked_div(done)
-            .unwrap_or(100);
-        avg.clamp(25, 60_000)
+        match Self::get(&self.sim_wall_ms).checked_div(done) {
+            None => DEFAULT_RETRY_AFTER_MS,
+            Some(avg) => avg.clamp(RETRY_AFTER_CLAMP_MS.0, RETRY_AFTER_CLAMP_MS.1),
+        }
     }
 
     /// Renders the Prometheus-style text exposition.
@@ -324,14 +340,30 @@ mod tests {
     #[test]
     fn retry_hint_tracks_average_and_clamps() {
         let m = Metrics::default();
-        assert_eq!(m.avg_job_ms(), 100, "default before first completion");
+        assert_eq!(
+            m.avg_job_ms(),
+            DEFAULT_RETRY_AFTER_MS,
+            "explicit default before first completion"
+        );
         Metrics::add(&m.completed, 4);
         Metrics::add(&m.sim_wall_ms, 4 * 180);
         assert_eq!(m.avg_job_ms(), 180);
         let fast = Metrics::default();
         Metrics::add(&fast.completed, 100);
         Metrics::add(&fast.sim_wall_ms, 100);
-        assert_eq!(fast.avg_job_ms(), 25, "clamped below");
+        assert_eq!(fast.avg_job_ms(), RETRY_AFTER_CLAMP_MS.0, "clamped below");
+    }
+
+    #[test]
+    fn retry_hint_defaults_when_all_completions_are_cache_hits() {
+        // `completed` > 0 but every one was a cache hit: still no fresh-run
+        // wall time to average, so the explicit default must hold (not 0,
+        // not a division by zero).
+        let m = Metrics::default();
+        Metrics::add(&m.completed, 7);
+        Metrics::add(&m.cache_hits, 7);
+        assert_eq!(m.avg_job_ms(), DEFAULT_RETRY_AFTER_MS);
+        assert!(m.avg_job_ms() > 0, "a 0 ms hint tells clients to hammer");
     }
 
     #[test]

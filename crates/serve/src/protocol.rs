@@ -254,6 +254,7 @@ const OVERRIDE_KEYS: &[&str] = &[
     "l2_response_queue",
     "warps_per_core",
     "insts_per_warp",
+    "sim_threads",
 ];
 
 fn apply_override(
@@ -273,6 +274,12 @@ fn apply_override(
         "l2_response_queue" => cfg.l2_response_queue = as_count(v)?,
         "warps_per_core" => wl.warps_per_core = as_count(v)?,
         "insts_per_warp" => wl.insts_per_warp = v,
+        // Execution-only knob: results are byte-identical at any width
+        // (the parallel-equivalence suite pins this) and the cache key
+        // ignores it, so a job can request parallel simulation without
+        // fragmenting the result cache. Clamped to the machine's shardable
+        // width at run time.
+        "sim_threads" => cfg.sim_threads = as_count(v)?,
         _ => {
             return Err(format!(
                 "unknown override {key:?}; known: {}",
@@ -367,6 +374,15 @@ mod tests {
         // The L2 label is the ×4-scaled config of Fig. 10.
         let base = GpuConfig::gtx480_baseline();
         assert_eq!(job.config.l2_access_queue, 4 * base.l2_access_queue);
+    }
+
+    #[test]
+    fn sim_threads_override_requests_parallel_execution() {
+        let line = job_line("mm", None, None, &[("sim_threads".into(), 4)], false);
+        let Ok(Request::Job(job)) = parse_request(&line) else {
+            panic!("job with sim_threads should parse: {line}");
+        };
+        assert_eq!(job.config.sim_threads, 4);
     }
 
     #[test]

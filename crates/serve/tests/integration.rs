@@ -136,6 +136,82 @@ fn concurrent_clients_all_get_terminal_replies_and_queue_full_sheds_busy() {
 }
 
 #[test]
+fn cold_server_sheds_with_the_explicit_default_retry_hint() {
+    use gmh_serve::metrics::DEFAULT_RETRY_AFTER_MS;
+    // Regression (wire level): the BUSY hint derives from mean completed-
+    // job wall time, which is undefined exactly when shedding is most
+    // likely — a cold daemon hit by its first burst has zero completed
+    // fresh runs. The shed reply must carry the explicit default, not 0
+    // (an instruction to hammer the queue) and not division-by-zero
+    // garbage.
+    let (handle, dir) = boot("coldbusy", 1, 1, 120_000);
+    let addr = handle.addr;
+
+    // Occupy the single worker, then the single queue slot, with slow
+    // jobs — staggered, because two simultaneous submissions can race into
+    // the one queue slot before the worker pops the first (the second
+    // would then itself shed and the server would never saturate). The
+    // gauge polls go through the metrics endpoint, i.e. also over the
+    // wire.
+    let wait_for = |gauge: &str| {
+        for _ in 0..600 {
+            let text = Client::connect(addr)
+                .and_then(|mut c| c.metrics())
+                .expect("metrics");
+            if sample(&text, gauge) == Some(1) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("{gauge} never reached 1");
+    };
+    // A fifth of a slow job: still seconds in a debug build — orders of
+    // magnitude longer than the saturation-confirmed probe below needs —
+    // without making the post-shutdown drain dominate the test.
+    let occupier_overrides = || {
+        let mut o = slow_overrides();
+        for (k, v) in &mut o {
+            if k == "max_core_cycles" {
+                *v = 300_000;
+            }
+        }
+        o
+    };
+    let mut occupiers = Vec::new();
+    for (i, gauge) in [(0u64, "gmh_jobs_inflight"), (1, "gmh_queue_depth")] {
+        occupiers.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            c.submit("mm", Some("base"), Some(7700 + i), &occupier_overrides())
+                .expect("terminal reply")
+        }));
+        wait_for(gauge);
+    }
+
+    let mut c = Client::connect(addr).expect("connect");
+    let reply = c
+        .submit("mm", Some("base"), Some(7777), &slow_overrides())
+        .expect("terminal reply");
+    match reply {
+        Reply::Busy { retry_after_ms } => assert_eq!(
+            retry_after_ms, DEFAULT_RETRY_AFTER_MS,
+            "cold-server shed must carry the explicit default hint"
+        ),
+        other => panic!("expected BUSY from a saturated cold server, got {other:?}"),
+    }
+
+    let mut c = Client::connect(addr).expect("connect");
+    assert!(matches!(c.shutdown().expect("shutdown"), Reply::Ok(_)));
+    for j in occupiers {
+        assert!(
+            matches!(j.join().expect("client thread"), Reply::Ok(_)),
+            "occupying jobs drain through shutdown"
+        );
+    }
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn repeat_job_is_byte_identical_from_cache_and_metrics_reconcile() {
     let (handle, dir) = boot("cache", 2, 4, 120_000);
     let addr = handle.addr;

@@ -141,7 +141,7 @@ pub struct SimtCore {
     l1d: Cache,
     l1i: Cache,
     response_fifo: BoundedQueue<MemFetch>,
-    source: Box<dyn InstSource>,
+    source: Box<dyn InstSource + Send>,
     code_lines: u64,
     next_fetch_id: u64,
     fetch_rr: usize,
@@ -162,7 +162,7 @@ impl std::fmt::Debug for SimtCore {
 
 impl SimtCore {
     /// Creates core `id` running instructions from `source`.
-    pub fn new(id: usize, cfg: CoreConfig, source: Box<dyn InstSource>) -> Self {
+    pub fn new(id: usize, cfg: CoreConfig, source: Box<dyn InstSource + Send>) -> Self {
         let warps: Vec<Warp> = (0..cfg.max_warps)
             .map(|w| Warp::new(w, cfg.ibuffer_size))
             .collect();

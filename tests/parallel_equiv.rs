@@ -1,0 +1,266 @@
+//! Parallel-scheduler equivalence: sharding the machine across worker
+//! threads is an execution strategy, not a model change.
+//!
+//! The serial single-shard sweep is the oracle (`force_serial`), and the
+//! naive one-tick loop is the oracle's oracle (`force_naive_loop`). For
+//! every memory model and every thread count, a sharded run must produce
+//! byte-identical exported reports (stats, stall fractions, audit ledger,
+//! telemetry series) AND byte-identical sampled Chrome traces — the
+//! strictest observable boundary the simulator has. The parallel path is
+//! bit-identical *by construction* (same region code, deterministic
+//! shard-order merges); these tests pin the construction down.
+
+use gmh::core::config::MemoryModel;
+use gmh::core::{GpuConfig, GpuSim};
+use gmh::exp::{chrome_trace_json, report_json};
+use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use proptest::prelude::*;
+
+fn all_models() -> [MemoryModel; 4] {
+    [
+        MemoryModel::Full,
+        MemoryModel::FixedL1MissLatency(120),
+        MemoryModel::InfiniteBw {
+            l2_hit: 120,
+            dram: 220,
+        },
+        MemoryModel::InfiniteDram { latency: 100 },
+    ]
+}
+
+/// A machine wide enough that 2 and 4 requested threads produce distinct
+/// shard layouts (8 clamps to the 4-core width) while staying fast.
+fn small_gpu() -> GpuConfig {
+    let mut c = GpuConfig::gtx480_baseline();
+    c.n_cores = 4;
+    c.n_l2_banks = 4;
+    c.n_channels = 2;
+    c.dram.n_channels = 2;
+    c.l2_bank.set_stride = 4;
+    c.l2_bank.size_bytes = 256 * 1024 / 4;
+    c.max_core_cycles = 200_000;
+    c.trace_sample = 4;
+    c
+}
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "parallel-mix",
+        suite: Suite::Parboil,
+        full_name: "mixed archetype for parallel equivalence",
+        warps_per_core: 16,
+        insts_per_warp: 200,
+        code_lines: 4,
+        mem_fraction: 0.4,
+        write_fraction: 0.15,
+        ilp: 4,
+        alu_latency: 8,
+        alu_dep_fraction: 0.1,
+        accesses_per_mem: 2,
+        // Every address class exercised so the merge points see hot-line
+        // reuse, streaming and scatter traffic.
+        mix: AddressMix::new(0.5, 0.25, 0.25),
+        hot_lines: 64,
+        shared_lines: 2048,
+        coherent_stream: false,
+        seed: 1234,
+    }
+}
+
+/// Runs one configuration and exports both observable boundaries.
+fn observe(cfg: GpuConfig, wl: &WorkloadSpec) -> (String, String) {
+    let stats = GpuSim::new(cfg, wl).run();
+    (
+        report_json("gtx480_small", wl.name, &stats),
+        chrome_trace_json(wl.name, &stats.trace),
+    )
+}
+
+#[test]
+fn sharded_runs_match_the_serial_oracle_byte_for_byte() {
+    let wl = workload();
+    for model in all_models() {
+        let mut oracle_cfg = small_gpu();
+        oracle_cfg.memory_model = model.clone();
+        oracle_cfg.force_serial = true;
+        let (oracle_report, oracle_trace) = observe(oracle_cfg, &wl);
+        for threads in [2usize, 4, 8] {
+            let mut cfg = small_gpu();
+            cfg.memory_model = model.clone();
+            cfg.sim_threads = threads;
+            let (report, trace) = observe(cfg, &wl);
+            assert_eq!(
+                report, oracle_report,
+                "{model:?} @ {threads} threads: report must be byte-identical to serial"
+            );
+            assert_eq!(
+                trace, oracle_trace,
+                "{model:?} @ {threads} threads: trace must be byte-identical to serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_run_matches_the_naive_loop_oracle() {
+    // Transitivity check pinning all three schedulers together: the naive
+    // one-tick loop (no fast-forward, no shards) against a 4-thread
+    // sharded run with fast-forward enabled.
+    let wl = workload();
+    let mut naive_cfg = small_gpu();
+    naive_cfg.force_naive_loop = true;
+    let (naive_report, naive_trace) = observe(naive_cfg, &wl);
+    let mut cfg = small_gpu();
+    cfg.sim_threads = 4;
+    let (report, trace) = observe(cfg, &wl);
+    assert_eq!(
+        report, naive_report,
+        "4-thread run must match the naive loop"
+    );
+    assert_eq!(
+        trace, naive_trace,
+        "4-thread trace must match the naive loop"
+    );
+}
+
+#[test]
+fn audit_ledger_survives_the_parallel_merge_exactly() {
+    // The FetchAudit conservation ledger, compared field-by-field rather
+    // than through the report, so a future report-formatting change cannot
+    // mask a merge bug.
+    let wl = workload();
+    let mut serial_cfg = small_gpu();
+    serial_cfg.force_serial = true;
+    let serial = GpuSim::new(serial_cfg, &wl).run();
+    let mut cfg = small_gpu();
+    cfg.sim_threads = 4;
+    let par = GpuSim::new(cfg, &wl).run();
+    assert_eq!(par.audit.emitted, serial.audit.emitted);
+    assert_eq!(par.audit.returned, serial.audit.returned);
+    assert_eq!(par.audit.absorbed, serial.audit.absorbed);
+    assert_eq!(
+        par.trace.sampled, serial.trace.sampled,
+        "sampled fetch count"
+    );
+    assert_eq!(par.trace.events.len(), serial.trace.events.len());
+}
+
+#[test]
+fn saturated_run_exercises_at_least_two_shards() {
+    // Pins that the parallel configurations above actually take the
+    // sharded path: a saturated 4-thread run must distribute work across
+    // ≥ 2 shards (i.e. the equivalence results are not vacuous because
+    // everything collapsed onto shard 0).
+    let wl = workload();
+    let mut cfg = small_gpu();
+    cfg.sim_threads = 4;
+    let mut sim = GpuSim::new(cfg, &wl);
+    assert!(sim.n_shards() >= 2, "requested 4 threads, got 1 shard");
+    sim.run();
+    let active = sim
+        .shard_activity()
+        .iter()
+        .filter(|&&regions| regions > 0)
+        .count();
+    assert!(
+        active >= 2,
+        "a saturated run must execute regions on ≥ 2 shards, got {active} ({:?})",
+        sim.shard_activity()
+    );
+}
+
+#[test]
+fn force_serial_pins_one_shard_regardless_of_thread_request() {
+    let wl = workload();
+    let mut cfg = small_gpu();
+    cfg.sim_threads = 8;
+    cfg.force_serial = true;
+    let sim = GpuSim::new(cfg, &wl);
+    assert_eq!(sim.n_shards(), 1, "force_serial is the single-shard oracle");
+}
+
+/// A tiny machine for the property sweep: 2 cores / 2 banks / 2 channels
+/// keeps each case cheap while still splitting into two shards.
+fn tiny_gpu() -> GpuConfig {
+    let mut c = GpuConfig::gtx480_baseline();
+    c.n_cores = 2;
+    c.n_l2_banks = 2;
+    c.n_channels = 2;
+    c.dram.n_channels = 2;
+    c.l2_bank.set_stride = 2;
+    c.l2_bank.size_bytes = 128 * 1024 / 2;
+    c.max_core_cycles = 500_000;
+    c.trace_sample = 4;
+    c
+}
+
+prop_compose! {
+    fn arb_workload()(
+        seed in 0u64..1_000_000,
+        warps in 1usize..8,
+        insts in 20u64..120,
+        mem_pct in 0u32..=70,
+        write_pct in 0u32..=50,
+        ilp in 0u32..8,
+        accesses in 1u32..5,
+        stream_pct in 0u32..=100,
+        hot_of_rest_pct in 0u32..=100,
+        hot_lines in 8u64..512,
+        shared_lines in 8u64..2048,
+        coherent in any::<bool>(),
+    ) -> WorkloadSpec {
+        let stream = stream_pct as f64 / 100.0;
+        let hot = (1.0 - stream) * (hot_of_rest_pct as f64 / 100.0);
+        let shared = 1.0 - stream - hot;
+        WorkloadSpec {
+            name: "prop",
+            suite: Suite::Rodinia,
+            full_name: "property-generated workload",
+            warps_per_core: warps,
+            insts_per_warp: insts,
+            code_lines: 4,
+            mem_fraction: mem_pct as f64 / 100.0,
+            write_fraction: write_pct as f64 / 100.0,
+            ilp,
+            alu_latency: 6,
+            alu_dep_fraction: 0.1,
+            accesses_per_mem: accesses,
+            mix: AddressMix::new(stream, hot, shared),
+            hot_lines,
+            shared_lines,
+            coherent_stream: coherent,
+            seed,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On arbitrary workloads under all four memory models, every thread
+    /// count in {1, 2, 4, 8} reproduces the serial oracle's exported
+    /// report and sampled trace byte-for-byte.
+    #[test]
+    fn any_thread_count_matches_serial_on_all_models(wl in arb_workload()) {
+        for model in all_models() {
+            let mut oracle_cfg = tiny_gpu();
+            oracle_cfg.memory_model = model.clone();
+            oracle_cfg.force_serial = true;
+            let (oracle_report, oracle_trace) = observe(oracle_cfg, &wl);
+            for threads in [1usize, 2, 4, 8] {
+                let mut cfg = tiny_gpu();
+                cfg.memory_model = model.clone();
+                cfg.sim_threads = threads;
+                let (report, trace) = observe(cfg, &wl);
+                prop_assert_eq!(
+                    &report, &oracle_report,
+                    "report under {:?} @ {} threads", model, threads
+                );
+                prop_assert_eq!(
+                    &trace, &oracle_trace,
+                    "trace under {:?} @ {} threads", model, threads
+                );
+            }
+        }
+    }
+}
