@@ -150,7 +150,19 @@ fn main() {
         assert_eq!(off_cycles, t_cycles, "same work at every thread count");
         thread_points.push((threads, t_s, t_cycles as f64 / t_s));
     }
+    // A single-vCPU host cannot exhibit real scheduler scaling: every
+    // width beyond 1 only measures coordination overhead. Flag the sweep
+    // rows so downstream readers don't mistake overhead for a speedup
+    // ceiling.
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let scaling_valid = host_cpus > 1;
     println!("scheduler-thread sweep (tracing off):");
+    if !scaling_valid {
+        println!(
+            "  NOTE: host has 1 vCPU — multi-thread rows measure coordination \
+             overhead, not scaling (scaling_valid: false)"
+        );
+    }
     for &(threads, t_s, t_cps) in &thread_points {
         println!(
             "  {threads} thread{} {t_s:>8.3}s = {t_cps:.0} cycles/s ({:.2}x serial)",
@@ -203,12 +215,21 @@ fn main() {
         .map(|&(threads, t_s, t_cps)| {
             format!(
                 "    {{\"threads\": {threads}, \"seconds\": {t_s:.6}, \
-                 \"sim_cycles_per_sec\": {t_cps:.1}, \"speedup_vs_serial\": {:.3}}}",
+                 \"sim_cycles_per_sec\": {t_cps:.1}, \"speedup_vs_serial\": {:.3}, \
+                 \"scaling_valid\": {scaling_valid}}}",
                 t_cps / off_cps
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let scaling_note = if scaling_valid {
+        String::new()
+    } else {
+        format!(
+            "  \"scaling_note\": \"host has {host_cpus} vCPU; thread rows measure \
+             coordination overhead, not scaling\",\n"
+        )
+    };
     let json = format!(
         "{{\n  \"bench\": \"gmh simulator, lifecycle tracing off vs 1-in-16\",\n  \
          \"workloads\": [{}],\n  \"core_cycles_per_workload\": {max_cycles},\n  \
@@ -220,6 +241,7 @@ fn main() {
          \"sampling_overhead_definition\": \"throughput loss: (1 - on_cps/off_cps) * 100\",\n  \
          \"pre_overhaul_sim_cycles_per_sec\": {PRE_OVERHAUL_CPS:.1},\n  \
          \"speedup_vs_pre_overhaul\": {:.3},\n  \
+         \"host_cpus\": {host_cpus},\n{scaling_note}  \
          \"threads\": [\n{threads_json}\n  ],\n  \
          \"phase_profile_seconds\": {{\n    \"core\": {:.6},\n    \"icnt\": {:.6},\n    \
          \"dram\": {:.6},\n    \"telemetry\": {:.6},\n    \"fast_forward\": {:.6}\n  }},\n  \

@@ -21,6 +21,9 @@ pub struct Allow {
     pub contains: String,
     /// Why the violation is acceptable. Required.
     pub reason: String,
+    /// 1-indexed `lint.toml` line of the `[[allow]]` header, for the
+    /// suppression audit's findings.
+    pub line: usize,
 }
 
 /// One stall-cause enum the exhaustiveness rule (R5) tracks.
@@ -35,6 +38,37 @@ pub struct StallEnum {
     pub order: Vec<String>,
 }
 
+/// R7 shard-isolation configuration.
+#[derive(Clone, Debug, Default)]
+pub struct R7Config {
+    /// The model-state root type; everything reachable from it through
+    /// field types is shard state (e.g. `"Shard"`).
+    pub state_root: String,
+    /// The one sanctioned home of the worker pool (path suffix): the only
+    /// model file allowed to call `thread::spawn`.
+    pub pool_file: String,
+    /// Names of the shard-region entry functions; the call-graph walk
+    /// from these must stay free of sharing primitives.
+    pub region_fns: Vec<String>,
+}
+
+/// R8 time-unit-consistency configuration.
+#[derive(Clone, Debug, Default)]
+pub struct R8Config {
+    /// Sanctioned conversion functions: a statement calling one of these
+    /// may mix unit classes (e.g. `ps_to_core_cycles`).
+    pub convert_fns: Vec<String>,
+    /// Files (path suffixes) exempt from mixing checks entirely — the
+    /// clock-domain implementation where conversion lives.
+    pub conversion_home: Vec<String>,
+    /// Files (path suffixes) where bare numeric literals may initialize
+    /// unit-tagged fields: configs and presets.
+    pub literal_files: Vec<String>,
+    /// Type names carrying the picosecond class (e.g. `Picos`), so a
+    /// `let x: Picos = ..` binding joins the `ps` unit class by type.
+    pub ps_types: Vec<String>,
+}
+
 /// Parsed `lint.toml`.
 #[derive(Clone, Debug, Default)]
 pub struct LintConfig {
@@ -46,6 +80,10 @@ pub struct LintConfig {
     pub queue_impl: Vec<String>,
     /// Stall enums R5 cross-checks.
     pub stall_enums: Vec<StallEnum>,
+    /// R7 shard-isolation settings (rule skipped when absent).
+    pub r7: Option<R7Config>,
+    /// R8 time-unit settings (rule skipped when absent).
+    pub r8: Option<R8Config>,
     /// Allowlist entries.
     pub allows: Vec<Allow>,
 }
@@ -64,6 +102,8 @@ impl LintConfig {
             None,
             Lint,
             Enum(usize),
+            R7,
+            R8,
             Allow(usize),
         }
         let mut ctx = Ctx::None;
@@ -77,12 +117,21 @@ impl LintConfig {
                 if header.trim() != "allow" {
                     return Err(err("unsupported array-of-tables"));
                 }
-                cfg.allows.push(Allow::default());
+                cfg.allows.push(Allow {
+                    line: ln + 1,
+                    ..Allow::default()
+                });
                 ctx = Ctx::Allow(cfg.allows.len() - 1);
             } else if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
                 let header = header.trim();
                 if header == "lint" {
                     ctx = Ctx::Lint;
+                } else if header == "r7" {
+                    cfg.r7 = Some(R7Config::default());
+                    ctx = Ctx::R7;
+                } else if header == "r8" {
+                    cfg.r8 = Some(R8Config::default());
+                    ctx = Ctx::R8;
                 } else if let Some(name) = header.strip_prefix("r5.enums.") {
                     cfg.stall_enums.push(StallEnum {
                         name: name.to_string(),
@@ -107,6 +156,31 @@ impl LintConfig {
                         "order" => cfg.stall_enums[i].order = parse_str_array(value, &err)?,
                         _ => return Err(err("unknown [r5.enums.*] key")),
                     },
+                    Ctx::R7 => {
+                        // INVARIANT: Ctx::R7 is only entered after cfg.r7
+                        // is set to Some above.
+                        let r7 = cfg.r7.as_mut().expect("[r7] context set");
+                        match key {
+                            "state_root" => r7.state_root = parse_str(value, &err)?,
+                            "pool_file" => r7.pool_file = parse_str(value, &err)?,
+                            "region_fns" => r7.region_fns = parse_str_array(value, &err)?,
+                            _ => return Err(err("unknown [r7] key")),
+                        }
+                    }
+                    Ctx::R8 => {
+                        // INVARIANT: Ctx::R8 is only entered after cfg.r8
+                        // is set to Some above.
+                        let r8 = cfg.r8.as_mut().expect("[r8] context set");
+                        match key {
+                            "convert_fns" => r8.convert_fns = parse_str_array(value, &err)?,
+                            "conversion_home" => {
+                                r8.conversion_home = parse_str_array(value, &err)?;
+                            }
+                            "literal_files" => r8.literal_files = parse_str_array(value, &err)?,
+                            "ps_types" => r8.ps_types = parse_str_array(value, &err)?,
+                            _ => return Err(err("unknown [r8] key")),
+                        }
+                    }
                     Ctx::Allow(i) => {
                         let a = &mut cfg.allows[i];
                         match key {
@@ -153,6 +227,11 @@ impl LintConfig {
             }
             if seen.insert(e.name.clone(), ()).is_some() {
                 return Err(format!("lint.toml: duplicate enum {}", e.name));
+            }
+        }
+        if let Some(r7) = &self.r7 {
+            if r7.state_root.is_empty() || r7.region_fns.is_empty() {
+                return Err("lint.toml: [r7] needs both `state_root` and `region_fns`".to_string());
             }
         }
         Ok(())

@@ -1,0 +1,643 @@
+//! Workspace item index: types, functions, impl blocks and a
+//! name-resolved call graph, built from the masked lexical view.
+//!
+//! The linter stays dependency-free (no `syn`), so the index is recovered
+//! from [`SourceFile::code`] with the same single-pass, brace-matched
+//! techniques the rules already use. It is deliberately *conservative*:
+//! name resolution over-approximates (a method call resolves to every
+//! in-workspace method of that name), so reachability queries can produce
+//! false edges but never miss a real one. The cross-file rules built on
+//! top (R7 shard isolation, R8 unit consistency) only ever *ban*
+//! constructs on reachable paths, so over-approximation errs toward
+//! flagging, and every finding still points at a concrete line a human
+//! can judge.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::source::{contains_token, find_token, SourceFile};
+
+/// One field (or enum-variant payload slot) of a type.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Field name (tuple fields and variant payloads use the position).
+    pub name: String,
+    /// Type text as written, e.g. `Vec<SimtCore>`.
+    pub ty: String,
+    /// 0-indexed declaration line.
+    pub line: usize,
+}
+
+/// A struct or enum definition.
+#[derive(Clone, Debug)]
+pub struct TypeDef {
+    /// Type name.
+    pub name: String,
+    /// Index of the defining file in the scanned set.
+    pub file: usize,
+    /// 0-indexed line of the `struct`/`enum` keyword.
+    pub line: usize,
+    /// Fields (structs) or variant payload types (enums).
+    pub fields: Vec<Field>,
+}
+
+/// A function definition with its signature and body span.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// `impl` type the function belongs to, if any.
+    pub self_ty: Option<String>,
+    /// Index of the defining file.
+    pub file: usize,
+    /// 0-indexed first line (the `fn` keyword).
+    pub start: usize,
+    /// 0-indexed last line of the body (inclusive).
+    pub end: usize,
+    /// Whether the signature takes `self` in any form.
+    pub takes_self: bool,
+    /// Parameters (excluding `self`): `(name, type text)`.
+    pub params: Vec<(String, String)>,
+    /// Return type text after `->`, if any.
+    pub ret: Option<String>,
+}
+
+/// The workspace-wide index.
+#[derive(Debug, Default)]
+pub struct ItemIndex {
+    /// All struct/enum definitions.
+    pub types: Vec<TypeDef>,
+    /// Type name → indices into [`ItemIndex::types`].
+    pub type_by_name: BTreeMap<String, Vec<usize>>,
+    /// All function definitions.
+    pub fns: Vec<FnDef>,
+    /// Function name → indices into [`ItemIndex::fns`].
+    pub fn_by_name: BTreeMap<String, Vec<usize>>,
+    /// Call graph: `calls[i]` are the indices of functions `fns[i]` may
+    /// call (name-resolved, over-approximate).
+    pub calls: Vec<Vec<usize>>,
+}
+
+impl ItemIndex {
+    /// Builds the index over the scanned files.
+    pub fn build(files: &[SourceFile]) -> ItemIndex {
+        let mut idx = ItemIndex::default();
+        for (fi, f) in files.iter().enumerate() {
+            collect_types(fi, f, &mut idx);
+            collect_fns(fi, f, &mut idx);
+        }
+        for (i, t) in idx.types.iter().enumerate() {
+            idx.type_by_name.entry(t.name.clone()).or_default().push(i);
+        }
+        for (i, fd) in idx.fns.iter().enumerate() {
+            idx.fn_by_name.entry(fd.name.clone()).or_default().push(i);
+        }
+        idx.calls = (0..idx.fns.len())
+            .map(|i| resolve_calls(&idx, files, i))
+            .collect();
+        idx
+    }
+
+    /// Names of all types reachable from `root` through field types
+    /// (including `root` itself when it is defined in the scanned set).
+    pub fn reachable_types(&self, root: &str) -> BTreeSet<String> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut frontier = vec![root.to_string()];
+        while let Some(name) = frontier.pop() {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            let Some(defs) = self.type_by_name.get(&name) else {
+                continue;
+            };
+            for &ti in defs {
+                for field in &self.types[ti].fields {
+                    for ident in type_idents(&field.ty) {
+                        if self.type_by_name.contains_key(&ident) && !seen.contains(&ident) {
+                            frontier.push(ident);
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Indices of all functions reachable from the given roots through the
+    /// call graph, restricted to callees whose `self` type satisfies
+    /// `admit` (free functions always pass). The filter keeps a walk from
+    /// the shard-region roots inside the model-state type family instead
+    /// of following every same-named method in the workspace.
+    pub fn reachable_fns(
+        &self,
+        roots: &[usize],
+        admit: &dyn Fn(&FnDef) -> bool,
+    ) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut frontier: Vec<usize> = roots.to_vec();
+        while let Some(i) = frontier.pop() {
+            if !seen.insert(i) {
+                continue;
+            }
+            for &callee in &self.calls[i] {
+                if !seen.contains(&callee) && admit(&self.fns[callee]) {
+                    frontier.push(callee);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Capitalized identifiers inside a type text: the candidate workspace
+/// type names (`Vec<SimtCore>` → `Vec`, `SimtCore`).
+pub fn type_idents(ty: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in ty.chars().chain(std::iter::once(' ')) {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            if cur.chars().next().is_some_and(char::is_uppercase) {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    out
+}
+
+/// Parses `struct`/`enum` definitions in one file.
+fn collect_types(fi: usize, f: &SourceFile, idx: &mut ItemIndex) {
+    let mut i = 0;
+    while i < f.code.len() {
+        let line = &f.code[i];
+        if f.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let kw = if contains_token(line, "struct") {
+            Some("struct")
+        } else if contains_token(line, "enum") {
+            Some("enum")
+        } else {
+            None
+        };
+        let Some(kw) = kw else {
+            i += 1;
+            continue;
+        };
+        let Some(pos) = find_token(line, kw) else {
+            i += 1;
+            continue;
+        };
+        let name = ident_after(&line[pos + kw.len()..]);
+        if name.is_empty() {
+            i += 1;
+            continue;
+        }
+        let end = crate::source::item_end(&f.code, i);
+        let fields = if kw == "struct" {
+            parse_struct_fields(f, i, end)
+        } else {
+            parse_enum_payloads(f, i, end)
+        };
+        idx.types.push(TypeDef {
+            name,
+            file: fi,
+            line: i,
+            fields,
+        });
+        // Type bodies cannot nest further type definitions we care about;
+        // continue from the next line so `impl` blocks following a
+        // one-line struct are still seen.
+        i += 1;
+    }
+}
+
+/// Named fields of a `struct Name { .. }` (or tuple fields of
+/// `struct Name(..);`) between `start` and `end`.
+fn parse_struct_fields(f: &SourceFile, start: usize, end: usize) -> Vec<Field> {
+    let header = &f.code[start];
+    // Tuple struct on one line: `struct X(A, B);`
+    if let (Some(op), Some(cl)) = (header.find('('), header.rfind(')')) {
+        if op < cl && header[..op].contains("struct") {
+            return split_top_level(&header[op + 1..cl])
+                .into_iter()
+                .enumerate()
+                .map(|(k, ty)| Field {
+                    name: k.to_string(),
+                    ty: ty.trim().to_string(),
+                    line: start,
+                })
+                .collect();
+        }
+    }
+    let mut fields = Vec::new();
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (i, line) in f.code.iter().enumerate().take(end + 1).skip(start) {
+        if opened && depth == 1 {
+            if let Some(fd) = parse_field_line(line, i) {
+                fields.push(fd);
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// One `name: Type,` field line at brace depth 1, if present.
+fn parse_field_line(line: &str, i: usize) -> Option<Field> {
+    let t = line.trim_start();
+    let t = t.strip_prefix("pub(crate)").unwrap_or(t);
+    let t = t.strip_prefix("pub").unwrap_or(t).trim_start();
+    let name: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(char::is_uppercase) {
+        return None;
+    }
+    let rest = t[name.len()..].trim_start();
+    let ty_text = rest.strip_prefix(':')?;
+    let ty = ty_text.trim().trim_end_matches(',').trim().to_string();
+    if ty.is_empty() {
+        return None;
+    }
+    Some(Field { name, ty, line: i })
+}
+
+/// Variant payload types of an `enum` body: `Variant(A, B)` and
+/// `Variant { field: Ty }` both contribute their contained types.
+fn parse_enum_payloads(f: &SourceFile, start: usize, end: usize) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (i, line) in f.code.iter().enumerate().take(end + 1).skip(start) {
+        let at_variant_depth = opened && depth >= 1;
+        if at_variant_depth && i > start {
+            // Tuple payload on this line.
+            if let (Some(op), Some(cl)) = (line.find('('), line.rfind(')')) {
+                if op < cl {
+                    for (k, ty) in split_top_level(&line[op + 1..cl]).into_iter().enumerate() {
+                        fields.push(Field {
+                            name: format!("payload{k}"),
+                            ty: ty.trim().to_string(),
+                            line: i,
+                        });
+                    }
+                }
+            }
+            // Struct-variant field line (multi-line variant bodies sit at
+            // depth >= 2 and parse like ordinary fields).
+            if let Some(fd) = parse_field_line(line, i) {
+                fields.push(fd);
+            }
+            // Single-line struct variant: `B { inner: Warp },`.
+            if let (Some(ob), Some(cb)) = (line.find('{'), line.rfind('}')) {
+                if ob < cb {
+                    for part in split_top_level(&line[ob + 1..cb]) {
+                        if let Some((name, ty)) = part.split_once(':') {
+                            fields.push(Field {
+                                name: name.trim().to_string(),
+                                ty: ty.trim().to_string(),
+                                line: i,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Splits `a, b<c, d>, e` at top-level commas.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// First identifier after optional whitespace/generics markers.
+fn ident_after(s: &str) -> String {
+    s.trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Parses `fn` definitions (with impl-type attribution) in one file.
+fn collect_fns(fi: usize, f: &SourceFile, idx: &mut ItemIndex) {
+    // Impl spans: (self type, start, end).
+    let mut impls: Vec<(String, usize, usize)> = Vec::new();
+    for (i, line) in f.code.iter().enumerate() {
+        if let Some(ty) = impl_self_ty(line) {
+            impls.push((ty, i, crate::source::item_end(&f.code, i)));
+        }
+    }
+    for (name, start, end) in &f.functions {
+        if f.in_test[*start] {
+            continue;
+        }
+        let self_ty = impls
+            .iter()
+            .filter(|(_, lo, hi)| (*lo..=*hi).contains(start))
+            .min_by_key(|(_, lo, hi)| hi - lo)
+            .map(|(ty, _, _)| ty.clone());
+        let sig = signature_text(&f.code, *start);
+        let (takes_self, params, ret) = parse_signature(&sig);
+        idx.fns.push(FnDef {
+            name: name.clone(),
+            self_ty,
+            file: fi,
+            start: *start,
+            end: *end,
+            takes_self,
+            params,
+            ret,
+        });
+    }
+}
+
+/// `impl [<..>] Type [for Trait]` → the implementing type name.
+fn impl_self_ty(line: &str) -> Option<String> {
+    let pos = find_token(line, "impl")?;
+    let mut rest = &line[pos + 4..];
+    // Skip a generics list directly after `impl`.
+    if rest.trim_start().starts_with('<') {
+        let open = rest.find('<')?;
+        let mut depth = 0i64;
+        let mut close = None;
+        for (k, c) in rest[open..].char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(open + k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &rest[close? + 1..];
+    }
+    // `impl Trait for Type` → take the part after `for`.
+    let ty_part = match find_token(rest, "for") {
+        Some(p) => &rest[p + 3..],
+        None => rest,
+    };
+    let name = ident_after(ty_part);
+    (!name.is_empty() && name.chars().next().is_some_and(char::is_uppercase)).then_some(name)
+}
+
+/// Signature text from the `fn` line through the body-opening `{` (or
+/// trailing `;` for a declaration), collapsed to one string.
+fn signature_text(code: &[String], start: usize) -> String {
+    let mut out = String::new();
+    for line in code.iter().skip(start).take(12) {
+        for c in line.chars() {
+            if c == '{' || c == ';' {
+                return out;
+            }
+            out.push(c);
+        }
+        out.push(' ');
+    }
+    out
+}
+
+/// `(takes_self, params, return type)` from a collapsed signature.
+fn parse_signature(sig: &str) -> (bool, Vec<(String, String)>, Option<String>) {
+    let Some(open) = sig.find('(') else {
+        return (false, Vec::new(), None);
+    };
+    let mut depth = 0i64;
+    let mut close = sig.len();
+    for (k, c) in sig[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = open + k;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut takes_self = false;
+    let mut params = Vec::new();
+    for part in split_top_level(&sig[open + 1..close]) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if contains_token(part, "self") && !part.contains(':') {
+            takes_self = true;
+            continue;
+        }
+        if let Some((name, ty)) = part.split_once(':') {
+            let name = name.trim().trim_start_matches("mut ").trim().to_string();
+            params.push((name, ty.trim().to_string()));
+        }
+    }
+    let ret = sig[close..]
+        .find("->")
+        .map(|p| sig[close + p + 2..].trim().to_string())
+        .filter(|r| !r.is_empty());
+    (takes_self, params, ret)
+}
+
+/// Callees of `fns[i]`: method calls (`.name(`), path calls
+/// (`Type::name(`) and bare calls (`name(`) resolved against the index.
+fn resolve_calls(idx: &ItemIndex, files: &[SourceFile], i: usize) -> Vec<usize> {
+    let fd = &idx.fns[i];
+    let f = &files[fd.file];
+    let mut out: BTreeSet<usize> = BTreeSet::new();
+    for li in fd.start..=fd.end.min(f.code.len().saturating_sub(1)) {
+        let line = &f.code[li];
+        let bytes = line.as_bytes();
+        let mut k = 0;
+        while k < bytes.len() {
+            let c = bytes[k] as char;
+            if !(c.is_ascii_alphabetic() || c == '_') {
+                k += 1;
+                continue;
+            }
+            let start = k;
+            while k < bytes.len() && {
+                let c = bytes[k] as char;
+                c.is_ascii_alphanumeric() || c == '_'
+            } {
+                k += 1;
+            }
+            let ident = &line[start..k];
+            // Only identifiers immediately followed by `(` are calls.
+            if bytes.get(k) != Some(&b'(') {
+                continue;
+            }
+            // Skip the definition's own `fn name(` line.
+            if li == fd.start && ident == fd.name {
+                continue;
+            }
+            let before = line[..start].trim_end();
+            let is_method = before.ends_with('.');
+            let path_ty = before
+                .strip_suffix("::")
+                .map(|p| {
+                    p.rsplit(|c: char| !(c.is_alphanumeric() || c == '_'))
+                        .next()
+                        .unwrap_or("")
+                        .to_string()
+                })
+                .filter(|t| t.chars().next().is_some_and(char::is_uppercase));
+            let Some(cands) = idx.fn_by_name.get(ident) else {
+                continue;
+            };
+            for &ci in cands {
+                if ci == i {
+                    continue;
+                }
+                let cand = &idx.fns[ci];
+                let matches = if let Some(ty) = &path_ty {
+                    cand.self_ty.as_deref() == Some(ty.as_str())
+                } else if is_method {
+                    cand.takes_self
+                } else {
+                    // Bare call: free function, or a same-impl method
+                    // referenced without `self.` (rare; accept both).
+                    cand.self_ty.is_none() || cand.self_ty == fd.self_ty
+                };
+                if matches {
+                    out.insert(ci);
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx_of(src: &str) -> (ItemIndex, Vec<SourceFile>) {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let idx = ItemIndex::build(&files);
+        (idx, files)
+    }
+
+    #[test]
+    fn parses_struct_fields_and_reachability() {
+        let src = "pub struct Shard {\n    pub id: usize,\n    pub cores: Vec<SimtCore>,\n}\n\
+                   pub struct SimtCore {\n    warps: Vec<Warp>,\n}\n\
+                   pub struct Warp {\n    pc: u64,\n}\n\
+                   pub struct Other {\n    x: u32,\n}\n";
+        let (idx, _) = idx_of(src);
+        let reach = idx.reachable_types("Shard");
+        assert!(reach.contains("Shard") && reach.contains("SimtCore") && reach.contains("Warp"));
+        assert!(!reach.contains("Other"));
+    }
+
+    #[test]
+    fn parses_enum_payload_types() {
+        let src = "pub enum Ev {\n    A(SimtCore),\n    B { inner: Warp },\n}\n\
+                   pub struct SimtCore { x: u8 }\npub struct Warp { y: u8 }\n";
+        let (idx, _) = idx_of(src);
+        let reach = idx.reachable_types("Ev");
+        assert!(reach.contains("SimtCore") && reach.contains("Warp"));
+    }
+
+    #[test]
+    fn impl_methods_get_self_ty_and_call_graph_resolves() {
+        let src = "pub struct A { x: u8 }\n\
+                   impl A {\n    pub fn outer(&mut self) {\n        self.inner();\n        helper();\n    }\n\
+                   \n    fn inner(&mut self) {\n        self.x = 1;\n    }\n}\n\
+                   fn helper() {}\n";
+        let (idx, _) = idx_of(src);
+        let outer = idx.fn_by_name["outer"][0];
+        assert_eq!(idx.fns[outer].self_ty.as_deref(), Some("A"));
+        let callees: Vec<&str> = idx.calls[outer]
+            .iter()
+            .map(|&c| idx.fns[c].name.as_str())
+            .collect();
+        assert!(callees.contains(&"inner") && callees.contains(&"helper"));
+    }
+
+    #[test]
+    fn reachable_fns_respects_admit_filter() {
+        let src = "pub struct A { x: u8 }\npub struct B { y: u8 }\n\
+                   impl A {\n    pub fn go(&mut self) {\n        self.step();\n    }\n\
+                   \n    fn step(&mut self) {\n        bad();\n    }\n}\n\
+                   impl B {\n    fn step(&mut self) {}\n}\n\
+                   fn bad() {}\n";
+        let (idx, _) = idx_of(src);
+        let go = idx.fn_by_name["go"][0];
+        let reach = idx.reachable_fns(&[go], &|fd| fd.self_ty.as_deref() != Some("B"));
+        let names: Vec<(&str, Option<&str>)> = reach
+            .iter()
+            .map(|&i| (idx.fns[i].name.as_str(), idx.fns[i].self_ty.as_deref()))
+            .collect();
+        assert!(names.contains(&("step", Some("A"))));
+        assert!(names.contains(&("bad", None)));
+        assert!(!names.contains(&("step", Some("B"))));
+    }
+
+    #[test]
+    fn tuple_struct_fields_parse() {
+        let (idx, _) = idx_of("struct Wrap(SimtCore, u64);\nstruct SimtCore { x: u8 }\n");
+        let reach = idx.reachable_types("Wrap");
+        assert!(reach.contains("SimtCore"));
+    }
+
+    #[test]
+    fn signature_params_parse() {
+        let src = "fn f(a: u64, now_ps: Picos) -> u32 { 0 }\n";
+        let (idx, _) = idx_of(src);
+        let fd = &idx.fns[idx.fn_by_name["f"][0]];
+        assert_eq!(fd.params.len(), 2);
+        assert_eq!(fd.params[1], ("now_ps".to_string(), "Picos".to_string()));
+        assert_eq!(fd.ret.as_deref(), Some("u32"));
+        assert!(!fd.takes_self);
+    }
+}

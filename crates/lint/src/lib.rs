@@ -21,7 +21,24 @@
 //!   ([`rules::stalls`]);
 //! - **R6 zero-allocation hot loops** — no `vec![..]`, `Vec::new()`,
 //!   `Box::new()` or `.collect()` inside the per-cycle functions of model
-//!   crates ([`rules::alloc`]).
+//!   crates ([`rules::alloc`]);
+//! - **R7 shard isolation** — nothing reachable from the shard-state root
+//!   (through field types or the call graph) may share, spawn, or alias
+//!   across the `collect()` barrier ([`rules::shards`]);
+//! - **R8 time-unit consistency** — `_ps`/`_cycles`/`_ticks` unit classes
+//!   never mix without a sanctioned `ClockDomains` conversion, and magic
+//!   time literals stay in config files ([`rules::units`]).
+//!
+//! R7 and R8 are *symbol-resolved*: they run over a workspace-wide item
+//! index ([`index::ItemIndex`] — types with fields, functions with
+//! signatures, a conservative call graph) and a per-function dataflow
+//! pass ([`dataflow::FnFlow`] — bindings, channel endpoints, use sites),
+//! all still built on the masked lexical view.
+//!
+//! On top of the rules sits the suppression audit ([`audit`]): the rules
+//! run unfiltered first, and every `[[allow]]` entry or inline directive
+//! that no longer suppresses a real finding is itself reported (rule
+//! `AUDIT`, unsuppressable).
 //!
 //! Deliberately dependency-free (no `syn`, no `toml`): the build
 //! environment is offline, so the scanner works on a masked lexical view
@@ -30,7 +47,10 @@
 //! `// lint: allow(Rn): reason` for single sites, `[[allow]]` entries in
 //! `lint.toml` (with a mandatory `reason`) for structural exceptions.
 
+pub mod audit;
 pub mod config;
+pub mod dataflow;
+pub mod index;
 pub mod rules;
 pub mod source;
 
@@ -72,33 +92,53 @@ pub(crate) fn in_model_crate(cfg: &LintConfig, path: &str) -> bool {
         .any(|c| path.contains(&format!("crates/{c}/src/")))
 }
 
-/// Runs all rules over already-parsed files. This is the engine the
-/// fixture tests drive directly.
-pub fn run(cfg: &LintConfig, files: &[SourceFile]) -> Vec<Finding> {
+/// Runs all rules over already-parsed files with **no suppression
+/// applied** — the raw findings the audit measures allowlists against.
+/// (R5 is the one exception: it honors inline directives while collecting
+/// stall mentions, because a suppressed mention must not count toward its
+/// single-site and ordering checks.)
+pub fn run_raw(cfg: &LintConfig, files: &[SourceFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let idx = index::ItemIndex::build(files);
     for f in files {
         rules::determinism::check(cfg, f, &mut findings);
         rules::queues::check(cfg, f, &mut findings);
         rules::casts::check(cfg, f, &mut findings);
         rules::panics::check(cfg, f, &mut findings);
         rules::alloc::check(cfg, f, &mut findings);
+        rules::units::check(cfg, f, &mut findings);
     }
     rules::stalls::check(cfg, files, &mut findings);
+    rules::shards::check(cfg, files, &idx, &mut findings);
+    findings
+}
 
-    // Central allowlist: match on (rule, path suffix, raw line text).
-    findings.retain(|fd| {
-        let text = files
-            .iter()
-            .find(|f| f.path == fd.path)
-            .map_or("", |f| f.line(fd.line.saturating_sub(1)));
-        !cfg.is_allowed(fd.rule, &fd.path, text)
-    });
+/// Runs all rules over already-parsed files and applies both suppression
+/// layers (inline directives, then the `lint.toml` allowlist). This is
+/// the engine the fixture tests drive directly.
+pub fn run(cfg: &LintConfig, files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = run_raw(cfg, files);
+    apply_suppressions(cfg, files, &mut findings);
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     findings
 }
 
-/// Loads `lint.toml` at `root`, scans the workspace sources, and runs the
-/// rules. Returns the findings plus the number of files scanned.
+/// Drops findings covered by an inline `lint: allow(Rn)` directive or a
+/// `lint.toml` `[[allow]]` entry. Centralized (rather than per-rule) so
+/// [`run_raw`] can observe what each suppression actually suppresses.
+fn apply_suppressions(cfg: &LintConfig, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    findings.retain(|fd| {
+        let file = files.iter().find(|f| f.path == fd.path);
+        let inline = file.is_some_and(|f| f.allowed_inline(fd.line.saturating_sub(1), fd.rule));
+        let text = file.map_or("", |f| f.line(fd.line.saturating_sub(1)));
+        !(inline || cfg.is_allowed(fd.rule, &fd.path, text))
+    });
+}
+
+/// Loads `lint.toml` at `root`, scans the workspace sources, runs the
+/// rules, and audits every suppression against the raw findings. Returns
+/// the findings (rule violations plus `AUDIT` entries for stale allows)
+/// and the number of files scanned.
 ///
 /// # Errors
 ///
@@ -139,7 +179,13 @@ pub fn run_workspace(root: &Path) -> Result<(Vec<Finding>, usize), String> {
         files.push(SourceFile::parse(&rel, &text));
     }
     let n = files.len();
-    Ok((run(&cfg, &files), n))
+
+    let raw = run_raw(&cfg, &files);
+    let mut findings = raw.clone();
+    apply_suppressions(&cfg, &files, &mut findings);
+    audit::check(&cfg, &files, &raw, &mut findings);
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok((findings, n))
 }
 
 fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
@@ -178,13 +224,49 @@ pub fn render(findings: &[Finding], files_scanned: usize) -> String {
     }
     if findings.is_empty() {
         out.push_str(&format!(
-            "gmh-lint: clean — {files_scanned} files, 6 rules, 0 findings\n"
+            "gmh-lint: clean — {files_scanned} files, 8 rules + suppression audit, 0 findings\n"
         ));
     } else {
         out.push_str(&format!(
             "gmh-lint: {} finding(s) across {files_scanned} files\n",
             findings.len()
         ));
+    }
+    out
+}
+
+/// Renders findings as line-delimited JSON (one RFC 8259 object per
+/// finding: `rule`, `path`, `line`, `snippet`, `reason`, `hint`), for CI
+/// artifacts and problem matchers. Snippets are read back from `root`;
+/// a file that has vanished since the scan yields an empty snippet.
+#[must_use]
+pub fn render_json(root: &Path, findings: &[Finding]) -> String {
+    use gmh_serve::json::Json;
+    use std::collections::BTreeMap;
+
+    let mut cache: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    let mut out = String::new();
+    for fd in findings {
+        let lines = cache.entry(fd.path.as_str()).or_insert_with(|| {
+            std::fs::read_to_string(root.join(&fd.path))
+                .map(|t| t.lines().map(str::to_string).collect())
+                .unwrap_or_default()
+        });
+        let snippet = lines
+            .get(fd.line.saturating_sub(1))
+            .map_or("", |l| l.trim());
+        let obj: BTreeMap<String, Json> = [
+            ("rule".to_string(), Json::Str(fd.rule.to_string())),
+            ("path".to_string(), Json::Str(fd.path.clone())),
+            ("line".to_string(), Json::Num(fd.line.to_string())),
+            ("snippet".to_string(), Json::Str(snippet.to_string())),
+            ("reason".to_string(), Json::Str(fd.message.clone())),
+            ("hint".to_string(), Json::Str(fd.hint.clone())),
+        ]
+        .into_iter()
+        .collect();
+        out.push_str(&Json::Obj(obj).encode());
+        out.push('\n');
     }
     out
 }

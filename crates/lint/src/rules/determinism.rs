@@ -82,7 +82,7 @@ pub fn check(cfg: &LintConfig, f: &SourceFile, out: &mut Vec<Finding>) {
     }
     let is_rng_home = f.path.ends_with("types/src/rng.rs");
     for (i, code) in f.code.iter().enumerate() {
-        if f.in_test[i] || f.allowed_inline(i, RULE) {
+        if f.in_test[i] {
             continue;
         }
         for (tok, hint, rng_class) in BANNED {

@@ -1,10 +1,15 @@
-//! The six invariant rules. Each `check` pushes [`crate::Finding`]s;
-//! allowlist filtering (inline directives are rule-local, `lint.toml`
-//! entries are applied centrally in [`crate::run`]).
+//! The eight invariant rules. Each `check` pushes [`crate::Finding`]s
+//! *unfiltered*; suppression (inline directives and `lint.toml` entries)
+//! is applied centrally in [`crate::run`] so the audit can see what every
+//! allowlist entry actually covers. The one exception is R5, which honors
+//! inline directives while collecting stall mentions (a suppressed
+//! mention must not count toward its cross-file checks).
 
 pub mod alloc;
 pub mod casts;
 pub mod determinism;
 pub mod panics;
 pub mod queues;
+pub mod shards;
 pub mod stalls;
+pub mod units;

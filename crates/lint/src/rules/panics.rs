@@ -15,7 +15,7 @@ pub fn check(cfg: &LintConfig, f: &SourceFile, out: &mut Vec<Finding>) {
         return;
     }
     for (i, code) in f.code.iter().enumerate() {
-        if f.in_test[i] || f.allowed_inline(i, RULE) {
+        if f.in_test[i] {
             continue;
         }
         let call = if code.contains(".unwrap()") {

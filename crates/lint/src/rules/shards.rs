@@ -1,0 +1,370 @@
+//! R7 — shard isolation. The parallel scheduler (core/src/par.rs) is
+//! correct only because shards are *moved*, never shared: a worker owns a
+//! shard exclusively for one region, the coordinator owns every shard
+//! between regions, and the `collect()` barrier separates the two. This
+//! rule machine-checks the conventions that proof rests on:
+//!
+//! 1. **state hygiene** — no type reachable from the state root (`Shard`)
+//!    through field types may hold a sharing or escape primitive
+//!    (`Arc`, `Rc`, raw pointers, `UnsafeCell`);
+//! 2. **region-path purity** — no function reachable from the shard-region
+//!    entry points (`run_region`) through the call graph may spawn
+//!    threads, touch `Arc`/`Rc`, dereference raw pointers, or read
+//!    `static mut` state;
+//! 3. **spawn confinement** — `thread::spawn` in model crates lives only
+//!    in the sanctioned pool file;
+//! 4. **single-producer shard channels** — a channel whose declared
+//!    payload carries shard state must keep exactly one producer: its
+//!    sender endpoint is never cloned;
+//! 5. **move-by-value across the barrier** — in any function that both
+//!    dispatches shards and collects them, the dispatched value must be
+//!    moved (never passed by `&`/`&mut`), and a dispatched binding may not
+//!    be touched again until it is reassigned from `collect()`.
+//!
+//! The checks are source-level and conservative; the runtime equivalence
+//! suite (`tests/parallel_equiv.rs`) remains the oracle for what the
+//! lexical view cannot see (see DESIGN.md §7).
+
+use std::collections::BTreeSet;
+
+use crate::config::LintConfig;
+use crate::dataflow::{FnFlow, UseKind};
+use crate::index::{type_idents, ItemIndex};
+use crate::source::{contains_token, SourceFile};
+use crate::Finding;
+
+pub const RULE: &str = "R7";
+
+/// Sharing/escape primitives banned in shard-state fields and on the
+/// region path: `(token, what)`.
+const SHARED: &[(&str, &str)] = &[
+    ("Arc", "`Arc` (shared ownership)"),
+    ("Rc", "`Rc` (shared ownership)"),
+    (
+        "UnsafeCell",
+        "`UnsafeCell` (interior mutability outside the borrow checker)",
+    ),
+];
+
+pub fn check(cfg: &LintConfig, files: &[SourceFile], idx: &ItemIndex, out: &mut Vec<Finding>) {
+    let Some(r7) = &cfg.r7 else {
+        return;
+    };
+    let reachable = idx.reachable_types(&r7.state_root);
+
+    check_state_fields(cfg, files, idx, &reachable, out);
+    check_region_path(cfg, files, idx, r7, &reachable, out);
+    check_spawn_confinement(cfg, files, &r7.pool_file, out);
+    check_shard_channels(cfg, files, idx, &reachable, out);
+    check_barrier_moves(cfg, files, out);
+}
+
+/// (1) No sharing primitive or raw pointer in any field of a type
+/// reachable from the state root.
+fn check_state_fields(
+    cfg: &LintConfig,
+    files: &[SourceFile],
+    idx: &ItemIndex,
+    reachable: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    for t in &idx.types {
+        if !reachable.contains(&t.name) || !crate::in_model_crate(cfg, &files[t.file].path) {
+            continue;
+        }
+        for field in &t.fields {
+            let mut hits: Vec<&str> = SHARED
+                .iter()
+                .filter(|(tok, _)| type_idents(&field.ty).iter().any(|id| id == tok))
+                .map(|(_, what)| *what)
+                .collect();
+            if field.ty.contains("*mut") || field.ty.contains("*const") {
+                hits.push("a raw pointer");
+            }
+            for what in hits {
+                out.push(Finding {
+                    rule: RULE,
+                    path: files[t.file].path.clone(),
+                    line: field.line + 1,
+                    message: format!(
+                        "shard state `{}::{}` holds {what}; types reachable from the shard \
+                         root must be exclusively owned",
+                        t.name, field.name
+                    ),
+                    hint: "shards move over channels with single ownership; replace the shared \
+                           handle with owned state merged at the collect() barrier"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// (2) Nothing reachable from the region entry fns may share or spawn.
+fn check_region_path(
+    cfg: &LintConfig,
+    files: &[SourceFile],
+    idx: &ItemIndex,
+    r7: &crate::config::R7Config,
+    reachable: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let mut roots = Vec::new();
+    for name in &r7.region_fns {
+        if let Some(cands) = idx.fn_by_name.get(name) {
+            roots.extend_from_slice(cands);
+        }
+    }
+    // Follow calls only into free functions and methods of shard-state
+    // types (plus the root's own impl types), staying inside model crates.
+    let admit = |fd: &crate::index::FnDef| -> bool {
+        if !crate::in_model_crate(cfg, &files[fd.file].path) {
+            return false;
+        }
+        match &fd.self_ty {
+            None => true,
+            Some(ty) => reachable.contains(ty),
+        }
+    };
+    let on_path = idx.reachable_fns(&roots, &admit);
+    for &fi in &on_path {
+        let fd = &idx.fns[fi];
+        let f = &files[fd.file];
+        if !crate::in_model_crate(cfg, &f.path) {
+            continue;
+        }
+        for li in fd.start..=fd.end.min(f.code.len().saturating_sub(1)) {
+            if f.in_test[li] {
+                continue;
+            }
+            let code = &f.code[li];
+            for (tok, what) in SHARED {
+                if contains_token(code, tok) {
+                    out.push(region_purity_finding(f, li, &fd.name, what));
+                }
+            }
+            if code.contains("thread::spawn") {
+                out.push(region_purity_finding(f, li, &fd.name, "`thread::spawn`"));
+            }
+            if contains_token(code, "static") && code.contains("static mut") {
+                out.push(region_purity_finding(f, li, &fd.name, "`static mut`"));
+            }
+        }
+    }
+}
+
+fn region_purity_finding(f: &SourceFile, li: usize, fn_name: &str, what: &str) -> Finding {
+    Finding {
+        rule: RULE,
+        path: f.path.clone(),
+        line: li + 1,
+        message: format!(
+            "{what} inside `{fn_name}`, which is reachable from the shard-region entry points"
+        ),
+        hint: "region code runs with exclusive shard ownership on worker threads; sharing \
+               primitives there reintroduce the interleavings the ownership-passing design \
+               exists to rule out"
+            .to_string(),
+    }
+}
+
+/// (3) `thread::spawn` in model crates only in the pool file. `static mut`
+/// is banned in model crates outright (it is shared state by definition).
+fn check_spawn_confinement(
+    cfg: &LintConfig,
+    files: &[SourceFile],
+    pool_file: &str,
+    out: &mut Vec<Finding>,
+) {
+    for f in files {
+        if !crate::in_model_crate(cfg, &f.path) {
+            continue;
+        }
+        let is_pool = !pool_file.is_empty() && f.path.ends_with(pool_file);
+        for (i, code) in f.code.iter().enumerate() {
+            if f.in_test[i] {
+                continue;
+            }
+            if !is_pool && code.contains("thread::spawn") {
+                out.push(Finding {
+                    rule: RULE,
+                    path: f.path.clone(),
+                    line: i + 1,
+                    message: "`thread::spawn` outside the sanctioned worker pool".to_string(),
+                    hint: format!(
+                        "all model-crate threading goes through the ownership-passing pool in \
+                         `{pool_file}`; justify service-layer exceptions in lint.toml"
+                    ),
+                });
+            }
+            if code.contains("static mut") {
+                out.push(Finding {
+                    rule: RULE,
+                    path: f.path.clone(),
+                    line: i + 1,
+                    message: "`static mut` in a model crate is shared mutable state".to_string(),
+                    hint: "thread the state through the owning struct; shard state must be \
+                           exclusively owned wherever it is mutated"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// (4) A channel whose declared payload mentions shard state keeps one
+/// producer: its sender is never cloned.
+fn check_shard_channels(
+    cfg: &LintConfig,
+    files: &[SourceFile],
+    idx: &ItemIndex,
+    reachable: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let _ = idx;
+    for f in files {
+        if !crate::in_model_crate(cfg, &f.path) {
+            continue;
+        }
+        for (name, start, end) in &f.functions {
+            if f.in_test[*start] {
+                continue;
+            }
+            let flow = FnFlow::build(f, *start, *end);
+            for ch in &flow.channels {
+                let carries_shard = type_idents(&ch.payload)
+                    .iter()
+                    .any(|id| reachable.contains(id));
+                if !carries_shard {
+                    continue;
+                }
+                for u in flow.uses_of(f, &ch.sender) {
+                    if u.kind == UseKind::Method && u.method == "clone" {
+                        out.push(Finding {
+                            rule: RULE,
+                            path: f.path.clone(),
+                            line: u.line + 1,
+                            message: format!(
+                                "shard channel sender `{}` cloned in `{name}` — a worker \
+                                 channel must have exactly one producer",
+                                ch.sender
+                            ),
+                            hint: "one coordinator produces into each worker channel; a second \
+                                   producer makes the dispatch order scheduler-dependent"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// (5) Dispatched shards move by value and stay untouched until the
+/// matching `collect()` reassignment.
+fn check_barrier_moves(cfg: &LintConfig, files: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in files {
+        if !crate::in_model_crate(cfg, &f.path) {
+            continue;
+        }
+        for (name, start, end) in &f.functions {
+            if f.in_test[*start] {
+                continue;
+            }
+            let end = (*end).min(f.code.len().saturating_sub(1));
+            let has_dispatch = (*start..=end).any(|i| f.code[i].contains(".dispatch("));
+            let has_collect = (*start..=end).any(|i| f.code[i].contains(".collect()"));
+            if !has_dispatch || !has_collect {
+                continue;
+            }
+            let flow = FnFlow::build(f, *start, end);
+            for i in *start..=end {
+                let code = &f.code[i];
+                let Some(pos) = code.find(".dispatch(") else {
+                    continue;
+                };
+                let args = &code[pos + ".dispatch(".len()..];
+                // (5a) no borrowed arguments to dispatch.
+                if args.contains('&') {
+                    out.push(Finding {
+                        rule: RULE,
+                        path: f.path.clone(),
+                        line: i + 1,
+                        message: format!(
+                            "shard dispatched by reference in `{name}` — shards must move by \
+                             value across the collect() barrier"
+                        ),
+                        hint: "take the shard out with mem::replace (leaving a hollow \
+                               placeholder) and send the owned value; a borrow aliases state \
+                               the worker mutates"
+                            .to_string(),
+                    });
+                }
+                // (5b) the moved binding stays untouched until reassigned
+                // from collect(). The last bare identifier in the argument
+                // list is the moved shard.
+                let Some(moved) = last_ident(args) else {
+                    continue;
+                };
+                if flow.binding_at(&moved, i).is_none() {
+                    continue;
+                }
+                for u in flow.uses_of(f, &moved) {
+                    if u.line <= i {
+                        continue;
+                    }
+                    // A shadowing `let` rebinds the name: later uses refer
+                    // to the fresh shard, not the dispatched one.
+                    if flow.binding_at(&moved, u.line).is_some_and(|b| b.line > i) {
+                        break;
+                    }
+                    let text = &f.code[u.line];
+                    if u.kind == UseKind::Reassign && text.contains(".collect()") {
+                        break;
+                    }
+                    out.push(Finding {
+                        rule: RULE,
+                        path: f.path.clone(),
+                        line: u.line + 1,
+                        message: format!(
+                            "`{moved}` used after being dispatched in `{name}` and before the \
+                             collect() barrier returns it — shard state is aliased across the \
+                             barrier"
+                        ),
+                        hint: "between dispatch and collect the worker owns the shard; touch \
+                               it only after reassigning it from pool.collect()"
+                            .to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The last bare identifier of an argument list (the moved operand of
+/// `pool.dispatch(w, region, sh)`).
+fn last_ident(args: &str) -> Option<String> {
+    let inner = args.trim_end().trim_end_matches(';');
+    let inner = inner.strip_suffix(')').unwrap_or(inner);
+    let last = inner.rsplit(',').next()?.trim();
+    (!last.is_empty()
+        && last.chars().all(|c| c.is_alphanumeric() || c == '_')
+        && last
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_'))
+    .then(|| last.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_ident_extracts_moved_operand() {
+        assert_eq!(last_ident("w - 1, region, sh);"), Some("sh".to_string()));
+        assert_eq!(last_ident("w, region, self.shards[w]);"), None);
+        assert_eq!(last_ident("w, region, &sh);"), None);
+    }
+}

@@ -1,0 +1,395 @@
+//! R8 — time-unit consistency. The simulator carries three time
+//! representations: wall picoseconds (`Picos`, `*_ps`), domain cycle
+//! counts (`*_cycles`), and domain tick indices (`*_ticks`). Mixing them
+//! in arithmetic silently produces garbage latencies (a picosecond
+//! compared against a cycle count is off by the clock period), so:
+//!
+//! 1. identifiers (and fields, and `let` bindings typed `Picos` or
+//!    initialized from a single-unit expression) form *unit classes* by
+//!    suffix — `_ps`, `_cycles`/`_cycle`/`_cyc`, `_ticks`/`_tick`;
+//! 2. an arithmetic or comparison operator joining two classes on one
+//!    statement is an error unless the statement calls a sanctioned
+//!    `ClockDomains` conversion function (`lint.toml [r8] convert_fns`),
+//!    or lives in the conversion home (`clock.rs` itself);
+//! 3. a bare non-zero numeric literal assigned into a unit-tagged field
+//!    or binding outside the config/preset files is an error — magic time
+//!    constants belong in configuration, expressed in a named unit.
+//!
+//! Identifiers in call position (`icnt_tick(..)`) are function names, not
+//! time values, and SCREAMING_CASE constants (conversion factors like
+//! `PS_PER_CYCLE`) are exempt: both would otherwise drown the rule in
+//! false positives. What the lexical view cannot prove is left to the
+//! runtime suites (see DESIGN.md §7).
+
+use crate::config::{LintConfig, R8Config};
+use crate::dataflow::FnFlow;
+use crate::source::SourceFile;
+use crate::Finding;
+
+pub const RULE: &str = "R8";
+
+/// One time-unit class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Wall picoseconds.
+    Ps,
+    /// Clock-domain cycle counts.
+    Cycles,
+    /// Tick indices of the interleaved clock.
+    Ticks,
+}
+
+impl Unit {
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Ps => "ps",
+            Unit::Cycles => "cycles",
+            Unit::Ticks => "ticks",
+        }
+    }
+}
+
+/// The unit class of an identifier, from its suffix. Lowercase
+/// identifiers only: SCREAMING_CASE constants are conversion factors.
+pub fn ident_unit(ident: &str) -> Option<Unit> {
+    if ident.chars().any(|c| c.is_uppercase()) {
+        return None;
+    }
+    // `bytes_per_cycle`-style identifiers are *rates* (a quantity divided
+    // by a time), not times; they carry no unit class of their own.
+    if ident.contains("_per_") {
+        return None;
+    }
+    let suffix_is = |s: &str| ident == s || ident.ends_with(&format!("_{s}"));
+    if suffix_is("ps") {
+        Some(Unit::Ps)
+    } else if suffix_is("cycles") || suffix_is("cycle") || suffix_is("cyc") {
+        Some(Unit::Cycles)
+    } else if suffix_is("ticks") || suffix_is("tick") {
+        Some(Unit::Ticks)
+    } else {
+        None
+    }
+}
+
+/// A unit-classed identifier occurrence in value position.
+struct Occurrence {
+    col: usize,
+    len: usize,
+    name: String,
+    unit: Unit,
+}
+
+pub fn check(cfg: &LintConfig, f: &SourceFile, out: &mut Vec<Finding>) {
+    let Some(r8) = &cfg.r8 else {
+        return;
+    };
+    if !crate::in_model_crate(cfg, &f.path) {
+        return;
+    }
+    if r8.conversion_home.iter().any(|h| f.path.ends_with(h)) {
+        return;
+    }
+    let literal_ok = r8.literal_files.iter().any(|h| f.path.ends_with(h));
+
+    // Statement-level facts need function context for binding inference;
+    // lines outside any fn (consts, field decls) are scanned standalone.
+    let mut checked = vec![false; f.code.len()];
+    for (_, start, end) in &f.functions {
+        let end = (*end).min(f.code.len().saturating_sub(1));
+        if f.in_test[*start] {
+            for c in checked.iter_mut().take(end + 1).skip(*start) {
+                *c = true;
+            }
+            continue;
+        }
+        let flow = FnFlow::build(f, *start, end);
+        for (i, c) in checked.iter_mut().enumerate().take(end + 1).skip(*start) {
+            *c = true;
+            check_line(r8, f, i, Some(&flow), literal_ok, out);
+        }
+    }
+    for (i, c) in checked.iter().enumerate() {
+        if !*c {
+            check_line(r8, f, i, None, literal_ok, out);
+        }
+    }
+}
+
+fn check_line(
+    r8: &R8Config,
+    f: &SourceFile,
+    i: usize,
+    flow: Option<&FnFlow>,
+    literal_ok: bool,
+    out: &mut Vec<Finding>,
+) {
+    if f.in_test[i] {
+        return;
+    }
+    let code = &f.code[i];
+    if code.trim().is_empty() {
+        return;
+    }
+    // A sanctioned conversion call anywhere on the statement excuses it.
+    if r8.convert_fns.iter().any(|c| {
+        crate::source::find_token(code, c)
+            .is_some_and(|p| f.code[i][p + c.len()..].starts_with('('))
+    }) {
+        return;
+    }
+    // The conversion may also flow in through a named factor:
+    // `let core_period = clocks.domain(..).period_ps();` followed by
+    // `cycles * core_period` is the sanctioned pattern with the period
+    // applied exactly once — exempt any statement using such a binding.
+    if let Some(fl) = flow {
+        if ident_tokens(code).iter().any(|id| {
+            fl.binding_at(id, i).is_some_and(|b| {
+                r8.convert_fns
+                    .iter()
+                    .any(|c| crate::source::contains_token(&b.init, c))
+            })
+        }) {
+            return;
+        }
+    }
+
+    let occs = occurrences(r8, f, code, i, flow);
+
+    // (2) mixed-unit arithmetic/comparison between adjacent occurrences.
+    for w in occs.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if a.unit == b.unit {
+            continue;
+        }
+        let between = &code[a.col + a.len..b.col];
+        if !joins_arithmetically(between) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE,
+            path: f.path.clone(),
+            line: i + 1,
+            message: format!(
+                "`{}` ({}) and `{}` ({}) mixed in arithmetic/comparison without a sanctioned \
+                 conversion",
+                a.name,
+                a.unit.name(),
+                b.name,
+                b.unit.name()
+            ),
+            hint: "convert through ClockDomains (lint.toml [r8] convert_fns) so the clock \
+                   period is applied exactly once; unit suffixes are the contract"
+                .to_string(),
+        });
+    }
+
+    // (3) bare non-zero literal into a unit-tagged field or binding.
+    if !literal_ok {
+        for occ in &occs {
+            let after = code[occ.col + occ.len..].trim_start();
+            let rhs = if let Some(r) = after.strip_prefix('=') {
+                if r.starts_with('=') {
+                    continue; // `==` comparison, not assignment
+                }
+                r
+            } else if let Some(r) = after.strip_prefix(':') {
+                // struct-literal field init (type ascriptions put a type,
+                // not a literal, here — the literal test below holds).
+                r
+            } else {
+                continue;
+            };
+            let rhs = rhs.trim_start();
+            let lit: String = rhs
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '_')
+                .collect();
+            if lit.is_empty() {
+                continue;
+            }
+            let terminated = rhs[lit.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| matches!(c, ';' | ',' | ' ' | ')' | '}'));
+            let value: u64 = lit.replace('_', "").parse().unwrap_or(0);
+            if terminated && value != 0 {
+                out.push(Finding {
+                    rule: RULE,
+                    path: f.path.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "bare literal `{lit}` assigned into unit-tagged `{}` ({})",
+                        occ.name,
+                        occ.unit.name()
+                    ),
+                    hint: "magic time constants live in config/presets (lint.toml [r8] \
+                           literal_files) under a named, unit-suffixed field"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Unit-classed identifiers in value position on `code`, left to right.
+fn occurrences(
+    r8: &R8Config,
+    f: &SourceFile,
+    code: &str,
+    line: usize,
+    flow: Option<&FnFlow>,
+) -> Vec<Occurrence> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k < bytes.len() {
+        let c = bytes[k] as char;
+        if !(c.is_ascii_alphabetic() || c == '_') {
+            k += 1;
+            continue;
+        }
+        let start = k;
+        while k < bytes.len() && {
+            let c = bytes[k] as char;
+            c.is_ascii_alphanumeric() || c == '_'
+        } {
+            k += 1;
+        }
+        let ident = &code[start..k];
+        // Call position (`foo(`, `foo!(`) names a function/macro, not a
+        // value; `::` paths name types/modules.
+        let next = bytes.get(k).copied().unwrap_or(b' ');
+        if next == b'(' || next == b'!' {
+            continue;
+        }
+        if code[k..].trim_start().starts_with("::") {
+            continue;
+        }
+        let unit = ident_unit(ident).or_else(|| {
+            // Untagged binding whose declared type or initializer fixes a
+            // class — the dataflow half of the rule.
+            flow.and_then(|fl| fl.binding_at(ident, line))
+                .and_then(|b| binding_unit(r8, f, b))
+        });
+        if let Some(unit) = unit {
+            out.push(Occurrence {
+                col: start,
+                len: ident.len(),
+                name: ident.to_string(),
+                unit,
+            });
+        }
+    }
+    out
+}
+
+/// The unit class of a binding: ascribed type first (`Picos` → ps), then
+/// the initializer's single class when the initializer itself performs no
+/// sanctioned conversion.
+fn binding_unit(r8: &R8Config, f: &SourceFile, b: &crate::dataflow::Binding) -> Option<Unit> {
+    let _ = f;
+    if let Some(ty) = &b.ty {
+        if r8
+            .ps_types
+            .iter()
+            .any(|t| crate::source::contains_token(ty, t))
+        {
+            return Some(Unit::Ps);
+        }
+    }
+    if r8
+        .convert_fns
+        .iter()
+        .any(|c| crate::source::contains_token(&b.init, c))
+    {
+        return None;
+    }
+    let mut classes: Vec<Unit> = Vec::new();
+    for ident in ident_tokens(&b.init) {
+        if let Some(u) = ident_unit(&ident) {
+            if !classes.contains(&u) {
+                classes.push(u);
+            }
+        }
+    }
+    (classes.len() == 1).then(|| classes[0])
+}
+
+/// All identifier tokens of a text.
+fn ident_tokens(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars().chain(std::iter::once(' ')) {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    out
+}
+
+/// Whether the text between two unit occurrences joins them in one
+/// arithmetic/comparison expression: it must contain a joining operator
+/// and no expression separator (`,`, `;`) — separated operands (distinct
+/// call arguments, distinct statements) are unrelated.
+fn joins_arithmetically(between: &str) -> bool {
+    if between.contains(',') || between.contains(';') {
+        return false;
+    }
+    let ops = [
+        "+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", ".min(", ".max(",
+    ];
+    let mut t = between;
+    // `->` and `=>` and `::` are not arithmetic.
+    for noise in ["->", "=>", "::"] {
+        if t.contains(noise) {
+            return false;
+        }
+    }
+    // A bare `=` (assignment) joins the two sides into one unit claim.
+    if let Some(p) = t.find('=') {
+        let bytes = t.as_bytes();
+        let prev = if p > 0 { bytes[p - 1] } else { b' ' };
+        let next = bytes.get(p + 1).copied().unwrap_or(b' ');
+        if next != b'=' && !matches!(prev, b'=' | b'<' | b'>' | b'!') {
+            t = &t[p + 1..];
+            let _ = t;
+            return true;
+        }
+    }
+    ops.iter().any(|op| between.contains(op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffixes_classify() {
+        assert_eq!(ident_unit("now_ps"), Some(Unit::Ps));
+        assert_eq!(ident_unit("ps"), Some(Unit::Ps));
+        assert_eq!(ident_unit("core_cycles"), Some(Unit::Cycles));
+        assert_eq!(ident_unit("cyc"), Some(Unit::Cycles));
+        assert_eq!(ident_unit("next_tick"), Some(Unit::Ticks));
+        assert_eq!(ident_unit("PS_PER_CYCLE"), None, "constants are factors");
+        assert_eq!(
+            ident_unit("bus_bytes_per_cycle"),
+            None,
+            "rates are not times"
+        );
+        assert_eq!(ident_unit("ops"), None, "suffix needs its own word");
+        assert_eq!(ident_unit("warps"), None);
+    }
+
+    #[test]
+    fn joining_requires_an_operator_and_no_separator() {
+        assert!(joins_arithmetically(" + "));
+        assert!(joins_arithmetically(" .min( "));
+        assert!(joins_arithmetically(" = "));
+        assert!(!joins_arithmetically(", "));
+        assert!(!joins_arithmetically(" "));
+        assert!(!joins_arithmetically("; let x = "));
+    }
+}

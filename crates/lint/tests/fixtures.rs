@@ -23,12 +23,36 @@ file = "crates/cache/src/demo_stall.rs"
 order = ["First", "Second", "Third"]
 "#;
 
+/// R7/R8 enabled. The pool fixture is parsed under the sanctioned
+/// `pool_file` path, and the channel-bearing fixtures sit in `queue_impl`
+/// so R2's mpsc rule stays out of the R7 assertions.
+const CONFIG_R7R8: &str = r#"
+[lint]
+model_crates = ["types", "cache", "simt"]
+queue_impl = ["crates/types/src/queue.rs", "crates/cache/src/pool.rs", "crates/cache/src/r7_bad_two_producer.rs"]
+
+[r7]
+state_root = "Shard"
+pool_file = "crates/cache/src/pool.rs"
+region_fns = ["run_region"]
+
+[r8]
+convert_fns = ["cycles_to_ps", "period_ps"]
+conversion_home = ["crates/types/src/clock.rs"]
+literal_files = ["crates/cache/src/config.rs"]
+ps_types = ["Picos"]
+"#;
+
 fn base_cfg() -> LintConfig {
     LintConfig::parse(CONFIG_BASE).expect("fixture config parses")
 }
 
 fn r5_cfg() -> LintConfig {
     LintConfig::parse(CONFIG_R5).expect("fixture config parses")
+}
+
+fn r7r8_cfg() -> LintConfig {
+    LintConfig::parse(CONFIG_R7R8).expect("fixture config parses")
 }
 
 /// `(rule, line)` pairs, in the engine's sorted order.
@@ -174,6 +198,80 @@ fn r5_accepts_canonical_single_site_attribution() {
         ),
     ];
     let findings = run(&r5_cfg(), &files);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn r7_accepts_the_ownership_passing_pool_shape() {
+    // The par.rs-shaped good case: per-worker typed channels with one
+    // producer each, a cloned sender only on the untyped return channel,
+    // mem::replace dispatch and a shadowing reassignment from collect().
+    let f = SourceFile::parse(
+        "crates/cache/src/pool.rs",
+        include_str!("fixtures/r7_ok_pool.rs"),
+    );
+    let findings = run(&r7r8_cfg(), &[f]);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn r7_flags_aliased_and_borrowed_shard_state() {
+    let f = SourceFile::parse(
+        "crates/cache/src/r7_bad_alias.rs",
+        include_str!("fixtures/r7_bad_alias.rs"),
+    );
+    let findings = run(&r7r8_cfg(), &[f]);
+    let expected = vec![
+        ("R7", 9),  // Arc field inside shard state
+        ("R7", 20), // dispatched shard touched before collect()
+        ("R7", 30), // shard dispatched by reference
+        ("R7", 36), // Arc reachable from the region entry point
+    ];
+    assert_eq!(rule_lines(&findings), expected, "{findings:#?}");
+    assert!(findings[0].message.contains("Arc"));
+    assert!(findings[0].message.contains("Shard::shared"));
+    assert!(findings[1].message.contains("used after being dispatched"));
+    assert!(findings[2].message.contains("dispatched by reference"));
+    assert!(findings[3]
+        .message
+        .contains("reachable from the shard-region"));
+}
+
+#[test]
+fn r7_flags_second_producer_on_a_shard_channel() {
+    let f = SourceFile::parse(
+        "crates/cache/src/r7_bad_two_producer.rs",
+        include_str!("fixtures/r7_bad_two_producer.rs"),
+    );
+    let findings = run(&r7r8_cfg(), &[f]);
+    assert_eq!(rule_lines(&findings), vec![("R7", 13)], "{findings:#?}");
+    assert!(findings[0].message.contains("exactly one producer"));
+}
+
+#[test]
+fn r8_flags_unit_mixing_and_magic_time_literals() {
+    let f = SourceFile::parse(
+        "crates/cache/src/r8_bad_mix.rs",
+        include_str!("fixtures/r8_bad_mix.rs"),
+    );
+    let findings = run(&r7r8_cfg(), &[f]);
+    let expected = vec![
+        ("R8", 11), // now_ps + budget_cycles
+        ("R8", 15), // c.now_ps = 5000
+    ];
+    assert_eq!(rule_lines(&findings), expected, "{findings:#?}");
+    assert!(findings[0].message.contains("now_ps"));
+    assert!(findings[0].message.contains("budget_cycles"));
+    assert!(findings[1].message.contains("bare literal `5000`"));
+}
+
+#[test]
+fn r8_accepts_sanctioned_conversions_and_named_factors() {
+    let f = SourceFile::parse(
+        "crates/cache/src/r8_ok_convert.rs",
+        include_str!("fixtures/r8_ok_convert.rs"),
+    );
+    let findings = run(&r7r8_cfg(), &[f]);
     assert!(findings.is_empty(), "{findings:#?}");
 }
 

@@ -1,0 +1,46 @@
+//! Shard-isolation violations: an `Arc` inside shard state, a shard
+//! dispatched by reference, and a dispatched shard touched again before
+//! the collect() barrier returns it.
+
+use std::sync::Arc;
+
+pub struct Shard {
+    pub id: usize,
+    pub shared: Arc<Vec<u64>>,
+}
+
+pub struct Sim {
+    shards: Vec<Shard>,
+}
+
+impl Sim {
+    pub fn run_region(&mut self, pool: &Pool, region: u64) {
+        let sh = take_shard(&mut self.shards);
+        pool.dispatch(0, region, sh);
+        let n = sh.id;
+        for _ in 0..1 {
+            let sh = pool.collect();
+            self.shards[sh.id] = sh;
+        }
+        let _ = n;
+    }
+
+    pub fn run_region_borrowed(&mut self, pool: &Pool, region: u64) {
+        let sh = take_shard(&mut self.shards);
+        pool.dispatch(0, region, &sh);
+        let _ = pool.collect();
+    }
+}
+
+fn take_shard(shards: &mut Vec<Shard>) -> Shard {
+    shards.pop().unwrap_or(Shard { id: 0, shared: Arc::new(Vec::new()) })
+}
+
+pub struct Pool;
+
+impl Pool {
+    pub fn dispatch(&self, _w: usize, _region: u64, _sh: Shard) {}
+    pub fn collect(&self) -> Shard {
+        Shard { id: 0, shared: Arc::new(Vec::new()) }
+    }
+}

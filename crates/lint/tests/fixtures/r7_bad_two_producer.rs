@@ -1,0 +1,17 @@
+//! Two producers on a shard-carrying channel: cloning the sender makes
+//! the dispatch order scheduler-dependent, breaking the single-producer
+//! discipline the ownership-passing pool relies on.
+
+use std::sync::mpsc;
+
+pub struct Shard {
+    pub id: usize,
+}
+
+pub fn spawn_two_producers() -> mpsc::Receiver<(u64, Shard)> {
+    let (tx, rx) = mpsc::channel::<(u64, Shard)>();
+    let tx2 = tx.clone();
+    let _ = tx.send((0, Shard { id: 0 }));
+    let _ = tx2.send((1, Shard { id: 1 }));
+    rx
+}

@@ -1,0 +1,74 @@
+//! Minimal ownership-passing pool in the shape of core/src/par.rs: shards
+//! move by value over per-worker channels with exactly one producer; the
+//! untyped return channel carries shards home through cloned senders
+//! (N producers is legitimate there — order is restored by shard id).
+//! This fixture must lint clean under R7.
+
+use std::sync::mpsc;
+use std::thread;
+
+pub struct Shard {
+    pub id: usize,
+    pub warps: Vec<u64>,
+}
+
+impl Shard {
+    pub fn empty(id: usize) -> Shard {
+        Shard { id, warps: Vec::new() }
+    }
+}
+
+pub struct Pool {
+    senders: Vec<mpsc::Sender<(u64, Shard)>>,
+    ret_rx: mpsc::Receiver<Shard>,
+}
+
+impl Pool {
+    pub fn spawn(n: usize) -> Pool {
+        let (ret_tx, ret_rx) = mpsc::channel();
+        let mut senders = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel::<(u64, Shard)>();
+            let ret = ret_tx.clone();
+            thread::spawn(move || {
+                while let Ok((region, mut shard)) = rx.recv() {
+                    shard.warps.push(region);
+                    let _ = ret.send(shard);
+                }
+            });
+            senders.push(tx);
+        }
+        Pool { senders, ret_rx }
+    }
+
+    pub fn dispatch(&self, w: usize, region: u64, sh: Shard) {
+        let _ = self.senders[w].send((region, sh));
+    }
+
+    pub fn collect(&self) -> Shard {
+        match self.ret_rx.recv() {
+            Ok(sh) => sh,
+            Err(_) => Shard::empty(0),
+        }
+    }
+}
+
+pub struct Sim {
+    shards: Vec<Shard>,
+}
+
+impl Sim {
+    pub fn run_region(&mut self, pool: &Pool, region: u64) {
+        let mut dispatched = 0;
+        for w in 1..self.shards.len() {
+            let sh = std::mem::replace(&mut self.shards[w], Shard::empty(w));
+            pool.dispatch(w - 1, region, sh);
+            dispatched += 1;
+        }
+        for _ in 0..dispatched {
+            let sh = pool.collect();
+            let id = sh.id;
+            self.shards[id] = sh;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Time-unit violations: picoseconds added to cycle counts without a
+//! conversion, and a magic literal assigned into a unit-tagged field
+//! outside the config files.
+
+pub struct Clk {
+    pub now_ps: u64,
+    pub core_cycles: u64,
+}
+
+pub fn deadline(now_ps: u64, budget_cycles: u64) -> u64 {
+    now_ps + budget_cycles
+}
+
+pub fn set_timeout(c: &mut Clk) {
+    c.now_ps = 5000;
+}

@@ -1,0 +1,24 @@
+//! Sanctioned unit mixing: the conversion happens through a configured
+//! `convert_fns` call, either on the statement itself or flowing in
+//! through a named period binding. Must lint clean under R8.
+
+pub struct Clk;
+
+impl Clk {
+    pub fn cycles_to_ps(&self, _c: u64) -> u64 {
+        0
+    }
+    pub fn period_ps(&self) -> u64 {
+        714
+    }
+}
+
+pub fn deadline(now_ps: u64, budget_cycles: u64, clk: &Clk) -> u64 {
+    now_ps + clk.cycles_to_ps(budget_cycles)
+}
+
+pub fn jump_bound(max_cycles: u64, clk: &Clk) -> u64 {
+    let core_period = clk.period_ps();
+    let t_ps = (max_cycles - 1) * core_period;
+    t_ps
+}

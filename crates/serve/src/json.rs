@@ -10,6 +10,11 @@
 //! Numbers keep their raw lexeme so integer fields (seeds, override values)
 //! round-trip exactly: `as_u64` re-parses the lexeme as an integer instead
 //! of detouring through `f64` and silently losing precision above 2⁵³.
+//!
+//! [`Json::encode`] is the inverse direction: a compact single-line
+//! serialization used by machine consumers of in-tree tools (gmh-lint's
+//! `--json` findings stream). Object keys encode in `BTreeMap` order, so
+//! output is deterministic (R1) and diff-friendly.
 
 use std::collections::BTreeMap;
 
@@ -79,6 +84,68 @@ impl Json {
     pub fn get(&self, key: &str) -> Option<&Json> {
         self.as_obj().and_then(|m| m.get(key))
     }
+
+    /// Serializes the value as one compact RFC 8259 document (no
+    /// whitespace, keys in `BTreeMap` order, never a raw newline — safe
+    /// for line-delimited streams).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(lex) => out.push_str(lex),
+            Json::Str(s) => encode_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_str(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escapes `s` per RFC 8259: quote, backslash, and all control characters
+/// (the common ones short-form, the rest as `\u00XX`).
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c < '\u{20}' => {
+                // lint: allow(R3): char widens losslessly to u32 (21-bit scalar)
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses one complete JSON document; trailing non-whitespace is an error.
@@ -419,5 +486,27 @@ mod tests {
     fn control_characters_rejected_raw_accepted_escaped() {
         assert!(parse("\"a\nb\"").is_err());
         assert_eq!(parse(r#""a\nb""#).unwrap().as_str(), Some("a\nb"));
+    }
+
+    #[test]
+    fn encode_round_trips_and_stays_single_line() {
+        for doc in [
+            r#"{"a":[1,{"b":"c"},null],"d":{}}"#,
+            r#"{"n":18446744073709551615}"#,
+            "true",
+            r#""tab\there""#,
+        ] {
+            let v = parse(doc).unwrap();
+            let enc = v.encode();
+            assert!(!enc.contains('\n'), "LDJSON safety: {enc}");
+            assert_eq!(parse(&enc).unwrap(), v, "round-trip of {doc}");
+        }
+    }
+
+    #[test]
+    fn encode_escapes_controls_and_quotes() {
+        let v = Json::Str("a\"b\\c\nd\u{1}e".to_string());
+        assert_eq!(v.encode(), "\"a\\\"b\\\\c\\nd\\u0001e\"");
+        assert_eq!(parse(&v.encode()).unwrap(), v);
     }
 }

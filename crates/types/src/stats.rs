@@ -168,8 +168,8 @@ impl LatencyHistogram {
             return 0.0;
         }
         let q = q.clamp(0.0, 1.0);
-        // lint: allow(R3): float-to-int `as` saturates, and the target is
-        // bounded by count (q is clamped to [0, 1]).
+        // Float-to-int `as` saturates, and the target is bounded by
+        // count (q is clamped to [0, 1]).
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &b) in self.buckets.iter().enumerate() {
@@ -312,8 +312,8 @@ impl Histogram {
             return 0.0;
         }
         let q = q.clamp(0.0, 1.0);
-        // lint: allow(R3): float-to-int `as` saturates, and the target is
-        // bounded by count (q is clamped to [0, 1]).
+        // Float-to-int `as` saturates, and the target is bounded by
+        // count (q is clamped to [0, 1]).
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {

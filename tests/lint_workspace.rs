@@ -8,6 +8,24 @@
 use std::path::Path;
 
 #[test]
+fn lint_config_enables_the_structural_rules() {
+    // The workspace-green assertion below is only meaningful if lint.toml
+    // actually switches on the symbol-resolved rules: R7 (shard isolation)
+    // and R8 (time-unit consistency) are opt-in sections.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml is readable");
+    let cfg = gmh_lint::LintConfig::parse(&text).expect("lint.toml parses");
+    let r7 = cfg.r7.as_ref().expect("[r7] shard isolation is enabled");
+    assert_eq!(r7.state_root, "Shard");
+    assert!(!r7.region_fns.is_empty(), "R7 needs region entry points");
+    let r8 = cfg.r8.as_ref().expect("[r8] time units are enabled");
+    assert!(
+        !r8.convert_fns.is_empty(),
+        "R8 needs sanctioned conversions"
+    );
+}
+
+#[test]
 fn workspace_has_no_lint_findings() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let (findings, scanned) =
