@@ -21,6 +21,15 @@ pub struct L2Bank {
     latency: Cycle,
     stalls: L2StallCounters,
     now: Cycle,
+    /// Reply-network credit for this bank, set by the coordinator each
+    /// icnt tick before the bank region runs (pull model): `false` means
+    /// the reply crossbar would refuse this bank's ready response this
+    /// cycle. Consulted by `stall_cause` purely for *attribution* — a
+    /// cycle that is already stalled for a reply-path-coupled reason is
+    /// charged to bp-ICNT instead of a downstream cause; withheld credit
+    /// never blocks progress by itself (the response queue exists to
+    /// absorb transient refusals).
+    reply_credit: bool,
 }
 
 impl L2Bank {
@@ -41,6 +50,7 @@ impl L2Bank {
             latency,
             stalls: L2StallCounters::default(),
             now: 0,
+            reply_credit: true,
         }
     }
 
@@ -106,6 +116,25 @@ impl L2Bank {
             Some((ready, f)) if *ready <= self.now => Some(f),
             _ => None,
         }
+    }
+
+    /// The response that will be ready for injection on the *next* bank
+    /// cycle (`ready <= now + 1`, matching the `now` increment at the top
+    /// of [`L2Bank::cycle_traced`]). The coordinator uses this to compute
+    /// the reply-network credit before dispatching the bank region.
+    pub fn response_ready_next(&self) -> Option<&MemFetch> {
+        match self.response_queue.front() {
+            Some((ready, f)) if *ready <= self.now + 1 => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Sets the reply-network credit consulted by `stall_cause` (pull
+    /// model, attribution only). Called by the coordinator every icnt
+    /// tick, before the bank region runs, so the value is identical at
+    /// every shard width.
+    pub fn set_reply_credit(&mut self, credit: bool) {
+        self.reply_credit = credit;
     }
 
     /// Pops the ready response (after the crossbar accepted it).
@@ -375,15 +404,23 @@ impl L2Bank {
         hit_needs_reply_slot: bool,
         blocked: Option<BlockReason>,
     ) -> Option<L2StallKind> {
-        let reply_full = self.response_queue.is_full();
-        // bp-ICNT: the reply network is not draining. On the hit path that
-        // is a missing response slot; on the miss path a full miss queue
-        // while responses also back up means DRAM fills are being held in
-        // the channel (the sim reserves response slots before accepting a
-        // fill), so the root cause is the reply network, whatever else is
-        // also busy.
-        if reply_full
-            && (hit_needs_reply_slot || matches!(blocked, Some(BlockReason::MissQueueFull)))
+        let reply_blocked = self.response_queue.is_full() || !self.reply_credit;
+        // bp-ICNT: the reply network is not draining — either the response
+        // queue is full, or the reply crossbar withheld this bank's
+        // injection credit this cycle (pull model, set by the coordinator).
+        // On the hit path that is a missing response slot, or a busy port
+        // while the crossbar is simultaneously refusing this bank (the
+        // higher-priority cause wins, per the paper's chain); on the miss
+        // path a full miss queue while replies back up means DRAM fills
+        // are being held in the channel (the sim reserves response slots
+        // before accepting a fill), so the root cause is the reply network,
+        // whatever else is also busy. The credit only *reclassifies* cycles
+        // that are already stalled — withheld credit with a free port and
+        // response space lets the hit proceed (the queue absorbs transient
+        // refusals), so timing is independent of attribution.
+        if (hit_needs_reply_slot
+            && (self.response_queue.is_full() || (port_busy && !self.reply_credit)))
+            || (reply_blocked && matches!(blocked, Some(BlockReason::MissQueueFull)))
         {
             return Some(L2StallKind::BpIcnt);
         }
@@ -612,6 +649,96 @@ mod tests {
             b.stalls().bp_icnt.get()
         );
         assert_eq!(b.stalls().port.get(), 0);
+    }
+
+    #[test]
+    fn withheld_credit_reclassifies_port_stalls_as_bp_icnt() {
+        // Pull model: a hit stalled on a busy port while the reply
+        // crossbar is simultaneously refusing this bank is charged to the
+        // higher-priority bp-ICNT, not the port.
+        let mut b = L2Bank::new(CacheConfig::fermi_l2_bank(), 8, 8, 32, 0);
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        let m = b.pop_miss().unwrap();
+        b.deliver_fill(m, 0); // occupies the 32 B port for 4 cycles
+        b.push_access(load(1, 1)).unwrap(); // hit behind the port occupancy
+        b.set_reply_credit(false);
+        for _ in 0..3 {
+            b.cycle(0);
+        }
+        assert!(
+            b.stalls().bp_icnt.get() >= 2,
+            "bp-ICNT = {}",
+            b.stalls().bp_icnt.get()
+        );
+        assert_eq!(b.stalls().port.get(), 0, "reply refusal outranks the port");
+    }
+
+    #[test]
+    fn withheld_credit_never_blocks_progress() {
+        // Attribution only: with a free port and response space, a hit
+        // proceeds even while the crossbar withholds injection credit —
+        // the response queue exists to absorb transient refusals.
+        let mut b = L2Bank::new(CacheConfig::fermi_l2_bank(), 8, 8, 128, 0);
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        let m = b.pop_miss().unwrap();
+        b.deliver_fill(m, 0);
+        b.cycle(0);
+        b.pop_response();
+        b.push_access(load(1, 1)).unwrap();
+        b.set_reply_credit(false);
+        b.cycle(0);
+        assert_eq!(b.stalls().total(), 0, "no stall was recorded");
+        assert!(
+            b.access_queue_len() == 0,
+            "hit processed despite withheld credit"
+        );
+    }
+
+    #[test]
+    fn withheld_credit_elevates_full_miss_queue_to_bp_icnt() {
+        // A miss rejected by a full miss queue while the reply crossbar
+        // refuses this bank's injections is reply back-pressure (bp-ICNT),
+        // not DRAM — even though the response queue still has slack.
+        let mut cfg = CacheConfig::fermi_l2_bank();
+        cfg.miss_queue_len = 1;
+        let mut b = L2Bank::new(cfg, 8, 8, 128, 0);
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0); // fills the 1-deep miss queue
+        b.push_access(load(1, 2)).unwrap();
+        b.set_reply_credit(false);
+        for _ in 0..4 {
+            b.cycle(0); // never drain the miss queue
+        }
+        assert!(
+            b.stalls().bp_icnt.get() >= 3,
+            "bp-ICNT = {}",
+            b.stalls().bp_icnt.get()
+        );
+        assert_eq!(
+            b.stalls().bp_dram.get(),
+            0,
+            "reply refusal outranks bp-DRAM"
+        );
+    }
+
+    #[test]
+    fn withheld_credit_does_not_stall_misses_or_writes() {
+        // Misses and writes need no reply slot, so withheld credit must
+        // not block them (and must not be attributed to bp-ICNT).
+        let mut b = bank();
+        b.set_reply_credit(false);
+        b.push_access(load(0, 1)).unwrap();
+        b.cycle(0);
+        assert!(b.miss_queue_front().is_some(), "miss proceeds to DRAM");
+        assert_eq!(b.stalls().bp_icnt.get(), 0);
+        let mut b = bank();
+        b.set_reply_credit(false);
+        b.push_access(store(0, 1)).unwrap();
+        b.cycle(0);
+        assert_eq!(b.cache().stats().writes, 1, "store absorbed");
+        assert_eq!(b.stalls().bp_icnt.get(), 0);
     }
 
     #[test]

@@ -1080,7 +1080,22 @@ impl GpuSim {
             }
         }
 
-        // 4. L2 bank pipelines.
+        // 4. L2 bank pipelines. Before dispatching, each bank learns
+        //    whether the reply crossbar would accept its next-ready
+        //    response this tick (pull-based reply port): nothing between
+        //    here and step 7 touches the reply network, so this credit is
+        //    exactly the verdict injection will see, and `stall_cause`
+        //    stays the single bp-ICNT attribution site (R5). The credit
+        //    only reclassifies stalled cycles — it never gates progress —
+        //    and is computed on the coordinator, so results are identical
+        //    at every shard width.
+        for b in 0..self.cfg.n_l2_banks {
+            let credit = match self.bank(b).response_ready_next() {
+                Some(resp) => self.rep().can_inject(b, resp.response_bytes()),
+                None => true,
+            };
+            self.bank_mut(b).set_reply_credit(credit);
+        }
         self.run_region(Region::Bank { now_ps }, pool);
 
         // 5. L2 miss queues drain toward DRAM (or the ideal-DRAM pipe).

@@ -1,6 +1,13 @@
-//! Regenerates the paper's Fig. 10 from baseline/swept runs.
-use gmh_exp::runner::Baselines;
+//! Regenerates the paper's Fig. 10 through the shared result cache.
+//!
+//! Every run goes through the tuner's candidate/evaluator layer with the
+//! established figure labels, so the cache entries are shared with
+//! `gmh-serve`, `design_space` and `gmh-tune` — a warm cache prints the
+//! table with zero simulations (the fresh-sim count goes to stderr).
+use gmh_exp::cache::DiskCache;
 fn main() {
-    let baselines = Baselines::collect();
-    print!("{}", gmh_exp::experiments::fig10(&baselines));
+    let cache = DiskCache::open(DiskCache::default_dir()).expect("cannot open result cache");
+    let (table, sims) = gmh_exp::experiments::fig10_cached(&cache).expect("fig10 runs failed");
+    print!("{table}");
+    eprintln!("[{sims} sims]");
 }

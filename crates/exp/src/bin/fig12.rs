@@ -1,6 +1,13 @@
-//! Regenerates the paper's Fig. 12 from baseline/swept runs.
-use gmh_exp::runner::Baselines;
+//! Regenerates the paper's Fig. 12 through the shared result cache.
+//!
+//! Every run goes through the tuner's candidate/evaluator layer with the
+//! established figure labels, so the cache entries are shared with
+//! `gmh-serve`, `design_space` and `gmh-tune` — a warm cache prints the
+//! table with zero simulations (the fresh-sim count goes to stderr).
+use gmh_exp::cache::DiskCache;
 fn main() {
-    let baselines = Baselines::collect();
-    print!("{}", gmh_exp::experiments::fig12(&baselines));
+    let cache = DiskCache::open(DiskCache::default_dir()).expect("cannot open result cache");
+    let (table, sims) = gmh_exp::experiments::fig12_cached(&cache).expect("fig12 runs failed");
+    print!("{table}");
+    eprintln!("[{sims} sims]");
 }

@@ -1,32 +1,39 @@
 //! Diagnostic: one workload across the Fig. 10 + Fig. 12 configurations.
 //!
-//! Reads through the shared content-addressed result cache (the one
-//! `gmh-serve` and `design_space` populate): on a warm cache this prints
-//! the whole line with zero simulations.
+//! Evaluates through the tuner's candidate/evaluator layer and the shared
+//! content-addressed result cache (the one `gmh-serve` and `design_space`
+//! populate): on a warm cache this prints the whole line with zero
+//! simulations.
 use gmh_core::GpuConfig;
-use gmh_exp::cache::{metric_in_json, run_cached, DiskCache};
+use gmh_exp::cache::DiskCache;
 use gmh_exp::experiments::{fig10_configs, fig12_configs};
-use gmh_workloads::catalog;
+use gmh_exp::{Candidate, Evaluator};
+use gmh_workloads::{catalog, WorkloadSpec};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "mm".into());
     let wl = catalog::by_name(&name).expect("unknown workload");
     let cache = DiskCache::open(DiskCache::default_dir()).expect("cannot open result cache");
-    let base = run_cached(&cache, "base", &GpuConfig::gtx480_baseline(), &wl)
-        .expect("baseline run failed");
-    let base_ipc = metric_in_json(&base.json, "ipc").expect("report carries ipc");
-    let mut sims = usize::from(!base.hit);
+    let ev = Evaluator::new(&cache);
+    let cands: Vec<Candidate> = std::iter::once(("base", GpuConfig::gtx480_baseline()))
+        .chain(fig10_configs())
+        .chain(fig12_configs())
+        .map(|(label, cfg)| Candidate::new(label, cfg))
+        .collect();
+    let jobs: Vec<(&Candidate, &WorkloadSpec)> = cands.iter().map(|c| (c, &wl)).collect();
+    let runs = ev.eval_batch(&jobs).expect("config runs failed");
+    let base_ipc = runs[0].metric("ipc").expect("report carries ipc");
     print!(
         "{name}: base ipc={:.2} l2mr={:.2} |",
         base_ipc,
-        metric_in_json(&base.json, "l2_miss_rate").expect("report carries l2_miss_rate")
+        runs[0]
+            .metric("l2_miss_rate")
+            .expect("report carries l2_miss_rate")
     );
-    for (label, cfg) in fig10_configs().into_iter().chain(fig12_configs()) {
-        let run = run_cached(&cache, label, &cfg, &wl).expect("config run failed");
-        sims += usize::from(!run.hit);
-        let ipc = metric_in_json(&run.json, "ipc").expect("report carries ipc");
-        print!(" {label}={:.2}", ipc / base_ipc);
+    for (cand, run) in cands.iter().zip(&runs).skip(1) {
+        let ipc = run.metric("ipc").expect("report carries ipc");
+        print!(" {}={:.2}", cand.label, ipc / base_ipc);
     }
-    println!(" [{sims} sims]");
+    println!(" [{} sims]", ev.sims());
     cache.flush_index().expect("cache index flush failed");
 }

@@ -792,6 +792,94 @@ pub fn fig12(baselines: &Baselines) -> String {
     s
 }
 
+/// Renders a Fig. 10/12-style speedup table through the shared result
+/// cache: same rows, columns and footer as the uncached generators, but
+/// every run goes through [`crate::Evaluator`] with the established
+/// figure labels, so the cache entries are the ones `gmh-serve`, the
+/// `design_space` example and the tuner already share — and a warm cache
+/// prints the whole table with zero simulations.
+///
+/// Returns the rendered table and the number of fresh simulations.
+///
+/// # Errors
+///
+/// Propagates cache I/O errors from candidate evaluation.
+pub fn fig_table_cached(
+    cache: &crate::cache::DiskCache,
+    title: &str,
+    configs: &[(&'static str, GpuConfig)],
+    paper_footer: &str,
+) -> std::io::Result<(String, usize)> {
+    let specs = specs_in_fig_order();
+    let ev = crate::Evaluator::new(cache);
+    let base = crate::Candidate::new("base", GpuConfig::gtx480_baseline());
+    let cands: Vec<crate::Candidate> = configs
+        .iter()
+        .map(|(label, cfg)| crate::Candidate::new(*label, cfg.clone()))
+        .collect();
+    // Per workload: the baseline first, then each config, flattened.
+    let row = 1 + cands.len();
+    let jobs: Vec<(&crate::Candidate, &WorkloadSpec)> = specs
+        .iter()
+        .flat_map(|w| std::iter::once((&base, w)).chain(cands.iter().map(move |c| (c, w))))
+        .collect();
+    let runs = ev.eval_batch(&jobs)?;
+    let ipc = |i: usize| runs[i].metric("ipc").unwrap_or(f64::NAN);
+    let mut s = String::new();
+    writeln!(s, "{title}").unwrap();
+    write!(s, "{:<11}", "bench").unwrap();
+    for (label, _) in configs {
+        write!(s, " {label:>8}").unwrap();
+    }
+    writeln!(s).unwrap();
+    let mut sums = vec![0.0; configs.len()];
+    for (wi, w) in specs.iter().enumerate() {
+        let base_ipc = ipc(wi * row);
+        write!(s, "{:<11}", w.name).unwrap();
+        for (ci, sum) in sums.iter_mut().enumerate() {
+            let sp = ipc(wi * row + 1 + ci) / base_ipc;
+            *sum += sp;
+            write!(s, " {sp:>8.2}").unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    write!(s, "{:<11}", "AVG").unwrap();
+    for sum in &sums {
+        write!(s, " {:>8.2}", sum / specs.len() as f64).unwrap();
+    }
+    writeln!(s, "   {paper_footer}").unwrap();
+    cache.flush_index()?;
+    Ok((s, ev.sims()))
+}
+
+/// Cache-backed Fig. 10 (see [`fig_table_cached`]).
+///
+/// # Errors
+///
+/// Propagates cache I/O errors from candidate evaluation.
+pub fn fig10_cached(cache: &crate::cache::DiskCache) -> std::io::Result<(String, usize)> {
+    fig_table_cached(
+        cache,
+        "== Fig. 10: IPC with 4x bandwidth scaling (normalized to baseline) ==",
+        &fig10_configs(),
+        "(paper AVG: 1.04 / 1.59 / 1.11 / 1.69 / 1.76 / 1.90)",
+    )
+}
+
+/// Cache-backed Fig. 12 (see [`fig_table_cached`]).
+///
+/// # Errors
+///
+/// Propagates cache I/O errors from candidate evaluation.
+pub fn fig12_cached(cache: &crate::cache::DiskCache) -> std::io::Result<(String, usize)> {
+    fig_table_cached(
+        cache,
+        "== Fig. 12: Cost-effective configurations (normalized to baseline) ==",
+        &fig12_configs(),
+        "(paper AVG: 1.234 / 1.29 / 1.257 / 1.11)",
+    )
+}
+
 /// Table III: baseline, 4×-scaled and cost-effective parameter values,
 /// read back from the live configurations.
 pub fn table3() -> String {

@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod candidate;
 pub mod experiments;
 pub mod export;
 pub mod runner;
 pub mod trace_export;
 
 pub use cache::{job_key, run_cached, CachedRun, DiskCache};
+pub use candidate::{Candidate, Evaluator};
 pub use export::{report_json, write_report};
 pub use runner::{run_jobs, Baselines, Job, RunOutcome};
 pub use trace_export::{chrome_trace_json, latency_table};

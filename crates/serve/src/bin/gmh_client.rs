@@ -3,6 +3,8 @@
 //! ```text
 //! gmh-client --addr HOST:PORT submit WORKLOAD [--label L] [--seed N] [--set KEY=N]...
 //! gmh-client --addr HOST:PORT trace  WORKLOAD [--label L] [--seed N] [--set KEY=N]...
+//! gmh-client --addr HOST:PORT tune   [--preset smoke|paper] [--workloads A,B,C]
+//!                                    [--max-area PCT] [--set KEY=N]...
 //! gmh-client --addr HOST:PORT metrics
 //! gmh-client --addr HOST:PORT ping
 //! gmh-client --addr HOST:PORT shutdown
@@ -12,7 +14,10 @@
 //! Exit codes mirror the terminal reply: `0` OK, `2` BUSY, `3` ERR,
 //! `4` TIMEOUT. `trace` submits the job with per-fetch lifecycle sampling
 //! and prints the Chrome-trace JSON payload bare (redirect it to a file and
-//! load it in Perfetto / `chrome://tracing`). `ping` prints the daemon's
+//! load it in Perfetto / `chrome://tracing`). `tune` submits a design-space
+//! search and prints the frontier JSON payload bare; `--set` accepts the
+//! integer search knobs (`seed`, `budget`, `pool`, `survivors`,
+//! `screen_cycles`, `full_cycles`, `refine`). `ping` prints the daemon's
 //! version and git revision. `smoke` runs the end-to-end self-check CI
 //! uses: a tiny job twice (second must hit the cache byte-identically),
 //! then verifies the metrics reconcile.
@@ -24,6 +29,7 @@ use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: gmh-client --addr HOST:PORT <submit|trace WORKLOAD [--label L] [--seed N] \
+     [--set KEY=N]... | tune [--preset smoke|paper] [--workloads A,B,C] [--max-area PCT] \
      [--set KEY=N]... | metrics | ping | shutdown | smoke>"
 }
 
@@ -185,6 +191,55 @@ fn run() -> Result<ExitCode, String> {
             let reply = client
                 .submit(workload, label.as_deref(), seed, &overrides)
                 .map_err(io)?;
+            Ok(reply_exit(&reply))
+        }
+        Some("tune") => {
+            let mut preset = None;
+            let mut workloads = Vec::new();
+            let mut max_area = None;
+            let mut ints = Vec::new();
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--preset" => {
+                        preset = Some(rest.get(i + 1).ok_or("--preset needs a value")?.clone());
+                        i += 2;
+                    }
+                    "--workloads" => {
+                        let list = rest.get(i + 1).ok_or("--workloads needs A,B,C")?;
+                        workloads = list.split(',').map(str::to_string).collect();
+                        i += 2;
+                    }
+                    "--max-area" => {
+                        max_area = Some(
+                            rest.get(i + 1)
+                                .ok_or("--max-area needs a percentage")?
+                                .parse()
+                                .map_err(|_| "--max-area needs a number")?,
+                        );
+                        i += 2;
+                    }
+                    "--set" => {
+                        let kv = rest.get(i + 1).ok_or("--set needs KEY=N")?;
+                        let (k, v) = kv.split_once('=').ok_or("--set needs KEY=N")?;
+                        ints.push((
+                            k.to_string(),
+                            v.parse().map_err(|_| format!("--set {k}: bad integer"))?,
+                        ));
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown tune flag {other:?}\n{}", usage())),
+                }
+            }
+            let reply = client
+                .tune(preset.as_deref(), &workloads, max_area, &ints)
+                .map_err(io)?;
+            // Like `trace`: print the frontier payload bare so the output
+            // is a loadable JSON document.
+            if let Reply::Ok(json) = &reply {
+                println!("{json}");
+                return Ok(ExitCode::SUCCESS);
+            }
             Ok(reply_exit(&reply))
         }
         Some("metrics") => {

@@ -5,7 +5,7 @@
 //! `TIMEOUT`). Used by the `gmh-client` binary, the integration tests, and
 //! the `serve-bench` harness.
 
-use crate::protocol::{job_line, Reply};
+use crate::protocol::{job_line, tune_line, Reply};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -93,6 +93,23 @@ impl Client {
         overrides: &[(String, u64)],
     ) -> io::Result<Reply> {
         self.request_reply(&job_line(workload, label, seed, overrides, true))
+    }
+
+    /// Submits a design-space search, blocking until its terminal reply.
+    /// The `OK` payload is the tuner's frontier JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; protocol-level refusals come back as
+    /// [`Reply`] variants, not errors.
+    pub fn tune(
+        &mut self,
+        preset: Option<&str>,
+        workloads: &[String],
+        max_area_pct: Option<f64>,
+        ints: &[(String, u64)],
+    ) -> io::Result<Reply> {
+        self.request_reply(&tune_line(preset, workloads, max_area_pct, ints))
     }
 
     /// Sends a raw (possibly invalid) job line; for robustness tests.

@@ -40,6 +40,15 @@ pub struct Metrics {
     pub sim_cycles: AtomicU64,
     /// Total wall-clock milliseconds spent simulating fresh runs.
     pub sim_wall_ms: AtomicU64,
+    /// Design-space search requests received (a subset of `accepted`).
+    pub tune_requests: AtomicU64,
+    /// Candidate evaluations attempted across completed searches
+    /// (cache hits included — the search budget counts both).
+    pub tune_evals: AtomicU64,
+    /// Fresh simulations those searches ran.
+    pub tune_fresh_sims: AtomicU64,
+    /// Search evaluations served from the result cache.
+    pub tune_cache_hits: AtomicU64,
     /// EWMA of simulated cycles per wall second over completed fresh runs
     /// (f64 bits; 0 until the first completion). Updated via
     /// [`Metrics::record_job_rate`].
@@ -181,6 +190,26 @@ impl Metrics {
             "Wall-clock milliseconds spent simulating fresh runs.",
             Self::get(&self.sim_wall_ms),
         );
+        counter(
+            "gmh_tune_requests_total",
+            "Design-space search requests received.",
+            Self::get(&self.tune_requests),
+        );
+        counter(
+            "gmh_tune_evals_total",
+            "Candidate evaluations attempted across completed searches.",
+            Self::get(&self.tune_evals),
+        );
+        counter(
+            "gmh_tune_fresh_sims_total",
+            "Fresh simulations run by searches.",
+            Self::get(&self.tune_fresh_sims),
+        );
+        counter(
+            "gmh_tune_cache_hits_total",
+            "Search evaluations served from the result cache.",
+            Self::get(&self.tune_cache_hits),
+        );
         let mut gauge = |name: &str, help: &str, v: usize| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
@@ -314,8 +343,9 @@ mod tests {
         assert_eq!(sample(&text, "gmh_queue_capacity"), Some(8));
         assert_eq!(sample(&text, "gmh_jobs_inflight"), Some(1));
         assert_eq!(sample(&text, "gmh_nonexistent"), None);
+        assert_eq!(sample(&text, "gmh_tune_requests_total"), Some(0));
         // Exposition hygiene: HELP/TYPE precede every series.
-        assert_eq!(text.matches("# TYPE").count(), 13);
+        assert_eq!(text.matches("# TYPE").count(), 17);
     }
 
     #[test]

@@ -3,12 +3,20 @@
 //! ## Grammar (one request per line, `\n`-terminated)
 //!
 //! ```text
-//! request  = job-object | "METRICS" | "SHUTDOWN" | "PING"
+//! request  = job-object | tune-object | "METRICS" | "SHUTDOWN" | "PING"
 //! job      = '{' "workload": string
 //!                [, "config_label": string]          ; default "base"
 //!                [, "config_overrides": { key: int }]
 //!                [, "seed": int]
 //!                [, "trace": bool] '}'               ; default false
+//! tune     = '{' "tune": '{'
+//!                [ "preset": "smoke" | "paper" ]     ; default "smoke"
+//!                [, "workloads": [string, ...]]
+//!                [, "seed": int] [, "budget": int]
+//!                [, "pool": int] [, "survivors": int]
+//!                [, "screen_cycles": int] [, "full_cycles": int]
+//!                [, "refine": int] [, "max_area_pct": number]
+//!                [, "shrink": bool] '}' '}'
 //! reply    = "OK " json | "BUSY " json | "ERR " json | "TIMEOUT " json
 //!          | "METRICS" NL *(metric-line NL) "END"
 //! ```
@@ -24,6 +32,7 @@
 use crate::json::{self, Json};
 use gmh_core::GpuConfig;
 use gmh_exp::experiments::{fig10_configs, fig12_configs};
+use gmh_tune::TuneParams;
 use gmh_types::telemetry::json_escape;
 use gmh_workloads::{catalog, WorkloadSpec};
 
@@ -51,6 +60,8 @@ pub struct JobRequest {
 pub enum Request {
     /// A simulation job.
     Job(Box<JobRequest>),
+    /// A design-space search (validated, caps applied).
+    Tune(Box<TuneParams>),
     /// Metrics snapshot.
     Metrics,
     /// Graceful shutdown: drain, refuse, flush, exit.
@@ -166,6 +177,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let doc = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
     let obj = doc.as_obj().ok_or("job must be a JSON object")?;
 
+    if obj.contains_key("tune") {
+        for key in obj.keys() {
+            if key != "tune" {
+                return Err(format!("unknown field {key:?} alongside \"tune\""));
+            }
+        }
+        // INVARIANT: contains_key("tune") checked above.
+        let spec = obj.get("tune").expect("tune key present");
+        return parse_tune(spec).map(|p| Request::Tune(Box::new(p)));
+    }
+
     for key in obj.keys() {
         if !matches!(
             key.as_str(),
@@ -241,6 +263,194 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         config,
         trace,
     })))
+}
+
+/// Service-side caps on a `"tune"` request: a search fans out into many
+/// simulations, so the daemon bounds what one request may ask for. These
+/// are admission limits, not search parameters — a request over a cap is
+/// refused with `ERR`, never silently clamped.
+pub const TUNE_CAPS: TuneCaps = TuneCaps {
+    budget: 512,
+    pool: 128,
+    survivors: 32,
+    refine: 8,
+    // lint: allow(R8): admission-cap preset; a named cycle bound like the config defaults
+    full_cycles: 3_000_000,
+    workloads: 8,
+};
+
+/// The cap set for `"tune"` requests (see [`TUNE_CAPS`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TuneCaps {
+    /// Maximum evaluations one search may attempt.
+    pub budget: usize,
+    /// Maximum candidate pool size.
+    pub pool: usize,
+    /// Maximum survivors per stage.
+    pub survivors: usize,
+    /// Maximum refinement rounds.
+    pub refine: usize,
+    /// Maximum full-run cycle budget.
+    pub full_cycles: u64,
+    /// Maximum workloads in the mix.
+    pub workloads: usize,
+}
+
+/// Parses and validates the `"tune"` payload: strict fields, preset base,
+/// caps applied, then [`TuneParams::validate`].
+fn parse_tune(spec: &Json) -> Result<TuneParams, String> {
+    let obj = spec.as_obj().ok_or("\"tune\" must be a JSON object")?;
+    for key in obj.keys() {
+        if !matches!(
+            key.as_str(),
+            "preset"
+                | "workloads"
+                | "seed"
+                | "budget"
+                | "pool"
+                | "survivors"
+                | "screen_cycles"
+                | "full_cycles"
+                | "refine"
+                | "max_area_pct"
+                | "shrink"
+        ) {
+            return Err(format!("unknown tune field {key:?}"));
+        }
+    }
+    let mut p = match obj.get("preset") {
+        None => TuneParams::smoke(),
+        Some(v) => match v.as_str() {
+            Some("smoke") => TuneParams::smoke(),
+            Some("paper") => TuneParams::paper(),
+            _ => return Err("\"preset\" must be \"smoke\" or \"paper\"".to_string()),
+        },
+    };
+    if let Some(v) = obj.get("workloads") {
+        let Json::Arr(items) = v else {
+            return Err("\"workloads\" must be an array of strings".to_string());
+        };
+        let mut names = Vec::new();
+        for item in items {
+            names.push(
+                item.as_str()
+                    .ok_or("\"workloads\" must be an array of strings")?
+                    .to_string(),
+            );
+        }
+        p.workloads = names;
+    }
+    let count = |key: &str| -> Result<Option<usize>, String> {
+        match obj.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| format!("{key:?} must be a non-negative integer"))?;
+                usize::try_from(n)
+                    .map(Some)
+                    .map_err(|_| format!("{key:?}={n} is out of range"))
+            }
+        }
+    };
+    if let Some(v) = obj.get("seed") {
+        p.seed = v
+            .as_u64()
+            .ok_or("\"seed\" must be a non-negative integer")?;
+    }
+    if let Some(v) = count("budget")? {
+        p.budget = v;
+    }
+    if let Some(v) = count("pool")? {
+        p.pool = v;
+    }
+    if let Some(v) = count("survivors")? {
+        p.survivors = v;
+    }
+    if let Some(v) = obj.get("screen_cycles") {
+        p.screen_cycles = v
+            .as_u64()
+            .ok_or("\"screen_cycles\" must be a non-negative integer")?;
+    }
+    if let Some(v) = obj.get("full_cycles") {
+        p.full_cycles = v
+            .as_u64()
+            .ok_or("\"full_cycles\" must be a non-negative integer")?;
+    }
+    if let Some(v) = count("refine")? {
+        p.refine = v;
+    }
+    if let Some(v) = obj.get("max_area_pct") {
+        p.max_area_pct = v.as_f64().ok_or("\"max_area_pct\" must be a number")?;
+    }
+    if let Some(v) = obj.get("shrink") {
+        p.shrink = v.as_bool().ok_or("\"shrink\" must be a boolean")?;
+    }
+    let caps = TUNE_CAPS;
+    if p.budget > caps.budget {
+        return Err(format!(
+            "budget {} exceeds the cap {}",
+            p.budget, caps.budget
+        ));
+    }
+    if p.pool > caps.pool {
+        return Err(format!("pool {} exceeds the cap {}", p.pool, caps.pool));
+    }
+    if p.survivors > caps.survivors {
+        return Err(format!(
+            "survivors {} exceeds the cap {}",
+            p.survivors, caps.survivors
+        ));
+    }
+    if p.refine > caps.refine {
+        return Err(format!(
+            "refine {} exceeds the cap {}",
+            p.refine, caps.refine
+        ));
+    }
+    if p.full_cycles > caps.full_cycles {
+        return Err(format!(
+            "full_cycles {} exceeds the cap {}",
+            p.full_cycles, caps.full_cycles
+        ));
+    }
+    if p.workloads.len() > caps.workloads {
+        return Err(format!(
+            "{} workloads exceeds the cap {}",
+            p.workloads.len(),
+            caps.workloads
+        ));
+    }
+    p.validate()?;
+    Ok(p)
+}
+
+/// Builds the JSON request line for a `"tune"` submission (the client side
+/// of the tune branch of [`parse_request`]).
+pub fn tune_line(
+    preset: Option<&str>,
+    workloads: &[String],
+    max_area_pct: Option<f64>,
+    ints: &[(String, u64)],
+) -> String {
+    let mut body = Vec::new();
+    if let Some(p) = preset {
+        body.push(format!("\"preset\":\"{}\"", json_escape(p)));
+    }
+    if !workloads.is_empty() {
+        let names: Vec<String> = workloads
+            .iter()
+            .map(|w| format!("\"{}\"", json_escape(w)))
+            .collect();
+        body.push(format!("\"workloads\":[{}]", names.join(",")));
+    }
+    if let Some(a) = max_area_pct {
+        body.push(format!("\"max_area_pct\":{a}"));
+    }
+    for (k, v) in ints {
+        body.push(format!("\"{}\":{v}", json_escape(k)));
+    }
+    format!("{{\"tune\":{{{}}}}}", body.join(","))
 }
 
 /// The override keys `config_overrides` accepts (documented in DESIGN.md
@@ -458,5 +668,71 @@ mod tests {
         for (label, cfg) in config_labels() {
             cfg.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
         }
+    }
+
+    #[test]
+    fn tune_presets_parse() {
+        let Ok(Request::Tune(p)) = parse_request(r#"{"tune":{}}"#) else {
+            panic!("empty tune spec should parse as the smoke preset");
+        };
+        assert_eq!(p.budget, TuneParams::smoke().budget);
+        let Ok(Request::Tune(p)) = parse_request(r#"{"tune":{"preset":"smoke","seed":9}}"#) else {
+            panic!("smoke preset with a seed should parse");
+        };
+        assert_eq!(p.seed, 9);
+        assert!(parse_request(r#"{"tune":{"preset":"turbo"}}"#)
+            .unwrap_err()
+            .contains("preset"));
+    }
+
+    #[test]
+    fn tune_unknown_and_sibling_fields_refused() {
+        assert!(parse_request(r#"{"tune":{"frobnicate":3}}"#)
+            .unwrap_err()
+            .contains("unknown tune field"));
+        assert!(parse_request(r#"{"tune":{},"workload":"mm"}"#)
+            .unwrap_err()
+            .contains("alongside"));
+    }
+
+    #[test]
+    fn tune_caps_refuse_not_clamp() {
+        let over = TUNE_CAPS.budget + 1;
+        let e = parse_request(&format!("{{\"tune\":{{\"budget\":{over}}}}}")).unwrap_err();
+        assert!(e.contains("exceeds the cap"), "{e}");
+        let e = parse_request(
+            r#"{"tune":{"workloads":["mm","lbm","bfs","nn","spmv","stencil","reduce","transpose","mm"]}}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("workloads exceeds the cap"), "{e}");
+        // Both presets fit under the caps unmodified.
+        assert!(matches!(
+            parse_request(r#"{"tune":{"preset":"paper"}}"#),
+            Ok(Request::Tune(_))
+        ));
+    }
+
+    #[test]
+    fn tune_line_round_trips() {
+        let line = tune_line(
+            Some("smoke"),
+            &["mm".to_string(), "bfs".to_string()],
+            Some(1.5),
+            &[("seed".to_string(), 42), ("budget".to_string(), 12)],
+        );
+        let Ok(Request::Tune(p)) = parse_request(&line) else {
+            panic!("round-trip tune should parse: {line}");
+        };
+        assert_eq!(p.workloads, vec!["mm".to_string(), "bfs".to_string()]);
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.budget, 12);
+        assert!((p.max_area_pct - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tune_invalid_params_refused() {
+        // Passes field parsing and caps, fails TuneParams::validate.
+        assert!(parse_request(r#"{"tune":{"pool":0}}"#).is_err());
+        assert!(parse_request(r#"{"tune":{"workloads":["xyzzy"]}}"#).is_err());
     }
 }

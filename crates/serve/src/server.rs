@@ -29,6 +29,7 @@ use crate::protocol::{parse_request, JobRequest, Reply, Request, MAX_LINE_BYTES}
 use gmh_core::GpuSim;
 use gmh_exp::cache::{job_key, DiskCache};
 use gmh_exp::{chrome_trace_json, report_json};
+use gmh_tune::{frontier_json, run_search, TuneParams};
 use gmh_types::{BoundedQueue, Level, LevelLatency};
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -68,10 +69,19 @@ impl Default for ServerConfig {
     }
 }
 
+/// The unit of work a worker executes.
+enum Work {
+    /// One simulation job (already past the cache fast path).
+    Sim { job: Box<JobRequest>, key: u64 },
+    /// One design-space search; its candidate evaluations fan out through
+    /// the result cache (`run_search` reads and writes the same entries
+    /// the sim path serves).
+    Tune(Box<TuneParams>),
+}
+
 /// One admitted job waiting for a worker.
 struct QueuedJob {
-    job: Box<JobRequest>,
-    key: u64,
+    work: Work,
     reply_tx: mpsc::Sender<Reply>,
 }
 
@@ -317,6 +327,10 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
                 let reply = submit_job(shared, job);
                 write_reply(&mut writer, &reply.render())?;
             }
+            Ok(Request::Tune(params)) => {
+                let reply = submit_tune(shared, params);
+                write_reply(&mut writer, &reply.render())?;
+            }
         }
     }
 }
@@ -338,7 +352,22 @@ fn submit_job(shared: &Arc<Shared>, job: Box<JobRequest>) -> Reply {
         }
         Metrics::inc(&shared.metrics.cache_misses);
     }
+    enqueue(shared, Work::Sim { job, key })
+}
 
+/// Admits (or refuses/sheds) one validated tune search. Searches go
+/// through the same bounded admission queue as simulation jobs: one search
+/// occupies one worker slot, and its internal fan-out is budget-limited by
+/// the protocol caps.
+fn submit_tune(shared: &Arc<Shared>, params: Box<TuneParams>) -> Reply {
+    Metrics::inc(&shared.metrics.accepted);
+    Metrics::inc(&shared.metrics.tune_requests);
+    enqueue(shared, Work::Tune(params))
+}
+
+/// Pushes one unit of work through bounded admission and waits for its
+/// terminal reply.
+fn enqueue(shared: &Arc<Shared>, work: Work) -> Reply {
     let (reply_tx, reply_rx) = mpsc::channel();
     {
         // INVARIANT: admission-lock holders never panic, so the mutex is
@@ -348,7 +377,7 @@ fn submit_job(shared: &Arc<Shared>, job: Box<JobRequest>) -> Reply {
             Metrics::inc(&shared.metrics.errored);
             return Reply::Err("server is shutting down".to_string());
         }
-        if st.queue.push(QueuedJob { job, key, reply_tx }).is_err() {
+        if st.queue.push(QueuedJob { work, reply_tx }).is_err() {
             // Back-pressure: shed explicitly instead of buffering.
             Metrics::inc(&shared.metrics.shed);
             return Reply::Busy {
@@ -382,13 +411,16 @@ fn worker_loop(shared: &Arc<Shared>) {
                 st = shared.work_ready.wait(st).expect("admission lock");
             }
         };
-        let Some(QueuedJob { job, key, reply_tx }) = next else {
+        let Some(QueuedJob { work, reply_tx }) = next else {
             // Draining and the queue is dry: this worker is done. Wake any
             // drain waiter in case we were the last.
             shared.drained.notify_all();
             return;
         };
-        let reply = execute_job(shared, *job, key);
+        let reply = match work {
+            Work::Sim { job, key } => execute_job(shared, *job, key),
+            Work::Tune(params) => execute_tune(shared, *params),
+        };
         reply_tx.send(reply).ok(); // client may have disconnected
         {
             // INVARIANT: see above — the admission mutex is never poisoned.
@@ -448,6 +480,63 @@ fn execute_job(shared: &Arc<Shared>, job: JobRequest, key: u64) -> Reply {
             // The helper is abandoned, not killed: the simulator's cycle cap
             // (`max_core_cycles`) bounds how long it can linger, and its
             // eventual result is discarded. The worker moves on immediately.
+            Metrics::inc(&shared.metrics.timed_out);
+            Reply::Timeout {
+                after_ms: shared.cfg.job_timeout_ms,
+            }
+        }
+    }
+}
+
+/// Runs one design-space search under the wall-clock budget.
+///
+/// The helper thread opens its own handle on the server's cache directory:
+/// `DiskCache::get` reads entry files straight from disk, so every
+/// simulation the search triggers lands in (and is served from) the same
+/// store the plain job path uses — a warm repeat of a search is pure cache
+/// hits.
+fn execute_tune(shared: &Arc<Shared>, params: TuneParams) -> Reply {
+    let timeout = Duration::from_millis(shared.cfg.job_timeout_ms);
+    let (tx, rx) = mpsc::channel();
+    let cache_dir = shared.cfg.cache_dir.clone();
+    let p = params.clone();
+    let helper = std::thread::Builder::new()
+        .name("gmh-tune".to_string())
+        .spawn(move || {
+            let result = DiskCache::open(cache_dir).and_then(|cache| run_search(&cache, &p));
+            tx.send(result).ok();
+        });
+    if helper.is_err() {
+        Metrics::inc(&shared.metrics.errored);
+        return Reply::Err("cannot spawn tune thread".to_string());
+    }
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(out)) => {
+            // Searches are charged to their own counters, not to
+            // `sim_wall_ms`: the BUSY retry hint must stay an average over
+            // single simulation jobs.
+            Metrics::add(
+                &shared.metrics.tune_evals,
+                u64::try_from(out.evals).unwrap_or(u64::MAX),
+            );
+            Metrics::add(
+                &shared.metrics.tune_fresh_sims,
+                u64::try_from(out.fresh_sims).unwrap_or(u64::MAX),
+            );
+            Metrics::add(
+                &shared.metrics.tune_cache_hits,
+                u64::try_from(out.cache_hits).unwrap_or(u64::MAX),
+            );
+            Metrics::inc(&shared.metrics.completed);
+            Reply::Ok(frontier_json(&params, &out))
+        }
+        Ok(Err(e)) => {
+            Metrics::inc(&shared.metrics.errored);
+            Reply::Err(format!("tune failed: {e}"))
+        }
+        Err(_) => {
+            // As with simulations: the helper is abandoned, its budgeted
+            // evaluations bound how long it lingers, its result is dropped.
             Metrics::inc(&shared.metrics.timed_out);
             Reply::Timeout {
                 after_ms: shared.cfg.job_timeout_ms,

@@ -404,6 +404,89 @@ fn slow_job_draws_timeout() {
 }
 
 #[test]
+fn tune_jobs_run_reuse_the_cache_and_reconcile_metrics() {
+    let (handle, dir) = boot("tune", 2, 4, 120_000);
+    let addr = handle.addr;
+    let mut c = Client::connect(addr).expect("connect");
+
+    // Cold search: the smoke preset, small enough for a debug build.
+    let cold = c
+        .tune(Some("smoke"), &[], None, &[("seed".to_string(), 11)])
+        .expect("terminal reply");
+    let Reply::Ok(cold_json) = cold else {
+        panic!("cold tune must complete: {cold:?}");
+    };
+    assert!(cold_json.contains("\"complete\":true"), "{cold_json}");
+    assert!(cold_json.contains("\"frontier\":[{"), "{cold_json}");
+
+    let text = c.metrics().expect("metrics");
+    let get = |t: &str, name: &str| sample(t, name).unwrap_or_else(|| panic!("missing {name}"));
+    let cold_sims = get(&text, "gmh_tune_fresh_sims_total");
+    assert!(cold_sims > 0, "a cold search must simulate");
+
+    // Warm repeat: byte-identical frontier, zero fresh simulations — the
+    // search replays entirely from the shared result cache.
+    let warm = c
+        .tune(Some("smoke"), &[], None, &[("seed".to_string(), 11)])
+        .expect("terminal reply");
+    let Reply::Ok(warm_json) = warm else {
+        panic!("warm tune must complete: {warm:?}");
+    };
+    assert_eq!(cold_json, warm_json, "warm search must be byte-identical");
+    let text = c.metrics().expect("metrics");
+    assert_eq!(
+        get(&text, "gmh_tune_fresh_sims_total"),
+        cold_sims,
+        "a warm search must not simulate"
+    );
+    assert!(get(&text, "gmh_tune_cache_hits_total") > 0);
+
+    // A budget too small to even score the baseline still gets a terminal
+    // OK, marked incomplete.
+    let tiny = c
+        .tune(
+            Some("smoke"),
+            &[],
+            None,
+            &[("seed".to_string(), 11), ("budget".to_string(), 3)],
+        )
+        .expect("terminal reply");
+    let Reply::Ok(tiny_json) = tiny else {
+        panic!("budget-starved tune must still answer OK: {tiny:?}");
+    };
+    assert!(tiny_json.contains("\"complete\":false"), "{tiny_json}");
+
+    // Over-cap and invalid requests draw ERR without touching a worker.
+    let over = c
+        .tune(Some("smoke"), &[], None, &[("budget".to_string(), 100_000)])
+        .expect("terminal reply");
+    assert!(
+        matches!(over, Reply::Err(ref e) if e.contains("cap")),
+        "{over:?}"
+    );
+
+    let text = c.metrics().expect("metrics");
+    // Three searches reached admission; the over-cap one was refused at
+    // parse time (counted accepted + errored, not as a search).
+    assert_eq!(get(&text, "gmh_tune_requests_total"), 3);
+    assert!(get(&text, "gmh_tune_evals_total") > 0);
+    let accepted = get(&text, "gmh_requests_accepted_total");
+    let completed = get(&text, "gmh_requests_completed_total");
+    let shed = get(&text, "gmh_requests_shed_total");
+    let errored = get(&text, "gmh_requests_errored_total");
+    let timed_out = get(&text, "gmh_requests_timeout_total");
+    assert_eq!(
+        accepted,
+        completed + shed + errored + timed_out,
+        "ledger must reconcile with tune traffic in the mix"
+    );
+
+    assert!(matches!(c.shutdown().expect("shutdown"), Reply::Ok(_)));
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shutdown_drains_in_flight_work_then_refuses_connections() {
     let (handle, dir) = boot("drain", 1, 2, 120_000);
     let addr = handle.addr;

@@ -1,0 +1,83 @@
+//! Probe the asymmetric-crossbar + deeper-queues family at full length on
+//! the saturated trio — the `16+48` §VII-B story, scored exactly as the
+//! tuner scores it (geomean IPC ratio + area model). Shares the tuner's
+//! cache labels, so a subsequent search reuses every simulation run here.
+//!
+//! ```text
+//! cargo run --release -p gmh-tune --example probe_family [cache-dir]
+//! ```
+
+use gmh_core::{area, GpuConfig};
+use gmh_exp::cache::DiskCache;
+use gmh_exp::{Candidate, Evaluator};
+use gmh_tune::KnobSpace;
+use gmh_workloads::catalog;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map_or_else(DiskCache::default_dir, Into::into);
+    let cache = DiskCache::open(dir).expect("open cache");
+    let ev = Evaluator::new(&cache);
+    let space = KnobSpace::table3();
+    let baseline = GpuConfig::gtx480_baseline();
+    let mix: Vec<_> = ["mm", "lbm", "bfs"]
+        .iter()
+        .map(|n| catalog::by_name(n).expect("catalog workload"))
+        .collect();
+    let full_cycles = 1_500_000u64;
+
+    // The asymmetric icnt choices crossed with the deeper-queue settings
+    // (and the 16+48 genome helper itself as the anchor).
+    let mut genomes = vec![space.cost_effective_16_48().expect("16+48 in space")];
+    for g in space.enumerate_valid() {
+        let label = space.label(&g);
+        let asymmetric = label.starts_with("tune:16+48")
+            || label.starts_with("tune:16+68")
+            || label.starts_with("tune:32+52");
+        let deeper = label.contains(":q32:a32:r32") || label.contains(":q32:a16:r16");
+        if asymmetric && deeper && !genomes.contains(&g) {
+            genomes.push(g);
+        }
+    }
+
+    let mut base = Candidate::new("base", baseline.clone());
+    base.config.max_core_cycles = full_cycles;
+    let cands: Vec<Candidate> = genomes
+        .iter()
+        .map(|g| {
+            let mut c = space.candidate(g);
+            c.config.max_core_cycles = full_cycles;
+            c
+        })
+        .collect();
+    let all: Vec<&Candidate> = std::iter::once(&base).chain(cands.iter()).collect();
+    let jobs: Vec<_> = all
+        .iter()
+        .flat_map(|c| mix.iter().map(move |wl| (*c, wl)))
+        .collect();
+    let runs = ev.eval_batch(&jobs).expect("evaluation");
+    let ipc = |i: usize, w: usize| runs[i * mix.len() + w].metric("ipc").unwrap_or(0.0);
+
+    println!(
+        "{:<44} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6}",
+        "config", "geomean", "area%", "mm2", "mm", "lbm", "bfs"
+    );
+    for (i, c) in all.iter().enumerate().skip(1) {
+        let per: Vec<f64> = (0..mix.len()).map(|w| ipc(i, w) / ipc(0, w)).collect();
+        let geo = per.iter().product::<f64>().powf(1.0 / per.len() as f64);
+        let report = area::overhead(&baseline, &c.config);
+        println!(
+            "{:<44} {:>7.3}x {:>7.2}% {:>8.2} {:>6.2} {:>6.2} {:>6.2}",
+            c.label,
+            geo,
+            report.percent_of_die(),
+            report.total_mm2(),
+            per[0],
+            per[1],
+            per[2],
+        );
+    }
+    cache.flush_index().expect("flush index");
+    eprintln!("[{} sims, {} hits]", ev.sims(), ev.hits());
+}

@@ -1,0 +1,136 @@
+//! Pareto-frontier extraction over (area overhead, speedup).
+//!
+//! A point dominates another when it is no worse on both objectives and
+//! strictly better on at least one (higher speedup, lower area). The
+//! frontier is the set of non-dominated points, returned in ascending area
+//! order with all ties broken on the label — never on arrival order — so
+//! the output is a pure function of the input *set*.
+
+/// One scored configuration: the tuner's unit of comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontierPoint {
+    /// Candidate label (cache-key-compatible).
+    pub label: String,
+    /// Geometric-mean speedup over the baseline across the workload mix.
+    pub speedup: f64,
+    /// Area overhead as a percentage of the baseline die.
+    pub area_pct: f64,
+    /// Absolute area overhead in mm².
+    pub area_mm2: f64,
+    /// Per-workload speedups, in workload-mix order.
+    pub per_workload: Vec<(String, f64)>,
+}
+
+/// Whether `a` dominates `b`: at least as good on both objectives and
+/// strictly better on one.
+fn dominates(a: &FrontierPoint, b: &FrontierPoint) -> bool {
+    a.speedup >= b.speedup
+        && a.area_pct <= b.area_pct
+        && (a.speedup > b.speedup || a.area_pct < b.area_pct)
+}
+
+/// Extracts the Pareto frontier: non-dominated points in ascending area
+/// order (speedup descending, then label, as tie-breaks). Coordinate
+/// duplicates keep only the lexicographically-smallest label.
+pub fn pareto_frontier(points: &[FrontierPoint]) -> Vec<FrontierPoint> {
+    let mut sorted: Vec<&FrontierPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.area_pct
+            .total_cmp(&b.area_pct)
+            .then(b.speedup.total_cmp(&a.speedup))
+            .then(a.label.cmp(&b.label))
+    });
+    let mut frontier: Vec<FrontierPoint> = Vec::new();
+    for p in sorted {
+        let dominated = frontier.iter().any(|f| dominates(f, p));
+        let duplicate = frontier
+            .iter()
+            .any(|f| f.area_pct == p.area_pct && f.speedup == p.speedup);
+        if !dominated && !duplicate {
+            frontier.push(p.clone());
+        }
+    }
+    frontier
+}
+
+/// The constrained query: the highest-speedup frontier point whose area
+/// overhead does not exceed `max_area_pct` (ties: smaller area, then
+/// label).
+pub fn best_under(frontier: &[FrontierPoint], max_area_pct: f64) -> Option<&FrontierPoint> {
+    frontier
+        .iter()
+        .filter(|p| p.area_pct <= max_area_pct)
+        .min_by(|a, b| {
+            b.speedup
+                .total_cmp(&a.speedup)
+                .then(a.area_pct.total_cmp(&b.area_pct))
+                .then(a.label.cmp(&b.label))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(label: &str, speedup: f64, area_pct: f64) -> FrontierPoint {
+        FrontierPoint {
+            label: label.into(),
+            speedup,
+            area_pct,
+            area_mm2: area_pct * 7.0,
+            per_workload: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let pts = vec![
+            pt("base", 1.0, 0.0),
+            pt("good", 1.3, 1.0),
+            pt("bad", 1.1, 2.0),  // dominated by "good" (slower, larger)
+            pt("best", 1.5, 3.0), // fastest, largest: on the frontier
+        ];
+        let f = pareto_frontier(&pts);
+        let labels: Vec<&str> = f.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["base", "good", "best"]);
+        // Ascending area, descending speedup along the frontier.
+        for w in f.windows(2) {
+            assert!(w[0].area_pct < w[1].area_pct);
+            assert!(w[0].speedup < w[1].speedup);
+        }
+    }
+
+    #[test]
+    fn equal_area_keeps_only_the_faster_point() {
+        let pts = vec![pt("slow", 1.1, 1.0), pt("fast", 1.4, 1.0)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].label, "fast");
+    }
+
+    #[test]
+    fn coordinate_ties_break_on_label() {
+        let pts = vec![pt("zeta", 1.2, 1.0), pt("alpha", 1.2, 1.0)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 1, "identical coordinates collapse to one point");
+        assert_eq!(f[0].label, "alpha", "lexicographically-smallest label wins");
+        // And the result is order-independent.
+        let rev = vec![pt("alpha", 1.2, 1.0), pt("zeta", 1.2, 1.0)];
+        assert_eq!(pareto_frontier(&rev), f);
+    }
+
+    #[test]
+    fn best_under_filters_by_area_constraint() {
+        let f = pareto_frontier(&[
+            pt("base", 1.0, 0.0),
+            pt("cheap", 1.25, 1.1),
+            pt("mid", 1.32, 1.6),
+            pt("big", 1.5, 4.0),
+        ]);
+        assert_eq!(best_under(&f, 2.0).unwrap().label, "mid");
+        assert_eq!(best_under(&f, 1.2).unwrap().label, "cheap");
+        assert_eq!(best_under(&f, 0.0).unwrap().label, "base");
+        assert_eq!(best_under(&f, 10.0).unwrap().label, "big");
+        assert!(best_under(&f, -1.0).is_none(), "nothing satisfies");
+    }
+}

@@ -6,16 +6,18 @@
 //! asymmetric-crossbar configuration — then prints normalized IPC and where
 //! the stalls went.
 //!
-//! Results go through the content-addressed result cache shared with
-//! `gmh-serve` and the diagnostic binaries: a warm cache re-prints the
-//! whole table without running a single simulation.
+//! Every run goes through the tuner's candidate/evaluator layer and the
+//! content-addressed result cache shared with `gmh-serve`, the figure
+//! binaries and `gmh-tune`: a warm cache re-prints the whole table without
+//! running a single simulation.
 //!
 //! ```text
 //! cargo run --release --example design_space [workload]
 //! ```
 
 use gmh::core::GpuConfig;
-use gmh::exp::cache::{run_cached, DiskCache};
+use gmh::exp::cache::DiskCache;
+use gmh::exp::{Candidate, Evaluator};
 use gmh::workloads::catalog;
 
 fn main() {
@@ -31,7 +33,7 @@ fn main() {
     let b = GpuConfig::gtx480_baseline;
     // Labels follow the serve/Fig. 10 naming so the cache entries are the
     // ones a `gmh-serve` daemon or the figure binaries already produced.
-    let configs: Vec<(&str, GpuConfig)> = vec![
+    let candidates: Vec<Candidate> = vec![
         ("base", b()),
         ("L1", b().scale_l1(4)),
         ("L2", b().scale_l2(4)),
@@ -40,12 +42,16 @@ fn main() {
         ("L2+DRAM", b().scale_l2(4).scale_dram(4)),
         ("All", b().scale_l1(4).scale_l2(4).scale_dram(4)),
         ("16+48", GpuConfig::cost_effective_16_48()),
-    ];
+    ]
+    .into_iter()
+    .map(|(label, cfg)| Candidate::new(label, cfg))
+    .collect();
 
     let cache = DiskCache::open(DiskCache::default_dir()).unwrap_or_else(|e| {
         eprintln!("cannot open result cache: {e}");
         std::process::exit(1);
     });
+    let ev = Evaluator::new(&cache);
 
     println!(
         "design-space exploration for {} ({} cores, Fig. 10 style)\n",
@@ -56,38 +62,33 @@ fn main() {
         "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "config", "IPC", "speedup", "stall%", "AML", "L2q-full"
     );
-    let mut base_ipc: Option<f64> = None;
-    let mut sims = 0usize;
-    for (label, cfg) in configs {
-        let run = run_cached(&cache, label, &cfg, &wl).unwrap_or_else(|e| {
-            eprintln!("{label}: {e}");
-            std::process::exit(1);
-        });
-        sims += usize::from(!run.hit);
+    let jobs: Vec<_> = candidates.iter().map(|c| (c, &wl)).collect();
+    let runs = ev.eval_batch(&jobs).unwrap_or_else(|e| {
+        eprintln!("evaluation failed: {e}");
+        std::process::exit(1);
+    });
+    let base_ipc = runs[0].metric("ipc").unwrap_or(f64::NAN);
+    for (cand, run) in candidates.iter().zip(&runs) {
         let metric = |m: &str| run.metric(m).unwrap_or(f64::NAN);
         let ipc = metric("ipc");
-        let speedup = base_ipc.map_or(1.0, |b| ipc / b);
         println!(
             "{:<22} {:>8.3} {:>7.2}x {:>7.1}% {:>8.0} {:>7.0}%  {}",
-            label,
+            cand.label,
             ipc,
-            speedup,
+            ipc / base_ipc,
             100.0 * metric("stall_fraction"),
             metric("aml_core_cycles"),
             100.0 * metric("l2_access_full_fraction"),
             if run.hit { "(cached)" } else { "" }
         );
-        if base_ipc.is_none() {
-            base_ipc = Some(ipc);
-        }
     }
     if let Err(e) = cache.flush_index() {
         eprintln!("cache index flush failed: {e}");
     }
     println!(
         "\n{} simulation(s) run, {} served from {}",
-        sims,
-        8 - sims,
+        ev.sims(),
+        ev.hits(),
         cache.dir().display()
     );
     println!(
