@@ -1,5 +1,6 @@
 //! `sim-bench`: simulator throughput with lifecycle tracing off vs on,
-//! plus a per-phase wall-time breakdown of the run loop.
+//! plus a per-phase wall-time breakdown of the run loop and a host-side
+//! self-profile of the scheduler.
 //!
 //! Runs a small batch of catalog workloads twice — once with tracing
 //! disabled (`trace_sample = 0`, the disabled sink costs one branch per
@@ -11,26 +12,34 @@
 //! not: they inflate the same slowdown on a slower host). A third pass
 //! with `profile_phases` on attributes the wall time to core /
 //! interconnect / DRAM ticks, telemetry sampling and the fast-forward
-//! scheduler (probe cost and ticks skipped); a final sweep runs the
-//! tracing-off batch at 1/2/4/8 scheduler threads and cross-checks that
-//! every thread count reproduces the serial IPCs bit-identically. Writes
-//! `BENCH_sim.json` at the repo root.
+//! scheduler (probe cost and ticks skipped); a sweep runs the tracing-off
+//! batch at 1/2/4/8 scheduler threads and cross-checks that every thread
+//! count reproduces the serial IPCs bit-identically.
 //!
-//! The off pass is the production configuration: tracing must be free when
-//! nobody asked for it. The run also cross-checks that tracing is pure
-//! observation — per-workload IPC must be bit-identical in both passes.
+//! Two further passes run the host span profiler (`profile_host`): a
+//! serial one whose throughput loss against the off pass is the honestly
+//! measured profiler overhead, and a pooled one (2 scheduler threads)
+//! that attributes coordinator and worker wall time to dispatch / region
+//! execution / barrier wait / trace merge. With `--profile-host` the
+//! pooled pass also prints the per-phase/per-worker utilization table and
+//! writes a Perfetto-loadable host-timeline trace. Every pass must
+//! reproduce the serial IPCs bit-identically — profiling is observation.
+//!
+//! Writes `BENCH_sim.json` at the repo root (full mode; `--out PATH`
+//! overrides, and also enables the write in `--smoke`/`--quick` so CI can
+//! gate on a committed smoke baseline with `bench_diff`).
 //!
 //! ```text
-//! cargo run --release -p gmh-bench --bin sim-bench [-- --quick | --smoke]
+//! cargo run --release -p gmh-bench --bin sim-bench -- \
+//!     [--quick | --smoke] [--profile-host] [--out PATH] [--trace-out PATH]
 //! ```
-//!
-//! `--smoke` is the CI profile: a short batch that exercises both passes
-//! and the identity cross-check without touching `BENCH_sim.json`.
 
 use gmh_core::{FastForwardStats, GpuConfig, GpuSim, PhaseProfile};
+use gmh_exp::{host_trace_json, utilization_table};
+use gmh_types::prof::{HostPhase, HostReport};
 use gmh_workloads::catalog;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const WORKLOADS: &[&str] = &["mm", "lbm", "bfs"];
@@ -39,8 +48,31 @@ const WORKLOADS: &[&str] = &["mm", "lbm", "bfs"];
 /// overhaul, kept for the speedup line in the report.
 const PRE_OVERHAUL_CPS: f64 = 86_849.3;
 
-/// Scheduler thread counts for the scaling sweep.
-const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+/// Scheduler thread counts for the scaling sweep beyond the serial run
+/// (the 1-thread row reuses the tracing-off pass — it is the same
+/// configuration, so measuring it twice would only add noise between two
+/// numbers the gate expects to agree).
+const THREAD_SWEEP: &[usize] = &[2, 4, 8];
+
+/// Scheduler width of the pooled host-profile pass: the smallest width
+/// that exercises every coordinator/worker lane phase, cheap enough to
+/// run on every invocation so the JSON schema never depends on flags.
+const HOST_POOL_THREADS: usize = 2;
+
+/// Timing repetitions per measured pass. Every throughput number is the
+/// *fastest* of N runs: interference noise (scheduler preemption, page
+/// cache, a co-tenant burning the core) is strictly one-sided — it only
+/// ever slows a run — so min-of-N converges on the undisturbed cost and
+/// keeps the bench_diff gate from tripping on host noise. Simulation
+/// results are asserted identical across repetitions, so the choice of
+/// rep changes no reported cycle or IPC.
+fn timing_reps(smoke_or_quick: bool) -> usize {
+    if smoke_or_quick {
+        3
+    } else {
+        2
+    }
+}
 
 /// One pass over the batch at a given scheduler width; returns (elapsed
 /// seconds, total core cycles, per-workload IPC).
@@ -59,6 +91,20 @@ fn run_pass(trace_sample: u64, max_cycles: u64, threads: usize) -> (f64, u64, Ve
         ipcs.push(stats.ipc);
     }
     (started.elapsed().as_secs_f64(), cycles, ipcs)
+}
+
+/// Folds one repetition of a timed pass into its best-of-N slot: keeps
+/// the fastest wall time, asserting cycles and IPCs identical across
+/// repetitions.
+fn fold_pass(slot: &mut Option<(f64, u64, Vec<f64>)>, next: (f64, u64, Vec<f64>)) {
+    match slot {
+        None => *slot = Some(next),
+        Some(best) => {
+            assert_eq!(best.1, next.1, "repetitions simulate identical work");
+            assert_eq!(best.2, next.2, "repetitions reproduce identical IPCs");
+            best.0 = best.0.min(next.0);
+        }
+    }
 }
 
 /// The profiled pass: tracing off, phase timers on. Returns the summed
@@ -96,12 +142,110 @@ fn run_profiled(max_cycles: u64) -> (PhaseProfile, FastForwardStats, Vec<f64>) {
     (profile, ff, ipcs)
 }
 
+/// A host-profiled pass (`profile_host` on, tracing off): returns elapsed
+/// seconds, total cycles, per-workload IPC and one [`HostReport`] per
+/// workload.
+fn run_host_pass(max_cycles: u64, threads: usize) -> (f64, u64, Vec<f64>, Vec<HostReport>) {
+    let started = Instant::now();
+    let mut cycles = 0u64;
+    let mut ipcs = Vec::new();
+    let mut reports = Vec::new();
+    for name in WORKLOADS {
+        let mut cfg = GpuConfig::gtx480_baseline();
+        cfg.max_core_cycles = max_cycles;
+        cfg.profile_host = true;
+        cfg.sim_threads = threads;
+        let wl = catalog::by_name(name).expect("catalog workload");
+        let mut sim = GpuSim::new(cfg, &wl);
+        let stats = sim.run();
+        cycles += stats.core_cycles;
+        ipcs.push(stats.ipc);
+        reports.push(sim.take_host_report().expect("profile_host was on"));
+    }
+    (started.elapsed().as_secs_f64(), cycles, ipcs, reports)
+}
+
+/// As [`fold_pass`], for the host-profiled pass: the fastest repetition
+/// keeps its reports too — the undisturbed run is the one whose
+/// attribution reflects the scheduler, not the interference.
+fn fold_host_pass(
+    slot: &mut Option<(f64, u64, Vec<f64>, Vec<HostReport>)>,
+    next: (f64, u64, Vec<f64>, Vec<HostReport>),
+) {
+    match slot {
+        None => *slot = Some(next),
+        Some(best) => {
+            assert_eq!(best.1, next.1, "repetitions simulate identical work");
+            assert_eq!(best.2, next.2, "repetitions reproduce identical IPCs");
+            if next.0 < best.0 {
+                *best = next;
+            }
+        }
+    }
+}
+
+/// Sums per-workload host reports into one batch-level report: wall times,
+/// phase totals/counts and occurrence counters add; the per-span timelines
+/// are dropped (each report has its own epoch, so concatenating events
+/// would interleave unrelated timelines).
+fn merge_reports(reports: &[HostReport]) -> HostReport {
+    let mut out = reports[0].clone();
+    for r in &reports[1..] {
+        out.wall_ns += r.wall_ns;
+        out.dispatches += r.dispatches;
+        out.collects += r.collects;
+        out.merges += r.merges;
+        for (a, b) in out.lanes.iter_mut().zip(&r.lanes) {
+            for i in 0..a.totals_ns.len() {
+                a.totals_ns[i] += b.totals_ns[i];
+                a.counts[i] += b.counts[i];
+            }
+            a.dropped += b.dropped;
+        }
+    }
+    for l in &mut out.lanes {
+        l.events.clear();
+    }
+    out
+}
+
+struct Args {
+    quick: bool,
+    smoke: bool,
+    profile_host: bool,
+    out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        smoke: false,
+        profile_host: false,
+        out: None,
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--smoke" => args.smoke = true,
+            "--profile-host" => args.profile_host = true,
+            "--out" => args.out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a path")));
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let max_cycles: u64 = if smoke {
+    let args = parse_args();
+    let max_cycles: u64 = if args.smoke {
         20_000
-    } else if quick {
+    } else if args.quick {
         100_000
     } else {
         500_000
@@ -115,9 +259,30 @@ fn main() {
     // neither measured pass.
     run_pass(0, max_cycles / 10, 1);
 
-    let (off_s, off_cycles, off_ipcs) = run_pass(0, max_cycles, 1);
-    let (on_s, on_cycles, on_ipcs) = run_pass(16, max_cycles, 1);
+    // Interleaved best-of-N rounds: every timed configuration runs once
+    // per round, so host drift (frequency scaling, cache settling, a
+    // co-tenant arriving or leaving) hits all of them alike instead of
+    // biasing whichever pass happened to run first. The gated numbers are
+    // *ratios* between these passes; interleaving is what makes the
+    // ratios honest.
+    let reps = timing_reps(args.smoke || args.quick);
+    let mut off_slot = None;
+    let mut on_slot = None;
+    let mut host_slot = None;
+    let mut sweep_slots: Vec<Option<(f64, u64, Vec<f64>)>> = vec![None; THREAD_SWEEP.len()];
+    for _ in 0..reps {
+        fold_pass(&mut off_slot, run_pass(0, max_cycles, 1));
+        fold_pass(&mut on_slot, run_pass(16, max_cycles, 1));
+        fold_host_pass(&mut host_slot, run_host_pass(max_cycles, 1));
+        for (slot, &threads) in sweep_slots.iter_mut().zip(THREAD_SWEEP) {
+            fold_pass(slot, run_pass(0, max_cycles, threads));
+        }
+    }
+    let (off_s, off_cycles, off_ipcs) = off_slot.expect("reps >= 1");
+    let (on_s, on_cycles, on_ipcs) = on_slot.expect("reps >= 1");
+    let (host_s, host_cycles, host_ipcs, host_reports) = host_slot.expect("reps >= 1");
     let (profile, ff, prof_ipcs) = run_profiled(max_cycles);
+    let (_, _, pooled_ipcs, pooled_reports) = run_host_pass(max_cycles, HOST_POOL_THREADS);
 
     assert_eq!(
         off_ipcs, on_ipcs,
@@ -127,22 +292,39 @@ fn main() {
         off_ipcs, prof_ipcs,
         "phase timers must not change simulation results"
     );
+    assert_eq!(
+        off_ipcs, host_ipcs,
+        "host profiler must not change simulation results"
+    );
+    assert_eq!(
+        off_ipcs, pooled_ipcs,
+        "pooled host profiler must not change simulation results"
+    );
     assert_eq!(off_cycles, on_cycles, "both passes simulate the same work");
+    assert_eq!(off_cycles, host_cycles, "same work under the host profiler");
 
     let off_cps = off_cycles as f64 / off_s;
     let on_cps = on_cycles as f64 / on_s;
+    let host_cps = host_cycles as f64 / host_s;
     // Throughput loss, not wall-seconds inflation: 1 - on/off cycles/s.
     let overhead_pct = (1.0 - on_cps / off_cps) * 100.0;
+    let host_overhead_pct = (1.0 - host_cps / off_cps) * 100.0;
     println!("tracing off: {off_cycles} cycles in {off_s:.3}s = {off_cps:.0} cycles/s");
     println!("1-in-16 on:  {on_cycles} cycles in {on_s:.3}s = {on_cps:.0} cycles/s");
     println!("sampling overhead: {overhead_pct:.1}% throughput loss (results bit-identical)");
+    println!(
+        "host profiler:   {host_cycles} cycles in {host_s:.3}s = {host_cps:.0} cycles/s \
+         ({host_overhead_pct:.1}% throughput loss, results bit-identical)"
+    );
 
     // Scheduler-thread scaling sweep (tracing off). Every width must
     // reproduce the serial IPCs bit-identically — the bench doubles as a
-    // coarse-grained equivalence check on the real catalog workloads.
-    let mut thread_points: Vec<(usize, f64, f64)> = Vec::new();
-    for &threads in THREAD_SWEEP {
-        let (t_s, t_cycles, t_ipcs) = run_pass(0, max_cycles, threads);
+    // coarse-grained equivalence check on the real catalog workloads. The
+    // 1-thread row *is* the tracing-off pass, so its speedup is 1.0 by
+    // construction.
+    let mut thread_points: Vec<(usize, f64, f64)> = vec![(1, off_s, off_cps)];
+    for (slot, &threads) in sweep_slots.into_iter().zip(THREAD_SWEEP) {
+        let (t_s, t_cycles, t_ipcs) = slot.expect("reps >= 1");
         assert_eq!(
             off_ipcs, t_ipcs,
             "{threads}-thread scheduler must not change simulation results"
@@ -152,8 +334,9 @@ fn main() {
     }
     // A single-vCPU host cannot exhibit real scheduler scaling: every
     // width beyond 1 only measures coordination overhead. Flag the sweep
-    // rows so downstream readers don't mistake overhead for a speedup
-    // ceiling.
+    // rows — and the host-profile rows, which attribute that same
+    // coordination — so downstream readers don't mistake overhead for a
+    // speedup ceiling.
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let scaling_valid = host_cpus > 1;
     println!("scheduler-thread sweep (tracing off):");
@@ -200,16 +383,50 @@ fn main() {
         ff.skipped_dram
     );
 
-    if smoke {
-        println!("smoke profile: skipping BENCH_sim.json");
-        return;
+    let host_merged = merge_reports(&host_reports);
+    let pooled_merged = merge_reports(&pooled_reports);
+    if args.profile_host {
+        println!();
+        println!(
+            "host utilization, pooled pass ({HOST_POOL_THREADS} scheduler threads, batch totals):"
+        );
+        print!("{}", utilization_table(&pooled_merged));
+        let root = repo_root();
+        let trace_path = args
+            .trace_out
+            .clone()
+            .unwrap_or_else(|| root.join("target").join("host_trace.json"));
+        if let Some(dir) = trace_path.parent() {
+            std::fs::create_dir_all(dir).expect("create host-trace directory");
+        }
+        // One workload's timeline (the first, `mm`): spans from separate
+        // runs share no epoch, so a merged timeline would be misleading.
+        let trace = host_trace_json(WORKLOADS[0], &pooled_reports[0]);
+        std::fs::write(&trace_path, &trace).expect("write host trace");
+        println!(
+            "wrote host trace ({} spans, workload {}) to {}",
+            pooled_reports[0]
+                .lanes
+                .iter()
+                .map(|l| l.events.len())
+                .sum::<usize>(),
+            WORKLOADS[0],
+            trace_path.display()
+        );
     }
 
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/bench sits two levels below the repo root");
-    let out = root.join("BENCH_sim.json");
+    let out_path = match (&args.out, args.smoke || args.quick) {
+        (Some(p), _) => p.clone(),
+        (None, true) => {
+            println!(
+                "{} profile: skipping BENCH_sim.json (pass --out PATH to write)",
+                if args.smoke { "smoke" } else { "quick" }
+            );
+            return;
+        }
+        (None, false) => repo_root().join("BENCH_sim.json"),
+    };
+
     let threads_json = thread_points
         .iter()
         .map(|&(threads, t_s, t_cps)| {
@@ -222,14 +439,82 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    // Always emitted (empty when scaling is measurable) so the JSON schema
+    // is identical on every host — bench_diff treats key presence as
+    // schema, and a field that exists only on 1-vCPU machines would read
+    // as drift between baseline and candidate.
     let scaling_note = if scaling_valid {
         String::new()
     } else {
         format!(
-            "  \"scaling_note\": \"host has {host_cpus} vCPU; thread rows measure \
-             coordination overhead, not scaling\",\n"
+            "host has {host_cpus} vCPU; thread rows measure \
+             coordination overhead, not scaling"
         )
     };
+    // All 13 phases, in fixed order, zero or not: key sets must not depend
+    // on which phases happened to fire on this host.
+    let host_phase_rows = |r: &HostReport| {
+        HostPhase::ALL
+            .iter()
+            .map(|p| {
+                format!(
+                    "      {{\"phase\": \"{}\", \"total_ns\": {}, \"count\": {}}}",
+                    p.name(),
+                    r.phase_total_ns(*p),
+                    r.phase_count(*p)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let workers_json = pooled_merged
+        .lanes
+        .iter()
+        .skip(1)
+        .map(|l| {
+            format!(
+                "      {{\"lane\": {}, \"busy_ns\": {}, \"recv_wait_ns\": {}, \
+                 \"dropped_spans\": {}}}",
+                l.lane,
+                l.busy_ns(),
+                l.total_ns(HostPhase::RecvWait),
+                l.dropped
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let host_profile_json = format!(
+        "  \"host_profile\": {{\n    \
+         \"host_cpus\": {host_cpus},\n    \
+         \"scaling_valid\": {scaling_valid},\n    \
+         \"overhead_pct\": {host_overhead_pct:.2},\n    \
+         \"overhead_definition\": \"throughput loss: (1 - host_cps/off_cps) * 100\",\n    \
+         \"serial\": {{\n      \"wall_ns\": {},\n      \"phases\": [\n{}\n    ]}},\n    \
+         \"pooled\": {{\n      \"threads\": {HOST_POOL_THREADS},\n      \
+         \"wall_ns\": {},\n      \
+         \"worker_busy_ratio\": {:.4},\n      \
+         \"barrier_wait_ns_total\": {},\n      \
+         \"dispatch_ns_per_region\": {:.1},\n      \
+         \"dispatches\": {},\n      \"collects\": {},\n      \"merges\": {},\n      \
+         \"workers\": [\n{workers_json}\n    ],\n      \
+         \"phases\": [\n{}\n    ]}}\n  }}",
+        host_merged.wall_ns,
+        host_phase_rows(&host_merged),
+        pooled_merged.wall_ns,
+        pooled_merged.worker_busy_ratio(),
+        pooled_merged.barrier_wait_ns_total(),
+        pooled_merged.dispatch_ns_per_region(),
+        pooled_merged.dispatches,
+        pooled_merged.collects,
+        pooled_merged.merges,
+        host_phase_rows(&pooled_merged),
+    );
+    // Key naming is load-bearing for the bench_diff gate: `*_per_sec`,
+    // `speedup*` and `*_overhead_pct` leaves are gated metrics. The
+    // pre-overhaul reference is a constant recorded on another machine —
+    // comparing it across hosts is meaningless, so its keys
+    // (`pre_overhaul_cps`, `vs_pre_overhaul`) deliberately sit outside
+    // the gated classes.
     let json = format!(
         "{{\n  \"bench\": \"gmh simulator, lifecycle tracing off vs 1-in-16\",\n  \
          \"workloads\": [{}],\n  \"core_cycles_per_workload\": {max_cycles},\n  \
@@ -237,12 +522,16 @@ fn main() {
          \"sim_cycles\": {off_cycles},\n    \"sim_cycles_per_sec\": {off_cps:.1}\n  }},\n  \
          \"tracing_1_in_16\": {{\n    \"seconds\": {on_s:.6},\n    \
          \"sim_cycles\": {on_cycles},\n    \"sim_cycles_per_sec\": {on_cps:.1}\n  }},\n  \
+         \"host_profiled\": {{\n    \"seconds\": {host_s:.6},\n    \
+         \"sim_cycles\": {host_cycles},\n    \"sim_cycles_per_sec\": {host_cps:.1}\n  }},\n  \
          \"sampling_overhead_pct\": {overhead_pct:.2},\n  \
          \"sampling_overhead_definition\": \"throughput loss: (1 - on_cps/off_cps) * 100\",\n  \
-         \"pre_overhaul_sim_cycles_per_sec\": {PRE_OVERHAUL_CPS:.1},\n  \
-         \"speedup_vs_pre_overhaul\": {:.3},\n  \
-         \"host_cpus\": {host_cpus},\n{scaling_note}  \
-         \"threads\": [\n{threads_json}\n  ],\n  \
+         \"host_profile_overhead_pct\": {host_overhead_pct:.2},\n  \
+         \"pre_overhaul_cps\": {PRE_OVERHAUL_CPS:.1},\n  \
+         \"vs_pre_overhaul\": {:.3},\n  \
+         \"host_cpus\": {host_cpus},\n  \
+         \"scaling_note\": \"{scaling_note}\",\n  \
+         \"threads\": [\n{threads_json}\n  ],\n{host_profile_json},\n  \
          \"phase_profile_seconds\": {{\n    \"core\": {:.6},\n    \"icnt\": {:.6},\n    \
          \"dram\": {:.6},\n    \"telemetry\": {:.6},\n    \"fast_forward\": {:.6}\n  }},\n  \
          \"fast_forward\": {{\n    \"jumps\": {},\n    \"ticks_skipped\": {}\n  }},\n  \
@@ -261,7 +550,19 @@ fn main() {
         ff.jumps,
         ff.skipped_total(),
     );
-    let mut f = std::fs::File::create(&out).expect("create BENCH_sim.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_sim.json");
-    println!("wrote {}", out.display());
+    if let Some(dir) = out_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    let mut f = std::fs::File::create(&out_path).expect("create bench JSON");
+    f.write_all(json.as_bytes()).expect("write bench JSON");
+    println!("wrote {}", out_path.display());
+}
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root")
 }

@@ -1,0 +1,512 @@
+//! Deterministic comparator for two `BENCH_*.json` files: the library
+//! behind `bin/bench_diff.rs` and the CI `perf-gate` job.
+//!
+//! Two checks run over the (baseline, candidate) pair:
+//!
+//! 1. **Schema drift** — the two documents must have the same shape: the
+//!    same keys at every level, the same array lengths, the same value
+//!    types. A field that appears or disappears between runs is exactly
+//!    the silent breakage the gate exists to catch (downstream tooling
+//!    parses these files), so drift is its own verdict, not a pass.
+//! 2. **Throughput regression** — numeric leaves are classified by key
+//!    suffix: `*_per_sec` and `speedup*` are higher-better, `*_overhead_pct`
+//!    is lower-better (compared in percentage points). Everything else
+//!    (`seconds`, cycle counts, `host_cpus`, …) is host-dependent or
+//!    deterministic-by-construction and never gates.
+//!
+//! ## Relative vs. absolute mode
+//!
+//! The committed baseline and the CI runner are different machines, so raw
+//! `*_per_sec` values cannot be compared directly. In the default
+//! **relative** mode every `*_per_sec` leaf is normalized by its own
+//! file's headline (`tracing_off.sim_cycles_per_sec`) before comparison:
+//! machine speed cancels, and what remains is the *shape* of the profile —
+//! per-workload balance, tracing/profiling overhead ratios. The deliberate
+//! blind spot: a perfectly uniform slowdown scales the headline too and
+//! passes; catching that requires a pinned host, which is what
+//! `--absolute` (plain value comparison) is for.
+//!
+//! ## `scaling_valid: false` subtrees
+//!
+//! `sim-bench` stamps `"scaling_valid": false` onto rows whose rates do
+//! not measure what their names claim — multi-thread sweep rows on a
+//! single-vCPU host measure coordination overhead, with run-to-run noise
+//! far beyond any useful tolerance. An object carrying that stamp (in
+//! either file) keeps its full schema check but exempts its numeric
+//! leaves from rate gating: a number the producer has declared invalid is
+//! not a number the gate may fail on.
+
+use gmh_serve::json::Json;
+
+/// Outcome of a comparison, ordered by severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Same schema, no tracked metric regressed beyond tolerance.
+    Pass,
+    /// Schema matches but at least one tracked metric regressed.
+    Regress,
+    /// The documents disagree structurally; metric comparison is moot.
+    SchemaDrift,
+}
+
+/// One noteworthy difference, with the JSON path it was found at.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Dotted path (`threads[2].sim_cycles_per_sec`).
+    pub path: String,
+    /// Whether this finding alone fails the gate.
+    pub fatal: bool,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Full result of a comparison.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Overall verdict (drift dominates regression).
+    pub verdict: Verdict,
+    /// Every finding, fatal or informational.
+    pub findings: Vec<Finding>,
+}
+
+impl DiffReport {
+    /// Process exit code for the CLI: 0 pass, 1 regress, 2 drift.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self.verdict {
+            Verdict::Pass => 0,
+            Verdict::Regress => 1,
+            Verdict::SchemaDrift => 2,
+        }
+    }
+}
+
+/// The headline throughput a file's `*_per_sec` leaves are normalized by
+/// in relative mode.
+fn headline(doc: &Json) -> Option<f64> {
+    doc.get("tracing_off")?.get("sim_cycles_per_sec")?.as_f64()
+}
+
+/// How a numeric leaf participates in the gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricClass {
+    /// Higher is better; normalized by the headline in relative mode.
+    Throughput,
+    /// Higher is better; already a ratio, never normalized.
+    Speedup,
+    /// Lower is better; compared in percentage points.
+    OverheadPct,
+    /// Never gates (host-dependent or deterministic by construction).
+    Ignored,
+}
+
+fn classify(key: &str) -> MetricClass {
+    if key.ends_with("_per_sec") {
+        MetricClass::Throughput
+    } else if key.starts_with("speedup") {
+        MetricClass::Speedup
+    } else if key.ends_with("_overhead_pct") {
+        MetricClass::OverheadPct
+    } else {
+        MetricClass::Ignored
+    }
+}
+
+/// Compares `candidate` against `baseline`.
+///
+/// `tolerance_pct` bounds the allowed relative drop for higher-better
+/// metrics (and the allowed increase, in percentage points, for
+/// `*_overhead_pct`). `absolute` disables headline normalization — use it
+/// only when both files came from the same host.
+#[must_use]
+pub fn diff(baseline: &Json, candidate: &Json, tolerance_pct: f64, absolute: bool) -> DiffReport {
+    let mut findings = Vec::new();
+    let norm_base = if absolute { None } else { headline(baseline) };
+    let norm_cand = if absolute { None } else { headline(candidate) };
+    walk(
+        baseline,
+        candidate,
+        &mut String::new(),
+        &Ctx {
+            tolerance_pct,
+            norm_base,
+            norm_cand,
+            gate_rates: true,
+        },
+        &mut findings,
+    );
+    let verdict = if findings
+        .iter()
+        .any(|f| f.fatal && f.detail.starts_with("schema"))
+    {
+        Verdict::SchemaDrift
+    } else if findings.iter().any(|f| f.fatal) {
+        Verdict::Regress
+    } else {
+        Verdict::Pass
+    };
+    DiffReport { verdict, findings }
+}
+
+#[derive(Clone)]
+struct Ctx {
+    tolerance_pct: f64,
+    norm_base: Option<f64>,
+    norm_cand: Option<f64>,
+    /// Cleared inside `scaling_valid: false` subtrees (see module docs).
+    gate_rates: bool,
+}
+
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn leaf_key(path: &str) -> &str {
+    let last = path.rsplit('.').next().unwrap_or(path);
+    last.split('[').next().unwrap_or(last)
+}
+
+fn push_path(path: &mut String, seg: &str) -> usize {
+    let mark = path.len();
+    if !path.is_empty() {
+        path.push('.');
+    }
+    path.push_str(seg);
+    mark
+}
+
+fn walk(base: &Json, cand: &Json, path: &mut String, ctx: &Ctx, out: &mut Vec<Finding>) {
+    match (base, cand) {
+        (Json::Obj(b), Json::Obj(c)) => {
+            // A producer-declared invalid row exempts its rates, in both
+            // files: a baseline measured on 1 vCPU must not gate a
+            // candidate's real numbers against noise, nor vice versa.
+            let declared_invalid = [b.get("scaling_valid"), c.get("scaling_valid")]
+                .into_iter()
+                .any(|v| matches!(v, Some(Json::Bool(false))));
+            let ungated;
+            let ctx = if declared_invalid && ctx.gate_rates {
+                ungated = Ctx {
+                    gate_rates: false,
+                    ..ctx.clone()
+                };
+                &ungated
+            } else {
+                ctx
+            };
+            for (k, bv) in b {
+                match c.get(k) {
+                    Some(cv) => {
+                        let mark = push_path(path, k);
+                        walk(bv, cv, path, ctx, out);
+                        path.truncate(mark);
+                    }
+                    None => out.push(Finding {
+                        path: format!("{path}.{k}"),
+                        fatal: true,
+                        detail: "schema: key missing from candidate".into(),
+                    }),
+                }
+            }
+            for k in c.keys() {
+                if !b.contains_key(k) {
+                    out.push(Finding {
+                        path: format!("{path}.{k}"),
+                        fatal: true,
+                        detail: "schema: key missing from baseline".into(),
+                    });
+                }
+            }
+        }
+        (Json::Arr(b), Json::Arr(c)) => {
+            if b.len() != c.len() {
+                out.push(Finding {
+                    path: path.clone(),
+                    fatal: true,
+                    detail: format!("schema: array length {} vs {}", b.len(), c.len()),
+                });
+                return;
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                let mark = path.len();
+                path.push_str(&format!("[{i}]"));
+                walk(bv, cv, path, ctx, out);
+                path.truncate(mark);
+            }
+        }
+        (Json::Num(_), Json::Num(_)) => compare_num(base, cand, path, ctx, out),
+        (Json::Bool(b), Json::Bool(c)) => {
+            // `results_identical` is the one bool with a monotone meaning:
+            // bit-identity across passes must never be lost. Other bools
+            // (`scaling_valid`, …) are host facts and may differ.
+            if leaf_key(path) == "results_identical" && *b && !*c {
+                out.push(Finding {
+                    path: path.clone(),
+                    fatal: true,
+                    detail: "results_identical went true -> false".into(),
+                });
+            }
+        }
+        (Json::Str(_), Json::Str(_)) | (Json::Null, Json::Null) => {}
+        _ => out.push(Finding {
+            path: path.clone(),
+            fatal: true,
+            detail: format!("schema: type {} vs {}", type_name(base), type_name(cand)),
+        }),
+    }
+}
+
+fn compare_num(base: &Json, cand: &Json, path: &str, ctx: &Ctx, out: &mut Vec<Finding>) {
+    if !ctx.gate_rates {
+        return;
+    }
+    let (Some(b), Some(c)) = (base.as_f64(), cand.as_f64()) else {
+        return;
+    };
+    let tol = ctx.tolerance_pct;
+    match classify(leaf_key(path)) {
+        MetricClass::Throughput => {
+            // Normalize both sides by their own file's headline so machine
+            // speed cancels; the headline itself then compares as 1.0 vs
+            // 1.0 (the documented relative-mode blind spot).
+            let (b, c) = match (ctx.norm_base, ctx.norm_cand) {
+                (Some(nb), Some(nc)) if nb > 0.0 && nc > 0.0 => (b / nb, c / nc),
+                _ => (b, c),
+            };
+            if b > 0.0 && c < b * (1.0 - tol / 100.0) {
+                out.push(Finding {
+                    path: path.to_string(),
+                    fatal: true,
+                    detail: format!(
+                        "throughput regressed {:.1}% (norm {:.4} -> {:.4}, tolerance {tol}%)",
+                        (1.0 - c / b) * 100.0,
+                        b,
+                        c
+                    ),
+                });
+            }
+        }
+        MetricClass::Speedup => {
+            if b > 0.0 && c < b * (1.0 - tol / 100.0) {
+                out.push(Finding {
+                    path: path.to_string(),
+                    fatal: true,
+                    detail: format!(
+                        "speedup regressed {:.1}% ({b:.3} -> {c:.3}, tolerance {tol}%)",
+                        (1.0 - c / b) * 100.0
+                    ),
+                });
+            }
+        }
+        MetricClass::OverheadPct => {
+            if c > b + tol {
+                out.push(Finding {
+                    path: path.to_string(),
+                    fatal: true,
+                    detail: format!("overhead grew {b:.2} -> {c:.2} pct (tolerance +{tol} points)"),
+                });
+            }
+        }
+        MetricClass::Ignored => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmh_serve::json::parse;
+
+    fn base_doc() -> Json {
+        parse(
+            r#"{"bench":"sim-bench",
+                "tracing_off":{"sim_cycles_per_sec":100000.0,"seconds":4.0},
+                "per_workload":{"mm":{"sim_cycles_per_sec":50000.0}},
+                "sampling_overhead_pct":5.0,
+                "host_cpus":1,
+                "results_identical":true}"#,
+        )
+        .unwrap()
+    }
+
+    fn doc(s: &str) -> Json {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let b = base_doc();
+        let r = diff(&b, &b, 15.0, false);
+        assert_eq!(r.verdict, Verdict::Pass);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn injected_20pct_workload_regression_fails() {
+        let b = base_doc();
+        let c = doc(r#"{"bench":"sim-bench",
+                "tracing_off":{"sim_cycles_per_sec":100000.0,"seconds":4.0},
+                "per_workload":{"mm":{"sim_cycles_per_sec":40000.0}},
+                "sampling_overhead_pct":5.0,
+                "host_cpus":1,
+                "results_identical":true}"#);
+        let r = diff(&b, &c, 15.0, false);
+        assert_eq!(r.verdict, Verdict::Regress);
+        assert!(r.findings.iter().any(|f| f.path.contains("mm")));
+    }
+
+    #[test]
+    fn scaling_invalid_rows_exempt_rates_but_not_schema() {
+        // The same 50% throughput collapse in a thread row: gated when the
+        // row claims to measure scaling, exempt when the producer stamped
+        // it `scaling_valid: false` (1-vCPU coordination noise).
+        let row = |valid: bool, cps: f64| {
+            doc(&format!(
+                r#"{{"bench":"sim-bench",
+                    "tracing_off":{{"sim_cycles_per_sec":100000.0,"seconds":4.0}},
+                    "threads":[{{"threads":2,"sim_cycles_per_sec":{cps},
+                                 "speedup_vs_serial":{},"scaling_valid":{valid}}}],
+                    "results_identical":true}}"#,
+                cps / 100000.0
+            ))
+        };
+        assert_eq!(
+            diff(&row(true, 80000.0), &row(true, 40000.0), 15.0, false).verdict,
+            Verdict::Regress,
+            "a valid scaling row still gates"
+        );
+        assert_eq!(
+            diff(&row(false, 80000.0), &row(false, 40000.0), 15.0, false).verdict,
+            Verdict::Pass,
+            "a producer-declared invalid row never gates on rates"
+        );
+        // Schema checks survive the exemption: a key vanishing from an
+        // invalid row is still drift.
+        let mut gutted = row(false, 40000.0);
+        if let Json::Obj(o) = &mut gutted {
+            if let Some(Json::Arr(rows)) = o.get_mut("threads") {
+                if let Some(Json::Obj(r0)) = rows.get_mut(0) {
+                    r0.remove("speedup_vs_serial");
+                }
+            }
+        }
+        assert_eq!(
+            diff(&row(false, 80000.0), &gutted, 15.0, false).verdict,
+            Verdict::SchemaDrift
+        );
+    }
+
+    #[test]
+    fn small_regression_within_tolerance_passes() {
+        let b = base_doc();
+        let c = doc(r#"{"bench":"sim-bench",
+                "tracing_off":{"sim_cycles_per_sec":100000.0,"seconds":4.4},
+                "per_workload":{"mm":{"sim_cycles_per_sec":45000.0}},
+                "sampling_overhead_pct":6.0,
+                "host_cpus":1,
+                "results_identical":true}"#);
+        assert_eq!(diff(&b, &c, 15.0, false).verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn uniform_slowdown_is_invisible_relative_but_caught_absolute() {
+        let b = base_doc();
+        // Everything 20% slower, including the headline: relative mode's
+        // documented blind spot; --absolute exists for pinned hosts.
+        let c = doc(r#"{"bench":"sim-bench",
+                "tracing_off":{"sim_cycles_per_sec":80000.0,"seconds":5.0},
+                "per_workload":{"mm":{"sim_cycles_per_sec":40000.0}},
+                "sampling_overhead_pct":5.0,
+                "host_cpus":1,
+                "results_identical":true}"#);
+        assert_eq!(diff(&b, &c, 15.0, false).verdict, Verdict::Pass);
+        assert_eq!(diff(&b, &c, 15.0, true).verdict, Verdict::Regress);
+    }
+
+    #[test]
+    fn missing_key_is_schema_drift() {
+        let b = base_doc();
+        let c = doc(r#"{"bench":"sim-bench",
+                "tracing_off":{"sim_cycles_per_sec":100000.0,"seconds":4.0},
+                "per_workload":{"mm":{"sim_cycles_per_sec":50000.0}},
+                "host_cpus":1,
+                "results_identical":true}"#);
+        let r = diff(&b, &c, 15.0, false);
+        assert_eq!(r.verdict, Verdict::SchemaDrift);
+        assert_eq!(r.exit_code(), 2);
+    }
+
+    #[test]
+    fn extra_key_and_type_change_are_schema_drift() {
+        let b = base_doc();
+        let mut with_extra = base_doc();
+        if let Json::Obj(o) = &mut with_extra {
+            o.insert("new_field".into(), Json::Num("1".into()));
+        }
+        assert_eq!(
+            diff(&b, &with_extra, 15.0, false).verdict,
+            Verdict::SchemaDrift
+        );
+        let mut with_type_change = base_doc();
+        if let Json::Obj(o) = &mut with_type_change {
+            o.insert("host_cpus".into(), Json::Str("one".into()));
+        }
+        assert_eq!(
+            diff(&b, &with_type_change, 15.0, false).verdict,
+            Verdict::SchemaDrift
+        );
+    }
+
+    #[test]
+    fn lost_bit_identity_fails() {
+        let b = base_doc();
+        let mut c = base_doc();
+        if let Json::Obj(o) = &mut c {
+            o.insert("results_identical".into(), Json::Bool(false));
+        }
+        let r = diff(&b, &c, 15.0, false);
+        assert_eq!(r.verdict, Verdict::Regress);
+    }
+
+    #[test]
+    fn overhead_growth_beyond_tolerance_fails_in_points() {
+        let b = base_doc();
+        let mut c = base_doc();
+        if let Json::Obj(o) = &mut c {
+            o.insert("sampling_overhead_pct".into(), Json::Num("25.0".into()));
+        }
+        // 5 -> 25 is +20 points > 15-point tolerance.
+        assert_eq!(diff(&b, &c, 15.0, false).verdict, Verdict::Regress);
+        // But a 15-point budget tolerates 5 -> 19.
+        if let Json::Obj(o) = &mut c {
+            o.insert("sampling_overhead_pct".into(), Json::Num("19.0".into()));
+        }
+        assert_eq!(diff(&b, &c, 15.0, false).verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn array_length_change_is_drift() {
+        let b = doc(r#"{"threads":[{"n":1},{"n":2}]}"#);
+        let c = doc(r#"{"threads":[{"n":1}]}"#);
+        assert_eq!(diff(&b, &c, 15.0, false).verdict, Verdict::SchemaDrift);
+    }
+
+    #[test]
+    fn drift_dominates_regression() {
+        let b = base_doc();
+        let c = doc(r#"{"bench":"sim-bench",
+                "tracing_off":{"sim_cycles_per_sec":100000.0,"seconds":4.0},
+                "per_workload":{"mm":{"sim_cycles_per_sec":10000.0}},
+                "host_cpus":1,
+                "results_identical":true}"#);
+        let r = diff(&b, &c, 15.0, false);
+        assert_eq!(r.verdict, Verdict::SchemaDrift);
+        assert!(r.findings.len() >= 2, "both findings are reported");
+    }
+}

@@ -1,1 +1,11 @@
-//! (under construction)
+//! Benchmark tooling for the workspace: the `sim-bench` throughput
+//! harness (see `src/bin/sim_bench.rs`) and the [`mod@diff`] comparator
+//! behind `bench_diff`, the CI perf-regression gate over committed
+//! `BENCH_*.json` baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+
+pub use diff::{diff, DiffReport, Finding, Verdict};

@@ -94,6 +94,15 @@ pub struct GpuConfig {
     /// reads per tick, which would distort the headline throughput numbers.
     /// Simulation results are identical either way.
     pub profile_phases: bool,
+    /// Host-side span profiler: records wall-clock spans for every run-loop
+    /// phase and every `ParPool` worker lane into a
+    /// [`gmh_types::prof::HostReport`] (fetch it with
+    /// `GpuSim::take_host_report` after the run). Strictly observational —
+    /// simulation results are byte-identical with this on or off, which the
+    /// determinism suite pins. Takes precedence over `profile_phases` when
+    /// both are set (the host profiler subsumes the per-phase breakdown).
+    /// Off by default; the cache key ignores it.
+    pub profile_host: bool,
     /// Forces the single-shard serial scheduler regardless of
     /// `sim_threads` / `GMH_THREADS`: the equivalence oracle for the
     /// parallel path (the parallel scheduler is bit-identical by
@@ -134,6 +143,7 @@ impl GpuConfig {
             trace_event_cap: 65_536,
             force_naive_loop: false,
             profile_phases: false,
+            profile_host: false,
             force_serial: false,
             sim_threads: 0,
         }

@@ -30,10 +30,12 @@ use crate::l2bank::L2Bank;
 use gmh_dram::DramChannel;
 use gmh_icnt::Network;
 use gmh_simt::SimtCore;
+use gmh_types::prof::{HostPhase, LaneProf};
 use gmh_types::trace::TraceSink;
 use gmh_types::Picos;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One tick domain: a contiguous slice of the machine that can advance a
 /// [`Region`] without observing any other shard.
@@ -153,26 +155,51 @@ impl Shard {
 pub(crate) struct ParPool {
     to_workers: Vec<mpsc::Sender<(Region, Shard)>>,
     from_workers: mpsc::Receiver<Shard>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<JoinHandle<LaneProf>>,
 }
 
 impl ParPool {
     /// Spawns `n_workers` threads, each waiting for `(region, shard)`
     /// work items.
-    pub fn spawn(n_workers: usize) -> Self {
+    ///
+    /// With `prof_epoch` set, each worker owns an enabled [`LaneProf`]
+    /// (lane `w + 1`; lane 0 is the coordinator) timing its three states —
+    /// recv wait, region execution, return send — against the shared
+    /// epoch. The lane is thread-private plain data (no atomics, no
+    /// shared state: shard isolation is preserved) and comes home via the
+    /// thread's join handle at [`ParPool::shutdown`]. Profiling is purely
+    /// observational: the worker executes the identical region sequence
+    /// either way.
+    pub fn spawn(n_workers: usize, prof_epoch: Option<Instant>) -> Self {
         let (ret_tx, from_workers) = mpsc::channel();
         let mut to_workers = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
-        for _ in 0..n_workers {
+        for w in 0..n_workers {
             let (tx, rx) = mpsc::channel::<(Region, Shard)>();
             let ret = ret_tx.clone();
             handles.push(std::thread::spawn(move || {
-                while let Ok((region, mut shard)) = rx.recv() {
+                let mut lane = match prof_epoch {
+                    Some(epoch) => LaneProf::new(w + 1, epoch),
+                    None => LaneProf::disabled(w + 1),
+                };
+                loop {
+                    let t0 = lane.begin();
+                    let Ok((region, mut shard)) = rx.recv() else {
+                        // Channel closed: don't close the final recv-wait
+                        // span — shutdown latency is not barrier wait.
+                        break;
+                    };
+                    let t1 = t0.map(|t| lane.end_chain(HostPhase::RecvWait, t));
                     shard.run_region(region);
+                    let t2 = t1.map(|t| lane.end_chain(HostPhase::RegionExec, t));
                     if ret.send(shard).is_err() {
                         break; // coordinator gone: shut down
                     }
+                    if let Some(t) = t2 {
+                        lane.end_chain(HostPhase::SendReturn, t);
+                    }
                 }
+                lane
             }));
             to_workers.push(tx);
         }
@@ -210,12 +237,18 @@ impl ParPool {
     }
 
     /// Shuts the pool down: closing the work channels ends each worker's
-    /// receive loop, then the threads are joined.
-    pub fn shutdown(self) {
+    /// receive loop, then the threads are joined and their profiling
+    /// lanes returned (disabled lanes when the pool was spawned without
+    /// an epoch — callers that don't profile just drop them).
+    pub fn shutdown(self) -> Vec<LaneProf> {
         drop(self.to_workers);
+        let mut lanes = Vec::with_capacity(self.handles.len());
         for h in self.handles {
-            let _ = h.join();
+            if let Ok(lane) = h.join() {
+                lanes.push(lane);
+            }
         }
+        lanes
     }
 }
 
@@ -247,7 +280,7 @@ mod tests {
 
     #[test]
     fn pool_round_trips_shards() {
-        let pool = ParPool::spawn(2);
+        let pool = ParPool::spawn(2, None);
         pool.dispatch(0, Region::Net, bare_shard(1));
         pool.dispatch(1, Region::Net, bare_shard(2));
         let a = pool.collect();
@@ -255,6 +288,33 @@ mod tests {
         let mut ids = [a.id, b.id];
         ids.sort_unstable();
         assert_eq!(ids, [1, 2]);
-        pool.shutdown();
+        let lanes = pool.shutdown();
+        assert_eq!(lanes.len(), 2);
+        assert!(lanes.iter().all(|l| !l.is_enabled()));
+    }
+
+    #[test]
+    fn profiled_pool_returns_worker_lanes_with_spans() {
+        let pool = ParPool::spawn(2, Some(Instant::now()));
+        for round in 0..3 {
+            pool.dispatch(0, Region::Net, bare_shard(1));
+            pool.dispatch(1, Region::Net, bare_shard(2));
+            let _ = pool.collect();
+            let _ = pool.collect();
+            let _ = round;
+        }
+        let mut lanes: Vec<_> = pool
+            .shutdown()
+            .into_iter()
+            .map(LaneProf::into_data)
+            .collect();
+        lanes.sort_by_key(|l| l.lane);
+        assert_eq!([lanes[0].lane, lanes[1].lane], [1, 2]);
+        for l in &lanes {
+            assert_eq!(l.count(HostPhase::RegionExec), 3);
+            assert_eq!(l.count(HostPhase::RecvWait), 3);
+            assert_eq!(l.count(HostPhase::SendReturn), 3);
+            assert_eq!(l.dropped, 0);
+        }
     }
 }

@@ -8,6 +8,7 @@ use gmh_cache::TagArray;
 use gmh_dram::DramChannel;
 use gmh_icnt::{Crossbar, Network};
 use gmh_simt::{CoreIdleProbe, IssueStallKind, SimtCore};
+use gmh_types::prof::{HostPhase, HostProfiler, HostReport};
 use gmh_types::trace::{Level, TraceEventKind, TraceSink};
 use gmh_types::{
     stable_hash_str, ClockDomains, DomainId, EventBound, FetchAudit, MemFetch, Picos, SeriesId,
@@ -196,6 +197,10 @@ pub struct GpuSim {
     ff_stats: FastForwardStats,
     /// Per-phase wall time (populated only under `cfg.profile_phases`).
     profile: PhaseProfile,
+    /// Host-side span profiler (present only under `cfg.profile_host`).
+    /// Strictly observational: nothing it reads from the clock ever feeds
+    /// back into simulation state.
+    host_prof: Option<HostProfiler>,
     workload: String,
 }
 
@@ -314,6 +319,7 @@ impl GpuSim {
             ff_stalls: vec![None; cfg.n_cores],
             ff_stats: FastForwardStats::default(),
             profile: PhaseProfile::default(),
+            host_prof: cfg.profile_host.then(HostProfiler::new),
             workload: name.to_string(),
             cfg,
         }
@@ -444,6 +450,14 @@ impl GpuSim {
         &self.profile
     }
 
+    /// Consumes the host profiler and freezes it into a
+    /// [`HostReport`] — call after [`GpuSim::run`]. `None` when
+    /// [`GpuConfig::profile_host`] was off or the report was already
+    /// taken.
+    pub fn take_host_report(&mut self) -> Option<HostReport> {
+        self.host_prof.take().map(HostProfiler::finish)
+    }
+
     fn uses_hierarchy(&self) -> bool {
         matches!(
             self.cfg.memory_model,
@@ -487,10 +501,15 @@ impl GpuSim {
         // One worker thread per non-coordinator shard; the coordinator
         // always runs shard 0's regions itself. Serial runs (one shard)
         // spawn nothing and never touch a channel.
-        let pool = (self.shards.len() > 1).then(|| ParPool::spawn(self.shards.len() - 1));
+        let prof_epoch = self.host_prof.as_ref().map(HostProfiler::epoch);
+        let pool =
+            (self.shards.len() > 1).then(|| ParPool::spawn(self.shards.len() - 1, prof_epoch));
         let stats = self.run_loop(pool.as_ref());
         if let Some(p) = pool {
-            p.shutdown();
+            let lanes = p.shutdown();
+            if let Some(hp) = self.host_prof.as_mut() {
+                hp.adopt_workers(lanes);
+            }
         }
         stats
     }
@@ -517,10 +536,23 @@ impl GpuSim {
             }
             if !self.cfg.force_naive_loop {
                 if ff_cooldown == 0 {
+                    let h0 = self.host_prof.as_ref().and_then(|hp| hp.coord.begin());
                     let t0 = self.cfg.profile_phases.then(std::time::Instant::now);
                     let jumped = self.try_fast_forward();
                     if let Some(t0) = t0 {
                         self.profile.fast_forward += t0.elapsed();
+                    }
+                    if h0.is_some() {
+                        // The whole call is timed either way; which phase
+                        // it lands in depends on whether it jumped.
+                        let phase = if jumped {
+                            HostPhase::FfJump
+                        } else {
+                            HostPhase::FfProbe
+                        };
+                        if let Some(hp) = self.host_prof.as_mut() {
+                            hp.coord.end(phase, h0);
+                        }
                     }
                     if jumped {
                         ff_backoff = 0;
@@ -534,7 +566,9 @@ impl GpuSim {
             }
             let fired = self.clocks.advance();
             let now_ps = self.clocks.now();
-            if self.cfg.profile_phases {
+            if self.host_prof.is_some() {
+                self.dispatch_ticks_host(fired, now_ps, pool);
+            } else if self.cfg.profile_phases {
                 self.dispatch_ticks_profiled(fired, now_ps, pool);
             } else {
                 self.dispatch_ticks(fired, now_ps, pool);
@@ -608,6 +642,60 @@ impl GpuSim {
         }
     }
 
+    /// [`GpuSim::dispatch_ticks`] with host-profiler spans around each
+    /// phase (same calls in the same order; results are identical). Spans
+    /// chain — the end of one phase is the start of the next — so a fully
+    /// fired edge costs one clock read per phase boundary, not two.
+    fn dispatch_ticks_host(
+        &mut self,
+        fired: gmh_types::TickSet,
+        now_ps: Picos,
+        pool: Option<&ParPool>,
+    ) {
+        let mut t = std::time::Instant::now();
+        if fired.icnt {
+            if self.uses_hierarchy() {
+                self.icnt_tick(now_ps, pool);
+                t = self.host_span_chain(HostPhase::IcntTick, t);
+            }
+            self.sample_telemetry();
+            t = self.host_span_chain(HostPhase::Telemetry, t);
+        }
+        if fired.dram {
+            self.dram_tick(pool);
+            t = self.host_span_chain(HostPhase::DramTick, t);
+        }
+        if fired.core {
+            self.core_tick(now_ps, pool);
+            self.host_span_chain(HostPhase::CoreTick, t);
+        }
+    }
+
+    /// Closes a coordinator span that started at `t0` and returns its end
+    /// timestamp (pass-through when profiling is off, so chained call
+    /// sites stay unconditional).
+    #[inline]
+    fn host_span_chain(&mut self, phase: HostPhase, t0: std::time::Instant) -> std::time::Instant {
+        match self.host_prof.as_mut() {
+            Some(hp) => hp.coord.end_chain(phase, t0),
+            None => t0,
+        }
+    }
+
+    /// Option-carrying variant of [`GpuSim::host_span_chain`] for call
+    /// sites that only open spans when profiling is on.
+    #[inline]
+    fn host_span_opt(
+        &mut self,
+        phase: HostPhase,
+        t0: Option<std::time::Instant>,
+    ) -> Option<std::time::Instant> {
+        match (self.host_prof.as_mut(), t0) {
+            (Some(hp), Some(t)) => Some(hp.coord.end_chain(phase, t)),
+            _ => None,
+        }
+    }
+
     /// Executes one parallel region over every shard and then merges: the
     /// coordinator ships each non-empty worker shard out (by moving it —
     /// `Shard::empty` is an allocation-free placeholder), runs shard 0's
@@ -617,6 +705,12 @@ impl GpuSim {
     /// within-shard order is exactly the serial sweep order, so the global
     /// event stream is byte-identical for any shard count.
     fn run_region(&mut self, region: Region, pool: Option<&ParPool>) {
+        // The serial path records no per-region spans: its region work is
+        // already attributed by the enclosing top-level phase, and keeping
+        // the hot path at zero extra clock reads is what holds profiler
+        // overhead under budget. Pool mode records the coordinator's
+        // dispatch / inline-exec / barrier-wait split — the numbers the
+        // scaling ROADMAP item needs.
         match pool {
             None => {
                 for s in &mut self.shards {
@@ -624,7 +718,8 @@ impl GpuSim {
                 }
             }
             Some(pool) => {
-                let mut dispatched = 0;
+                let t0 = self.host_prof.as_ref().and_then(|hp| hp.coord.begin());
+                let mut dispatched: u64 = 0;
                 for w in 1..self.shards.len() {
                     if !self.shards[w].wants(region) {
                         continue;
@@ -633,16 +728,37 @@ impl GpuSim {
                     pool.dispatch(w - 1, region, sh);
                     dispatched += 1;
                 }
+                let t1 = self.host_span_opt(HostPhase::Dispatch, t0);
                 self.shards[0].run_region(region);
+                let t2 = self.host_span_opt(HostPhase::RegionExec, t1);
                 for _ in 0..dispatched {
                     let sh = pool.collect();
                     let id = sh.id;
                     self.shards[id] = sh;
                 }
+                if let Some(hp) = self.host_prof.as_mut() {
+                    hp.coord.end(HostPhase::BarrierWait, t2);
+                    if dispatched > 0 {
+                        hp.count_dispatches(dispatched);
+                        hp.count_collect();
+                    }
+                }
             }
         }
+        let tm = if pool.is_some() {
+            self.host_prof.as_ref().and_then(|hp| hp.coord.begin())
+        } else {
+            None
+        };
         for s in &mut self.shards {
             self.trace.absorb(&mut s.trace);
+        }
+        if tm.is_some() {
+            let n_shards = self.shards.len() as u64;
+            if let Some(hp) = self.host_prof.as_mut() {
+                hp.coord.end(HostPhase::TraceMerge, tm);
+                hp.count_merges(n_shards);
+            }
         }
     }
 
@@ -1089,6 +1205,7 @@ impl GpuSim {
         //    only reclassifies stalled cycles — it never gates progress —
         //    and is computed on the coordinator, so results are identical
         //    at every shard width.
+        let l2_t0 = self.host_prof.as_ref().and_then(|hp| hp.coord.begin());
         for b in 0..self.cfg.n_l2_banks {
             let credit = match self.bank(b).response_ready_next() {
                 Some(resp) => self.rep().can_inject(b, resp.response_bytes()),
@@ -1097,6 +1214,11 @@ impl GpuSim {
             self.bank_mut(b).set_reply_credit(credit);
         }
         self.run_region(Region::Bank { now_ps }, pool);
+        // The "l2_tick" sub-phase (credits + bank pipelines) nests inside
+        // this icnt span by time containment.
+        if let Some(hp) = self.host_prof.as_mut() {
+            hp.coord.end(HostPhase::L2Tick, l2_t0);
+        }
 
         // 5. L2 miss queues drain toward DRAM (or the ideal-DRAM pipe).
         let dram_cyc = self.clocks.domain(DomainId::Dram).cycles();

@@ -73,6 +73,7 @@ fn canonical_cfg(cfg: &GpuConfig) -> GpuConfig {
     let mut c = cfg.clone();
     c.force_naive_loop = false;
     c.profile_phases = false;
+    c.profile_host = false;
     c.force_serial = false;
     c.sim_threads = 0;
     c

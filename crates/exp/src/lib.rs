@@ -20,11 +20,13 @@ pub mod cache;
 pub mod candidate;
 pub mod experiments;
 pub mod export;
+pub mod prof_export;
 pub mod runner;
 pub mod trace_export;
 
 pub use cache::{job_key, run_cached, CachedRun, DiskCache};
 pub use candidate::{Candidate, Evaluator};
 pub use export::{report_json, write_report};
+pub use prof_export::{host_trace_json, phase_rows, utilization_table};
 pub use runner::{run_jobs, Baselines, Job, RunOutcome};
 pub use trace_export::{chrome_trace_json, latency_table};

@@ -1,0 +1,282 @@
+//! Exporters for host-side self-profiles ([`HostReport`]).
+//!
+//! Two views of the same report, mirroring [`crate::trace_export`] for the
+//! *simulated* machine:
+//!
+//! * [`host_trace_json`] — Chrome `trace_event` JSON of the host timeline,
+//!   one track per lane (coordinator + each `ParPool` worker), loadable in
+//!   Perfetto next to the simulated-time trace.
+//! * [`utilization_table`] — a fixed-width attribution table: per-phase
+//!   wall share, per-lane busy fraction, barrier-wait share and dispatch
+//!   cost per region — the numbers the parallel-scaling ROADMAP item
+//!   needs.
+//!
+//! Both are deterministic functions of the report (the report itself is
+//! wall-clock data, so two runs differ; two exports of one report do not).
+
+use gmh_types::prof::{HostPhase, HostReport};
+use gmh_types::telemetry::{json_escape, json_num};
+
+/// Chrome `tid` of a lane (1-based; `tid` 0 carries process metadata).
+fn tid_of(lane: usize) -> usize {
+    lane + 1
+}
+
+/// Display name of a lane.
+fn lane_name(lane: usize) -> String {
+    if lane == 0 {
+        "coordinator".to_string()
+    } else {
+        format!("worker {lane}")
+    }
+}
+
+/// Nanoseconds to the microsecond `ts`/`dur` fields of the Chrome trace
+/// format (1 ns = 1e-3 µs, so three decimal places are exact).
+fn micros(ns: u64) -> String {
+    json_num(ns as f64 / 1e3)
+}
+
+/// Serializes a host profile as single-line Chrome `trace_event` JSON.
+///
+/// Layout: one process (`pid` 0) named `"gmh host: <label>"`, one thread
+/// per lane in lane order (coordinator first). Every recorded span becomes
+/// a complete (`"X"`) event named for its phase; nested phases (e.g.
+/// `l2_tick` inside `icnt_tick`) nest by time containment on the same
+/// track, which Perfetto renders as stacked slices.
+pub fn host_trace_json(label: &str, report: &HostReport) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{{\"name\":\"gmh host: {}\"}}}}",
+        json_escape(label)
+    ));
+    for lane in &report.lanes {
+        let tid = tid_of(lane.lane);
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&lane_name(lane.lane))
+        ));
+        events.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\
+             \"tid\":{tid},\"args\":{{\"sort_index\":{tid}}}}}"
+        ));
+    }
+    for lane in &report.lanes {
+        let tid = tid_of(lane.lane);
+        for e in &lane.events {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"host\",\"ph\":\"X\",\"pid\":0,\
+                 \"tid\":{tid},\"ts\":{},\"dur\":{}}}",
+                e.phase.name(),
+                micros(e.start_ns),
+                micros(e.dur_ns),
+            ));
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
+        events.join(",")
+    )
+}
+
+/// Renders the utilization/attribution table: a header with the headline
+/// ratios, one row per phase (aggregated across lanes; a phase's wall
+/// share can exceed 100% when several lanes run it concurrently), then one
+/// row per lane with its busy fraction.
+pub fn utilization_table(report: &HostReport) -> String {
+    let wall = report.wall_ns.max(1) as f64;
+    let mut out = format!(
+        "# host profile: wall {} s, workers {}, worker busy {:.1}%, \
+         barrier wait {:.1}% of wall, dispatch {} us/region \
+         ({} dispatches, {} barriers, {} merges)\n",
+        json_num(report.wall_ns as f64 / 1e9),
+        report.n_workers,
+        report.worker_busy_ratio() * 100.0,
+        report.barrier_wait_ns_total() as f64 / wall * 100.0,
+        json_num(report.dispatch_ns_per_region() / 1e3),
+        report.dispatches,
+        report.collects,
+        report.merges,
+    );
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>12} {:>9} {:>12}\n",
+        "phase", "count", "total_s", "wall_pct", "mean_us"
+    ));
+    for phase in HostPhase::ALL {
+        let total_ns = report.phase_total_ns(phase);
+        let count = report.phase_count(phase);
+        if count == 0 && total_ns == 0 {
+            continue;
+        }
+        let mean_us = if count == 0 {
+            0.0
+        } else {
+            total_ns as f64 / count as f64 / 1e3
+        };
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>12} {:>8.1}% {:>12}\n",
+            phase.name(),
+            count,
+            json_num(total_ns as f64 / 1e9),
+            total_ns as f64 / wall * 100.0,
+            json_num(mean_us),
+        ));
+    }
+    out.push_str(&format!(
+        "{:<12} {:>9} {:>12} {:>12} {:>10} {:>8}\n",
+        "lane", "busy_pct", "busy_s", "wait_s", "spans", "dropped"
+    ));
+    for lane in &report.lanes {
+        let wait_ns = if lane.lane == 0 {
+            lane.total_ns(HostPhase::BarrierWait)
+        } else {
+            lane.total_ns(HostPhase::RecvWait)
+        };
+        out.push_str(&format!(
+            "{:<12} {:>8.1}% {:>12} {:>12} {:>10} {:>8}\n",
+            lane_name(lane.lane),
+            lane.busy_ns() as f64 / wall * 100.0,
+            json_num(lane.busy_ns() as f64 / 1e9),
+            json_num(wait_ns as f64 / 1e9),
+            lane.events.len(),
+            lane.dropped,
+        ));
+    }
+    out
+}
+
+/// Convenience for JSON rows: per-phase `(name, total_ns, count)` triples
+/// for every phase that occurred, in fixed [`HostPhase::ALL`] order.
+pub fn phase_rows(report: &HostReport) -> Vec<(&'static str, u64, u64)> {
+    HostPhase::ALL
+        .iter()
+        .map(|p| (p.name(), report.phase_total_ns(*p), report.phase_count(*p)))
+        .filter(|(_, t, c)| *t > 0 || *c > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmh_types::prof::{LaneData, SpanEvent, N_HOST_PHASES};
+
+    fn synthetic_report() -> HostReport {
+        let mk = |lane: usize, spans: &[(HostPhase, u64, u64)]| {
+            let mut totals_ns = [0u64; N_HOST_PHASES];
+            let mut counts = [0u64; N_HOST_PHASES];
+            let mut events = Vec::new();
+            for &(phase, start_ns, dur_ns) in spans {
+                totals_ns[phase.index()] += dur_ns;
+                counts[phase.index()] += 1;
+                events.push(SpanEvent {
+                    phase,
+                    start_ns,
+                    dur_ns,
+                });
+            }
+            LaneData {
+                lane,
+                totals_ns,
+                counts,
+                events,
+                dropped: 0,
+            }
+        };
+        HostReport {
+            wall_ns: 1_000_000,
+            n_workers: 1,
+            lanes: vec![
+                mk(
+                    0,
+                    &[
+                        (HostPhase::IcntTick, 0, 400_000),
+                        (HostPhase::L2Tick, 100_000, 200_000),
+                        (HostPhase::BarrierWait, 310_000, 50_000),
+                        (HostPhase::CoreTick, 400_000, 300_000),
+                    ],
+                ),
+                mk(
+                    1,
+                    &[
+                        (HostPhase::RecvWait, 0, 120_000),
+                        (HostPhase::RegionExec, 120_000, 500_000),
+                    ],
+                ),
+            ],
+            dispatches: 10,
+            collects: 5,
+            merges: 10,
+        }
+    }
+
+    #[test]
+    fn trace_json_has_a_track_per_lane() {
+        let json = host_trace_json("mm", &synthetic_report());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(!json.contains('\n'), "single-line JSON");
+        assert!(json.contains("\"name\":\"gmh host: mm\""));
+        assert!(json.contains("\"name\":\"coordinator\""));
+        assert!(json.contains("\"name\":\"worker 1\""));
+        assert!(json.contains("\"name\":\"icnt_tick\""));
+        assert!(json.contains("\"name\":\"region_exec\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn trace_json_is_deterministic_per_report() {
+        let r = synthetic_report();
+        assert_eq!(host_trace_json("mm", &r), host_trace_json("mm", &r));
+    }
+
+    #[test]
+    fn table_lists_phases_and_lanes() {
+        let table = utilization_table(&synthetic_report());
+        assert!(table.contains("workers 1"));
+        assert!(table.contains("icnt_tick"));
+        assert!(table.contains("l2_tick"));
+        assert!(table.contains("region_exec"));
+        assert!(table.contains("coordinator"));
+        assert!(table.contains("worker 1"));
+        assert!(!table.contains("ff_probe"), "absent phases are omitted");
+        // Worker busy: 500µs exec of 1ms wall = 50%.
+        assert!(table.contains("worker busy 50.0%"));
+        // Barrier wait: coord 50µs + worker recv 120µs = 17% of wall.
+        assert!(table.contains("barrier wait 17.0%"));
+    }
+
+    #[test]
+    fn phase_rows_skip_empty_phases() {
+        let rows = phase_rows(&synthetic_report());
+        assert!(rows
+            .iter()
+            .any(|(n, t, c)| *n == "icnt_tick" && *t == 400_000 && *c == 1));
+        assert!(rows.iter().all(|(n, _, _)| *n != "ff_jump"));
+    }
+
+    #[test]
+    fn profiled_run_exports_end_to_end() {
+        use gmh_core::{GpuConfig, GpuSim};
+        use gmh_workloads::catalog;
+        let mut cfg = GpuConfig::gtx480_baseline();
+        cfg.n_cores = 2;
+        cfg.max_core_cycles = 20_000;
+        cfg.profile_host = true;
+        cfg.force_serial = true;
+        let mut wl = catalog::by_name("nn").unwrap();
+        wl.insts_per_warp = 40;
+        wl.warps_per_core = 4;
+        let mut sim = GpuSim::new(cfg, &wl);
+        let _ = sim.run();
+        let report = sim.take_host_report().expect("profile_host was on");
+        assert!(report.wall_ns > 0);
+        assert!(report.phase_count(HostPhase::CoreTick) > 0);
+        let json = host_trace_json("nn", &report);
+        assert!(json.contains("\"name\":\"core_tick\""));
+        let table = utilization_table(&report);
+        assert!(table.contains("core_tick"));
+        assert!(sim.take_host_report().is_none(), "report is taken once");
+    }
+}

@@ -13,9 +13,15 @@
 //! in-flight amount — the `gmh_jobs_inflight`/`gmh_queue_depth` gauges make
 //! that visible.
 
+use gmh_types::prof::{HostPhase, HostReport, N_HOST_PHASES};
 use gmh_types::{Histogram, Level, LevelLatency};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Picoseconds per nanosecond: the host profiler accumulates `Instant`
+/// deltas in nanoseconds, the exposition follows the repo-wide picosecond
+/// convention for `_ps` series.
+const PS_PER_NS: u64 = 1_000;
 
 /// Monotonic service counters. All loads/stores are `Relaxed`: each counter
 /// is independently meaningful and nothing synchronizes *through* them.
@@ -53,6 +59,18 @@ pub struct Metrics {
     /// (f64 bits; 0 until the first completion). Updated via
     /// [`Metrics::record_job_rate`].
     sim_cps_ewma: AtomicU64,
+    /// Monotonic job-id source for the per-job structured log line.
+    job_ids: AtomicU64,
+    /// Host-scheduler wall picoseconds spent waiting at the cycle barrier
+    /// (coordinator collect wait plus worker recv wait), accumulated over
+    /// every completed fresh run.
+    host_barrier_wait_ps: AtomicU64,
+    /// Host wall nanoseconds per [`HostPhase`] (indexed by
+    /// [`HostPhase::index`]), accumulated over every completed fresh run.
+    host_phase_ns: [AtomicU64; N_HOST_PHASES],
+    /// Worker-busy ratio of the most recent host-profiled run (f64 bits;
+    /// 0 until the first completion).
+    host_worker_busy: AtomicU64,
 }
 
 /// EWMA smoothing factor for [`Metrics::record_job_rate`]: each completed
@@ -123,6 +141,31 @@ impl Metrics {
     /// first completed fresh run).
     pub fn sim_cycles_per_sec(&self) -> f64 {
         f64::from_bits(self.sim_cps_ewma.load(Ordering::Relaxed))
+    }
+
+    /// Hands out the next job id for the structured per-job log line.
+    pub fn next_job_id(&self) -> u64 {
+        self.job_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Folds one completed fresh run's host self-profile into the
+    /// exposition: per-phase wall time and barrier wait accumulate, the
+    /// worker-busy gauge tracks the latest run.
+    pub fn record_host_profile(&self, r: &HostReport) {
+        for phase in HostPhase::ALL {
+            Self::add(&self.host_phase_ns[phase.index()], r.phase_total_ns(phase));
+        }
+        Self::add(
+            &self.host_barrier_wait_ps,
+            r.barrier_wait_ns_total().saturating_mul(PS_PER_NS),
+        );
+        self.host_worker_busy
+            .store(r.worker_busy_ratio().to_bits(), Ordering::Relaxed);
+    }
+
+    /// Worker-busy ratio of the most recent host-profiled run.
+    pub fn host_worker_busy_ratio(&self) -> f64 {
+        f64::from_bits(self.host_worker_busy.load(Ordering::Relaxed))
     }
 
     /// Mean wall time of a completed fresh run, for the `BUSY` retry hint.
@@ -210,6 +253,26 @@ impl Metrics {
             "Search evaluations served from the result cache.",
             Self::get(&self.tune_cache_hits),
         );
+        counter(
+            "gmh_host_barrier_wait_ps_total",
+            "Host-scheduler picoseconds spent waiting at the cycle barrier \
+             (coordinator collect wait plus worker recv wait).",
+            Self::get(&self.host_barrier_wait_ps),
+        );
+        // One TYPE for the family, one `phase`-labeled series per host
+        // phase — zero or not, so the label set is stable.
+        out.push_str(
+            "# HELP gmh_host_phase_ns_total Host-scheduler wall nanoseconds \
+             per run-loop phase, accumulated over completed fresh runs.\n\
+             # TYPE gmh_host_phase_ns_total counter\n",
+        );
+        for phase in HostPhase::ALL {
+            out.push_str(&format!(
+                "gmh_host_phase_ns_total{{phase=\"{}\"}} {}\n",
+                phase.name(),
+                Self::get(&self.host_phase_ns[phase.index()])
+            ));
+        }
         let mut gauge = |name: &str, help: &str, v: usize| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
@@ -236,6 +299,13 @@ impl Metrics {
              # TYPE gmh_sim_cycles_per_sec gauge\n\
              gmh_sim_cycles_per_sec {:.1}\n",
             self.sim_cycles_per_sec()
+        ));
+        out.push_str(&format!(
+            "# HELP gmh_host_worker_busy_ratio Worker-busy ratio of the most \
+             recent host-profiled run (0 before the first completion).\n\
+             # TYPE gmh_host_worker_busy_ratio gauge\n\
+             gmh_host_worker_busy_ratio {:.4}\n",
+            self.host_worker_busy_ratio()
         ));
         out
     }
@@ -345,7 +415,60 @@ mod tests {
         assert_eq!(sample(&text, "gmh_nonexistent"), None);
         assert_eq!(sample(&text, "gmh_tune_requests_total"), Some(0));
         // Exposition hygiene: HELP/TYPE precede every series.
-        assert_eq!(text.matches("# TYPE").count(), 17);
+        assert_eq!(text.matches("# TYPE").count(), 20);
+    }
+
+    #[test]
+    fn host_profile_metrics_accumulate_and_render() {
+        use gmh_types::prof::{HostProfiler, LaneProf};
+        use std::time::Duration;
+
+        let m = Metrics::default();
+        let text = m.render(Gauges::default());
+        assert!(text.contains("gmh_host_worker_busy_ratio 0.0000"));
+        assert!(text.contains("gmh_host_phase_ns_total{phase=\"core_tick\"} 0"));
+        assert!(text.contains("gmh_host_barrier_wait_ps_total 0"));
+
+        // A synthetic profiled run: 1 ms of core tick, 0.2 ms of barrier
+        // wait on the coordinator, one worker with 0.3 ms of recv wait.
+        let mut hp = HostProfiler::new();
+        let e = hp.epoch();
+        hp.coord
+            .record_span(HostPhase::CoreTick, e, e + Duration::from_micros(1_000));
+        hp.coord.record_span(
+            HostPhase::BarrierWait,
+            e + Duration::from_micros(1_000),
+            e + Duration::from_micros(1_200),
+        );
+        let mut w = LaneProf::new(1, e);
+        w.record_span(HostPhase::RecvWait, e, e + Duration::from_micros(300));
+        hp.adopt_workers(vec![w]);
+        let report = hp.finish();
+        m.record_host_profile(&report);
+        let text = m.render(Gauges::default());
+        assert!(
+            text.contains("gmh_host_phase_ns_total{phase=\"core_tick\"} 1000000"),
+            "core tick nanoseconds accumulate:\n{text}"
+        );
+        // Barrier wait = coordinator BarrierWait + worker RecvWait, in ps.
+        assert_eq!(
+            sample(&text, "gmh_host_barrier_wait_ps_total"),
+            Some((200_000 + 300_000) * PS_PER_NS)
+        );
+        // A second run doubles the counters (they accumulate)…
+        m.record_host_profile(&report);
+        let text = m.render(Gauges::default());
+        assert!(text.contains("gmh_host_phase_ns_total{phase=\"core_tick\"} 2000000"));
+        // …while the busy gauge tracks the latest run, staying in [0, 1].
+        let busy = m.host_worker_busy_ratio();
+        assert!((0.0..=1.0).contains(&busy), "ratio {busy} out of range");
+    }
+
+    #[test]
+    fn job_ids_are_monotonic_from_one() {
+        let m = Metrics::default();
+        assert_eq!(m.next_job_id(), 1);
+        assert_eq!(m.next_job_id(), 2);
     }
 
     #[test]

@@ -81,8 +81,35 @@ enum Work {
 
 /// One admitted job waiting for a worker.
 struct QueuedJob {
+    id: u64,
+    enqueued_at: Instant,
     work: Work,
     reply_tx: mpsc::Sender<Reply>,
+}
+
+/// The per-job structured log line: one JSON object, written to stderr at
+/// every terminal outcome so operators can grep/parse the job history
+/// without scraping METRICS. `queue_wait_ms` is admission-queue residency
+/// (0 for jobs that never queue: cache hits, sheds, refusals); `run_ms` is
+/// worker wall time (0 for the same).
+fn job_log_line(
+    id: u64,
+    kind: &str,
+    outcome: &str,
+    cache: &str,
+    queue_wait_ms: u64,
+    run_ms: u64,
+    threads: usize,
+) -> String {
+    format!(
+        "{{\"gmh_job\":{id},\"kind\":\"{kind}\",\"outcome\":\"{outcome}\",\
+         \"cache\":\"{cache}\",\"queue_wait_ms\":{queue_wait_ms},\
+         \"run_ms\":{run_ms},\"threads\":{threads}}}"
+    )
+}
+
+fn millis(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
 }
 
 /// Admission state guarded by one mutex.
@@ -339,20 +366,24 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
 /// reply.
 fn submit_job(shared: &Arc<Shared>, job: Box<JobRequest>) -> Reply {
     Metrics::inc(&shared.metrics.accepted);
+    let id = shared.metrics.next_job_id();
     let key = job_key(&job.label, &job.config, &job.workload);
+    let threads = job.config.sim_threads.max(1);
 
     // Cache first: a hit bypasses admission entirely — repeats are free and
     // byte-identical, even while the queue is saturated. Traced jobs skip
     // the cache both ways: it stores reports, not traces.
+    let cache = if job.trace { "bypass" } else { "miss" };
     if !job.trace {
         if let Some(json) = shared.cache.get(key) {
             Metrics::inc(&shared.metrics.cache_hits);
             Metrics::inc(&shared.metrics.completed);
+            eprintln!("{}", job_log_line(id, "sim", "ok", "hit", 0, 0, threads));
             return Reply::Ok(json);
         }
         Metrics::inc(&shared.metrics.cache_misses);
     }
-    enqueue(shared, Work::Sim { job, key })
+    enqueue(shared, id, "sim", cache, threads, Work::Sim { job, key })
 }
 
 /// Admits (or refuses/sheds) one validated tune search. Searches go
@@ -362,12 +393,21 @@ fn submit_job(shared: &Arc<Shared>, job: Box<JobRequest>) -> Reply {
 fn submit_tune(shared: &Arc<Shared>, params: Box<TuneParams>) -> Reply {
     Metrics::inc(&shared.metrics.accepted);
     Metrics::inc(&shared.metrics.tune_requests);
-    enqueue(shared, Work::Tune(params))
+    let id = shared.metrics.next_job_id();
+    enqueue(shared, id, "tune", "none", 1, Work::Tune(params))
 }
 
 /// Pushes one unit of work through bounded admission and waits for its
-/// terminal reply.
-fn enqueue(shared: &Arc<Shared>, work: Work) -> Reply {
+/// terminal reply. `kind`/`cache`/`threads` only feed the structured log
+/// line (refusals and sheds log here; admitted work logs from the worker).
+fn enqueue(
+    shared: &Arc<Shared>,
+    id: u64,
+    kind: &str,
+    cache: &str,
+    threads: usize,
+    work: Work,
+) -> Reply {
     let (reply_tx, reply_rx) = mpsc::channel();
     {
         // INVARIANT: admission-lock holders never panic, so the mutex is
@@ -375,11 +415,19 @@ fn enqueue(shared: &Arc<Shared>, work: Work) -> Reply {
         let mut st = shared.state.lock().expect("admission lock");
         if st.draining {
             Metrics::inc(&shared.metrics.errored);
+            eprintln!("{}", job_log_line(id, kind, "err", cache, 0, 0, threads));
             return Reply::Err("server is shutting down".to_string());
         }
-        if st.queue.push(QueuedJob { work, reply_tx }).is_err() {
+        let queued = QueuedJob {
+            id,
+            enqueued_at: Instant::now(),
+            work,
+            reply_tx,
+        };
+        if st.queue.push(queued).is_err() {
             // Back-pressure: shed explicitly instead of buffering.
             Metrics::inc(&shared.metrics.shed);
+            eprintln!("{}", job_log_line(id, kind, "busy", cache, 0, 0, threads));
             return Reply::Busy {
                 retry_after_ms: shared.metrics.avg_job_ms(),
             };
@@ -411,15 +459,22 @@ fn worker_loop(shared: &Arc<Shared>) {
                 st = shared.work_ready.wait(st).expect("admission lock");
             }
         };
-        let Some(QueuedJob { work, reply_tx }) = next else {
+        let Some(QueuedJob {
+            id,
+            enqueued_at,
+            work,
+            reply_tx,
+        }) = next
+        else {
             // Draining and the queue is dry: this worker is done. Wake any
             // drain waiter in case we were the last.
             shared.drained.notify_all();
             return;
         };
+        let queue_wait_ms = millis(enqueued_at.elapsed());
         let reply = match work {
-            Work::Sim { job, key } => execute_job(shared, *job, key),
-            Work::Tune(params) => execute_tune(shared, *params),
+            Work::Sim { job, key } => execute_job(shared, *job, key, id, queue_wait_ms),
+            Work::Tune(params) => execute_tune(shared, *params, id, queue_wait_ms),
         };
         reply_tx.send(reply).ok(); // client may have disconnected
         {
@@ -434,32 +489,50 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 /// Runs one job under the wall-clock budget.
-fn execute_job(shared: &Arc<Shared>, job: JobRequest, key: u64) -> Reply {
+fn execute_job(
+    shared: &Arc<Shared>,
+    job: JobRequest,
+    key: u64,
+    id: u64,
+    queue_wait_ms: u64,
+) -> Reply {
     let started = Instant::now();
     let timeout = Duration::from_millis(shared.cfg.job_timeout_ms);
     let (tx, rx) = mpsc::channel();
     let mut config = job.config.clone();
     // Every fresh run samples its fetch lifecycles so the METRICS
-    // histograms stay live; tracing is read-only observation (the report
-    // is bit-identical traced or untraced) and `job_key` hashes the
-    // client's config, so cached repeats stay byte-identical too.
+    // histograms stay live, and self-profiles the host scheduler so the
+    // gmh_host_* series stay live; both are read-only observation (the
+    // report is bit-identical with them on or off) and `job_key` hashes
+    // the client's config, so cached repeats stay byte-identical too.
     if config.trace_sample == 0 {
         config.trace_sample = 16;
     }
+    config.profile_host = true;
+    let threads = config.sim_threads.max(1);
+    let cache = if job.trace { "bypass" } else { "miss" };
     let workload = job.workload.clone();
     let helper = std::thread::Builder::new()
         .name("gmh-sim".to_string())
         .spawn(move || {
-            let stats = GpuSim::new(config, &workload).run();
-            tx.send(stats).ok();
+            let mut sim = GpuSim::new(config, &workload);
+            let stats = sim.run();
+            tx.send((stats, sim.take_host_report())).ok();
         });
     if helper.is_err() {
         Metrics::inc(&shared.metrics.errored);
+        eprintln!(
+            "{}",
+            job_log_line(id, "sim", "err", cache, queue_wait_ms, 0, threads)
+        );
         return Reply::Err("cannot spawn simulation thread".to_string());
     }
     match rx.recv_timeout(timeout) {
-        Ok(stats) => {
+        Ok((stats, host_report)) => {
             shared.merge_latency(&stats.trace.levels);
+            if let Some(hr) = &host_report {
+                shared.metrics.record_host_profile(hr);
+            }
             let json = if job.trace {
                 chrome_trace_json(job.workload.name, &stats.trace)
             } else {
@@ -469,11 +542,15 @@ fn execute_job(shared: &Arc<Shared>, job: JobRequest, key: u64) -> Reply {
                 }
                 json
             };
-            let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let wall_ms = millis(started.elapsed());
             Metrics::add(&shared.metrics.sim_cycles, stats.core_cycles);
             Metrics::add(&shared.metrics.sim_wall_ms, wall_ms);
             shared.metrics.record_job_rate(stats.core_cycles, wall_ms);
             Metrics::inc(&shared.metrics.completed);
+            eprintln!(
+                "{}",
+                job_log_line(id, "sim", "ok", cache, queue_wait_ms, wall_ms, threads)
+            );
             Reply::Ok(json)
         }
         Err(_) => {
@@ -481,6 +558,18 @@ fn execute_job(shared: &Arc<Shared>, job: JobRequest, key: u64) -> Reply {
             // (`max_core_cycles`) bounds how long it can linger, and its
             // eventual result is discarded. The worker moves on immediately.
             Metrics::inc(&shared.metrics.timed_out);
+            eprintln!(
+                "{}",
+                job_log_line(
+                    id,
+                    "sim",
+                    "timeout",
+                    cache,
+                    queue_wait_ms,
+                    millis(started.elapsed()),
+                    threads
+                )
+            );
             Reply::Timeout {
                 after_ms: shared.cfg.job_timeout_ms,
             }
@@ -495,7 +584,14 @@ fn execute_job(shared: &Arc<Shared>, job: JobRequest, key: u64) -> Reply {
 /// simulation the search triggers lands in (and is served from) the same
 /// store the plain job path uses — a warm repeat of a search is pure cache
 /// hits.
-fn execute_tune(shared: &Arc<Shared>, params: TuneParams) -> Reply {
+fn execute_tune(shared: &Arc<Shared>, params: TuneParams, id: u64, queue_wait_ms: u64) -> Reply {
+    let started = Instant::now();
+    let log = |outcome: &str, run_ms: u64| {
+        eprintln!(
+            "{}",
+            job_log_line(id, "tune", outcome, "none", queue_wait_ms, run_ms, 1)
+        );
+    };
     let timeout = Duration::from_millis(shared.cfg.job_timeout_ms);
     let (tx, rx) = mpsc::channel();
     let cache_dir = shared.cfg.cache_dir.clone();
@@ -508,6 +604,7 @@ fn execute_tune(shared: &Arc<Shared>, params: TuneParams) -> Reply {
         });
     if helper.is_err() {
         Metrics::inc(&shared.metrics.errored);
+        log("err", 0);
         return Reply::Err("cannot spawn tune thread".to_string());
     }
     match rx.recv_timeout(timeout) {
@@ -528,16 +625,19 @@ fn execute_tune(shared: &Arc<Shared>, params: TuneParams) -> Reply {
                 u64::try_from(out.cache_hits).unwrap_or(u64::MAX),
             );
             Metrics::inc(&shared.metrics.completed);
+            log("ok", millis(started.elapsed()));
             Reply::Ok(frontier_json(&params, &out))
         }
         Ok(Err(e)) => {
             Metrics::inc(&shared.metrics.errored);
+            log("err", millis(started.elapsed()));
             Reply::Err(format!("tune failed: {e}"))
         }
         Err(_) => {
             // As with simulations: the helper is abandoned, its budgeted
             // evaluations bound how long it lingers, its result is dropped.
             Metrics::inc(&shared.metrics.timed_out);
+            log("timeout", millis(started.elapsed()));
             Reply::Timeout {
                 after_ms: shared.cfg.job_timeout_ms,
             }
@@ -638,6 +738,41 @@ mod tests {
             read_line_capped(&mut r).unwrap(),
             LineRead::TooLong
         ));
+    }
+
+    #[test]
+    fn job_log_line_is_one_parseable_json_object() {
+        let line = job_log_line(42, "sim", "ok", "miss", 3, 128, 8);
+        assert!(!line.contains('\n'), "must stay a single stderr line");
+        let doc = crate::json::parse(&line).expect("log line parses");
+        assert_eq!(
+            doc.get("gmh_job").and_then(crate::json::Json::as_u64),
+            Some(42)
+        );
+        assert_eq!(
+            doc.get("kind").and_then(crate::json::Json::as_str),
+            Some("sim")
+        );
+        assert_eq!(
+            doc.get("outcome").and_then(crate::json::Json::as_str),
+            Some("ok")
+        );
+        assert_eq!(
+            doc.get("cache").and_then(crate::json::Json::as_str),
+            Some("miss")
+        );
+        assert_eq!(
+            doc.get("queue_wait_ms").and_then(crate::json::Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("run_ms").and_then(crate::json::Json::as_u64),
+            Some(128)
+        );
+        assert_eq!(
+            doc.get("threads").and_then(crate::json::Json::as_u64),
+            Some(8)
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod addr;
 pub mod clock;
 pub mod fetch;
 pub mod hash;
+pub mod prof;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -38,6 +39,7 @@ pub use addr::{Address, LineAddr, LINE_SIZE};
 pub use clock::{ClockDomain, ClockDomains, DomainId, EventBound, Picos, TickCounts, TickSet};
 pub use fetch::{AccessKind, FetchId, MemFetch, Timestamps};
 pub use hash::{stable_hash_str, StableHasher};
+pub use prof::{HostPhase, HostProfiler, HostReport, LaneData, LaneProf, SpanEvent};
 pub use queue::{BoundedQueue, OccupancyHistogram};
 pub use rng::Xoshiro256;
 pub use stats::{Counter, Histogram, LatencyHistogram, MeanAccumulator, RatioStat};

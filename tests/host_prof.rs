@@ -1,0 +1,135 @@
+//! Host self-profiler regression: profiling is pure observation.
+//!
+//! `profile_host` threads wall-clock spans through the run loop and the
+//! worker pool, which is exactly the kind of change that could perturb
+//! results if it ever leaked into model state. These tests pin the
+//! contract at the strictest observable boundary: with profiling on or
+//! off, at 1 scheduler thread and at 8, the exported report (stats, stall
+//! fractions, audit ledger, telemetry series) and the sampled Chrome
+//! trace must be byte-identical. A second test checks the profiler's own
+//! output is structurally sound on a pooled run — every lane present,
+//! the dispatch/collect/merge funnel populated.
+
+use gmh::core::{GpuConfig, GpuSim};
+use gmh::exp::{chrome_trace_json, report_json, utilization_table};
+use gmh::types::prof::HostPhase;
+use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+
+/// A machine wide enough for real sharding (4 cores, 4 banks, 2 channels)
+/// while staying fast.
+fn small_gpu() -> GpuConfig {
+    let mut c = GpuConfig::gtx480_baseline();
+    c.n_cores = 4;
+    c.n_l2_banks = 4;
+    c.n_channels = 2;
+    c.dram.n_channels = 2;
+    c.l2_bank.set_stride = 4;
+    c.l2_bank.size_bytes = 256 * 1024 / 4;
+    c.max_core_cycles = 60_000;
+    c.trace_sample = 4;
+    c
+}
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "host-prof-mix",
+        suite: Suite::Parboil,
+        full_name: "mixed archetype for host-profiler equivalence",
+        warps_per_core: 16,
+        insts_per_warp: 200,
+        code_lines: 4,
+        mem_fraction: 0.4,
+        write_fraction: 0.15,
+        ilp: 4,
+        alu_latency: 8,
+        alu_dep_fraction: 0.1,
+        accesses_per_mem: 2,
+        mix: AddressMix::new(0.5, 0.25, 0.25),
+        hot_lines: 64,
+        shared_lines: 2048,
+        coherent_stream: false,
+        seed: 1234,
+    }
+}
+
+#[test]
+fn profiling_leaves_reports_and_traces_byte_identical() {
+    let wl = workload();
+    for threads in [1usize, 8] {
+        let mut off_cfg = small_gpu();
+        off_cfg.sim_threads = threads;
+        let mut on_cfg = off_cfg.clone();
+        on_cfg.profile_host = true;
+
+        let off = GpuSim::new(off_cfg, &wl).run();
+        let mut on_sim = GpuSim::new(on_cfg, &wl);
+        let on = on_sim.run();
+        assert_eq!(
+            report_json("host-prof", wl.name, &off),
+            report_json("host-prof", wl.name, &on),
+            "{threads} threads: profiling must not change a byte of the report"
+        );
+        assert_eq!(
+            chrome_trace_json(wl.name, &off.trace),
+            chrome_trace_json(wl.name, &on.trace),
+            "{threads} threads: profiling must not change a byte of the trace"
+        );
+        // And the profiled run did actually profile.
+        let report = on_sim.take_host_report().expect("profile_host was on");
+        assert!(report.phase_count(HostPhase::CoreTick) > 0);
+    }
+}
+
+#[test]
+fn pooled_profile_populates_every_lane_and_the_dispatch_funnel() {
+    let wl = workload();
+    let mut cfg = small_gpu();
+    cfg.sim_threads = 8; // clamps to the 4-core shard width
+    cfg.profile_host = true;
+    let mut sim = GpuSim::new(cfg, &wl);
+    sim.run();
+    let r = sim.take_host_report().expect("profile_host was on");
+
+    assert!(r.n_workers >= 1, "a pooled run must adopt worker lanes");
+    assert_eq!(r.lanes.len(), r.n_workers + 1, "coordinator plus workers");
+    assert_eq!(r.lanes[0].lane, 0, "coordinator lane leads");
+    assert!(r.wall_ns > 0);
+
+    // The dispatch → barrier → merge funnel: every region handed to a
+    // worker is collected back, and every tick absorbs all shard sinks.
+    assert!(r.dispatches > 0, "pooled run dispatches regions");
+    assert!(r.collects > 0, "every dispatch round ends in a barrier");
+    assert!(r.merges > 0, "traced run merges shard sinks");
+
+    // Coordinator saw the top-level phases; workers saw region execution.
+    for phase in [
+        HostPhase::CoreTick,
+        HostPhase::IcntTick,
+        HostPhase::DramTick,
+    ] {
+        assert!(
+            r.lanes[0].count(phase) > 0,
+            "coordinator records {phase:?} spans"
+        );
+    }
+    for w in &r.lanes[1..] {
+        assert!(
+            w.count(HostPhase::RegionExec) > 0,
+            "worker lane {} executed regions",
+            w.lane
+        );
+        assert_eq!(
+            w.count(HostPhase::RegionExec),
+            w.count(HostPhase::SendReturn),
+            "every executed region is sent back"
+        );
+    }
+
+    // Derived accounting stays coherent: ratios finite, attribution table
+    // renders every lane.
+    assert!(r.worker_busy_ratio().is_finite());
+    assert!(r.barrier_wait_ns_total() > 0);
+    let table = utilization_table(&r);
+    assert!(table.contains("coordinator"));
+    assert!(table.contains("worker 1"));
+}
