@@ -1,0 +1,64 @@
+//! Per-workload event-core diagnosis: event loop vs naive one-tick loop,
+//! with jump/busy attribution, for tuning which components actually sleep.
+//!
+//! ```text
+//! cargo run --release -p gmh-bench --example event_diag [-- names...]
+//! ```
+
+use gmh_core::{GpuConfig, GpuSim};
+use gmh_workloads::catalog;
+use std::time::Instant;
+
+fn run(name: &str, naive: bool, max_cycles: u64) -> (f64, u64, f64) {
+    let mut cfg = GpuConfig::gtx480_baseline();
+    cfg.max_core_cycles = max_cycles;
+    cfg.force_naive_loop = naive;
+    let wl = catalog::by_name(name).expect("catalog workload");
+    let mut sim = GpuSim::new(cfg, &wl);
+    let t0 = Instant::now();
+    let stats = sim.run();
+    let s = t0.elapsed().as_secs_f64();
+    if !naive {
+        let ff = sim.ff_stats();
+        println!(
+            "  {name}: jumps {}, skipped (core {}, icnt {}, dram {}), busy \
+             (core {}, icnt {}, bank {}, dram {}), zero {}",
+            ff.jumps,
+            ff.skipped_core,
+            ff.skipped_icnt,
+            ff.skipped_dram,
+            ff.busy_core,
+            ff.busy_icnt,
+            ff.busy_bank,
+            ff.busy_dram,
+            ff.zero_window
+        );
+    }
+    (s, stats.core_cycles, stats.ipc)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["mm", "lbm", "bfs", "burst", "lull", "solo"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let max_cycles: u64 = std::env::var("GMH_DIAG_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    for name in names {
+        let (ev_s, ev_c, ev_ipc) = run(name, false, max_cycles);
+        let (nv_s, nv_c, nv_ipc) = run(name, true, max_cycles);
+        assert_eq!(ev_c, nv_c);
+        assert_eq!(ev_ipc, nv_ipc);
+        println!(
+            "{name:>6}: event {ev_s:.3}s vs naive {nv_s:.3}s = {:.2}x  \
+             ({} cycles, ipc {:.3})",
+            nv_s / ev_s,
+            ev_c,
+            ev_ipc
+        );
+    }
+}

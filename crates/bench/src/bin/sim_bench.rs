@@ -44,6 +44,11 @@ use std::time::Instant;
 
 const WORKLOADS: &[&str] = &["mm", "lbm", "bfs"];
 
+/// Bursty / idle-phase synthetic workloads (compute-storm alternation and
+/// a low-occupancy single-cluster variant): the scenarios where the
+/// event-driven core's quiet-component skipping should win big.
+const BURSTY_WORKLOADS: &[&str] = &["burst", "lull", "solo"];
+
 /// `sim_cycles_per_sec` (tracing off) recorded before the run-loop
 /// overhaul, kept for the speedup line in the report.
 const PRE_OVERHAUL_CPS: f64 = 86_849.3;
@@ -70,27 +75,43 @@ fn timing_reps(smoke_or_quick: bool) -> usize {
     if smoke_or_quick {
         3
     } else {
-        2
+        // Full rounds are minutes apart (the thread sweep runs inside each
+        // round), so two samples leave the min hostage to one bad window;
+        // three is where the min stops moving on the 1-vCPU host.
+        3
     }
 }
 
-/// One pass over the batch at a given scheduler width; returns (elapsed
-/// seconds, total core cycles, per-workload IPC).
-fn run_pass(trace_sample: u64, max_cycles: u64, threads: usize) -> (f64, u64, Vec<f64>) {
+/// One pass over a workload batch at a given scheduler width; returns
+/// (elapsed seconds, total core cycles, per-workload IPC). `naive` pins
+/// the one-tick oracle loop (event scheduler off).
+fn run_batch(
+    workloads: &[&str],
+    trace_sample: u64,
+    max_cycles: u64,
+    threads: usize,
+    naive: bool,
+) -> (f64, u64, Vec<f64>) {
     let started = Instant::now();
     let mut cycles = 0u64;
     let mut ipcs = Vec::new();
-    for name in WORKLOADS {
+    for name in workloads {
         let mut cfg = GpuConfig::gtx480_baseline();
         cfg.max_core_cycles = max_cycles;
         cfg.trace_sample = trace_sample;
         cfg.sim_threads = threads;
+        cfg.force_naive_loop = naive;
         let wl = catalog::by_name(name).expect("catalog workload");
         let stats = GpuSim::new(cfg, &wl).run();
         cycles += stats.core_cycles;
         ipcs.push(stats.ipc);
     }
     (started.elapsed().as_secs_f64(), cycles, ipcs)
+}
+
+/// The standard saturated-trio pass (event core on).
+fn run_pass(trace_sample: u64, max_cycles: u64, threads: usize) -> (f64, u64, Vec<f64>) {
+    run_batch(WORKLOADS, trace_sample, max_cycles, threads, false)
 }
 
 /// Folds one repetition of a timed pass into its best-of-N slot: keeps
@@ -269,17 +290,35 @@ fn main() {
     let mut off_slot = None;
     let mut on_slot = None;
     let mut host_slot = None;
+    let mut naive_slot = None;
+    let mut bursty_slot = None;
+    let mut bursty_naive_slot = None;
     let mut sweep_slots: Vec<Option<(f64, u64, Vec<f64>)>> = vec![None; THREAD_SWEEP.len()];
     for _ in 0..reps {
         fold_pass(&mut off_slot, run_pass(0, max_cycles, 1));
         fold_pass(&mut on_slot, run_pass(16, max_cycles, 1));
         fold_host_pass(&mut host_slot, run_host_pass(max_cycles, 1));
+        fold_pass(
+            &mut naive_slot,
+            run_batch(WORKLOADS, 0, max_cycles, 1, true),
+        );
+        fold_pass(
+            &mut bursty_slot,
+            run_batch(BURSTY_WORKLOADS, 0, max_cycles, 1, false),
+        );
+        fold_pass(
+            &mut bursty_naive_slot,
+            run_batch(BURSTY_WORKLOADS, 0, max_cycles, 1, true),
+        );
         for (slot, &threads) in sweep_slots.iter_mut().zip(THREAD_SWEEP) {
             fold_pass(slot, run_pass(0, max_cycles, threads));
         }
     }
     let (off_s, off_cycles, off_ipcs) = off_slot.expect("reps >= 1");
     let (on_s, on_cycles, on_ipcs) = on_slot.expect("reps >= 1");
+    let (naive_s, naive_cycles, naive_ipcs) = naive_slot.expect("reps >= 1");
+    let (bursty_s, bursty_cycles, bursty_ipcs) = bursty_slot.expect("reps >= 1");
+    let (bn_s, bn_cycles, bn_ipcs) = bursty_naive_slot.expect("reps >= 1");
     let (host_s, host_cycles, host_ipcs, host_reports) = host_slot.expect("reps >= 1");
     let (profile, ff, prof_ipcs) = run_profiled(max_cycles);
     let (_, _, pooled_ipcs, pooled_reports) = run_host_pass(max_cycles, HOST_POOL_THREADS);
@@ -300,12 +339,30 @@ fn main() {
         off_ipcs, pooled_ipcs,
         "pooled host profiler must not change simulation results"
     );
+    assert_eq!(
+        off_ipcs, naive_ipcs,
+        "the event core must not change simulation results"
+    );
+    assert_eq!(
+        bursty_ipcs, bn_ipcs,
+        "the event core must not change bursty-workload results"
+    );
     assert_eq!(off_cycles, on_cycles, "both passes simulate the same work");
     assert_eq!(off_cycles, host_cycles, "same work under the host profiler");
+    assert_eq!(off_cycles, naive_cycles, "same work under the naive oracle");
+    assert_eq!(
+        bursty_cycles, bn_cycles,
+        "same bursty work under the naive oracle"
+    );
 
     let off_cps = off_cycles as f64 / off_s;
     let on_cps = on_cycles as f64 / on_s;
     let host_cps = host_cycles as f64 / host_s;
+    let naive_cps = naive_cycles as f64 / naive_s;
+    let bursty_cps = bursty_cycles as f64 / bursty_s;
+    let bn_cps = bn_cycles as f64 / bn_s;
+    let saturated_speedup = off_cps / naive_cps;
+    let bursty_speedup = bursty_cps / bn_cps;
     // Throughput loss, not wall-seconds inflation: 1 - on/off cycles/s.
     let overhead_pct = (1.0 - on_cps / off_cps) * 100.0;
     let host_overhead_pct = (1.0 - host_cps / off_cps) * 100.0;
@@ -315,6 +372,15 @@ fn main() {
     println!(
         "host profiler:   {host_cycles} cycles in {host_s:.3}s = {host_cps:.0} cycles/s \
          ({host_overhead_pct:.1}% throughput loss, results bit-identical)"
+    );
+    println!(
+        "event core vs naive loop (saturated trio): {off_cps:.0} vs {naive_cps:.0} cycles/s \
+         = {saturated_speedup:.2}x (results bit-identical)"
+    );
+    println!(
+        "event core vs naive loop (bursty {BURSTY_WORKLOADS:?}): \
+         {bursty_cps:.0} vs {bn_cps:.0} cycles/s = {bursty_speedup:.2}x \
+         (results bit-identical)"
     );
 
     // Scheduler-thread scaling sweep (tracing off). Every width must
@@ -509,6 +575,26 @@ fn main() {
         pooled_merged.merges,
         host_phase_rows(&pooled_merged),
     );
+    // Event-core section. `speedup_vs_naive` (prefix) and `*_speedup`
+    // (suffix) both land in bench_diff's Speedup class: same-host ratios
+    // between two passes of the same binary, gated on regression only.
+    let event_core_json = format!(
+        "  \"event_core\": {{\n    \
+         \"naive_saturated\": {{\"seconds\": {naive_s:.6}, \"sim_cycles\": {naive_cycles}, \
+         \"sim_cycles_per_sec\": {naive_cps:.1}}},\n    \
+         \"speedup_vs_naive\": {saturated_speedup:.3},\n    \
+         \"bursty_workloads\": [{}],\n    \
+         \"bursty_event\": {{\"seconds\": {bursty_s:.6}, \"sim_cycles\": {bursty_cycles}, \
+         \"sim_cycles_per_sec\": {bursty_cps:.1}}},\n    \
+         \"bursty_naive\": {{\"seconds\": {bn_s:.6}, \"sim_cycles\": {bn_cycles}, \
+         \"sim_cycles_per_sec\": {bn_cps:.1}}},\n    \
+         \"bursty_speedup\": {bursty_speedup:.3}\n  }}",
+        BURSTY_WORKLOADS
+            .iter()
+            .map(|w| format!("\"{w}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
     // Key naming is load-bearing for the bench_diff gate: `*_per_sec`,
     // `speedup*` and `*_overhead_pct` leaves are gated metrics. The
     // pre-overhaul reference is a constant recorded on another machine —
@@ -531,7 +617,7 @@ fn main() {
          \"vs_pre_overhaul\": {:.3},\n  \
          \"host_cpus\": {host_cpus},\n  \
          \"scaling_note\": \"{scaling_note}\",\n  \
-         \"threads\": [\n{threads_json}\n  ],\n{host_profile_json},\n  \
+         \"threads\": [\n{threads_json}\n  ],\n{host_profile_json},\n{event_core_json},\n  \
          \"phase_profile_seconds\": {{\n    \"core\": {:.6},\n    \"icnt\": {:.6},\n    \
          \"dram\": {:.6},\n    \"telemetry\": {:.6},\n    \"fast_forward\": {:.6}\n  }},\n  \
          \"fast_forward\": {{\n    \"jumps\": {},\n    \"ticks_skipped\": {}\n  }},\n  \

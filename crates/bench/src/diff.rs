@@ -9,8 +9,9 @@
 //!    the silent breakage the gate exists to catch (downstream tooling
 //!    parses these files), so drift is its own verdict, not a pass.
 //! 2. **Throughput regression** — numeric leaves are classified by key
-//!    suffix: `*_per_sec` and `speedup*` are higher-better, `*_overhead_pct`
-//!    is lower-better (compared in percentage points). Everything else
+//!    shape: `*_per_sec`, `speedup*` and `*_speedup` are higher-better,
+//!    `*_overhead_pct` is lower-better (compared in percentage points).
+//!    Everything else
 //!    (`seconds`, cycle counts, `host_cpus`, …) is host-dependent or
 //!    deterministic-by-construction and never gates.
 //!
@@ -103,7 +104,10 @@ enum MetricClass {
 fn classify(key: &str) -> MetricClass {
     if key.ends_with("_per_sec") {
         MetricClass::Throughput
-    } else if key.starts_with("speedup") {
+    } else if key.starts_with("speedup") || key.ends_with("_speedup") {
+        // Both spellings are live: `speedup_vs_serial` (prefix) from the
+        // thread sweep and `bursty_speedup` / `event_vs_naive_speedup`
+        // (suffix) from the event-core gate.
         MetricClass::Speedup
     } else if key.ends_with("_overhead_pct") {
         MetricClass::OverheadPct
@@ -488,6 +492,42 @@ mod tests {
             o.insert("sampling_overhead_pct".into(), Json::Num("19.0".into()));
         }
         assert_eq!(diff(&b, &c, 15.0, false).verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn speedup_suffix_keys_gate_like_prefix_ones() {
+        // `bursty_speedup` (event-core gate) must gate exactly like the
+        // older `speedup_vs_serial` spelling: as a raw ratio, never
+        // normalized by the headline.
+        let mk = |ratio: f64| {
+            doc(&format!(
+                r#"{{"bench":"sim-bench",
+                    "tracing_off":{{"sim_cycles_per_sec":100000.0}},
+                    "bursty_speedup":{ratio},
+                    "results_identical":true}}"#
+            ))
+        };
+        assert_eq!(diff(&mk(3.0), &mk(2.9), 15.0, false).verdict, Verdict::Pass);
+        let r = diff(&mk(3.0), &mk(2.0), 15.0, false);
+        assert_eq!(r.verdict, Verdict::Regress);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.path == "bursty_speedup" && f.detail.contains("speedup regressed")),
+            "classified as Speedup, not Throughput/Ignored: {:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn classify_covers_both_speedup_spellings() {
+        assert_eq!(classify("speedup_vs_serial"), MetricClass::Speedup);
+        assert_eq!(classify("bursty_speedup"), MetricClass::Speedup);
+        assert_eq!(classify("event_vs_naive_speedup"), MetricClass::Speedup);
+        assert_eq!(classify("sim_cycles_per_sec"), MetricClass::Throughput);
+        assert_eq!(classify("sampling_overhead_pct"), MetricClass::OverheadPct);
+        assert_eq!(classify("speedy_cycles"), MetricClass::Ignored);
+        assert_eq!(classify("seconds"), MetricClass::Ignored);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod area;
 pub mod config;
 pub mod l2bank;
 mod par;
+mod sched;
 pub mod sim;
 pub mod stats;
 

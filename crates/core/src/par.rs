@@ -27,12 +27,13 @@
 //! oversubscribed host loses throughput but never correctness.
 
 use crate::l2bank::L2Bank;
+use crate::sched::{Class, ShardSched};
 use gmh_dram::DramChannel;
 use gmh_icnt::Network;
-use gmh_simt::SimtCore;
+use gmh_simt::{CoreIdleProbe, SimtCore};
 use gmh_types::prof::{HostPhase, LaneProf};
 use gmh_types::trace::TraceSink;
-use gmh_types::Picos;
+use gmh_types::{EventBound, Picos, TickSet};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -55,26 +56,38 @@ pub(crate) struct Shard {
     /// Private trace sink, drained into the global sink at every merge
     /// point in shard order.
     pub trace: TraceSink,
-    /// Regions this shard actually executed (it owned ≥1 component of the
-    /// region's class) — observational, for the shard-utilization tests.
+    /// Shard-local event scheduler: awake flags, wake queue and the lazy
+    /// skipped-cycle ledger for the components this shard owns.
+    pub sched: ShardSched,
+    /// Regions this shard actually executed (it owned ≥1 awake component
+    /// of the region's class) — observational, for the shard-utilization
+    /// tests.
     pub active_regions: u64,
 }
 
 /// One parallel phase of the run loop. Carries the scalar clock context a
-/// worker needs, because workers see nothing but the shard itself.
+/// worker needs, because workers see nothing but the shard itself — the
+/// domain cycle count feeds the scheduler's `done` ledger and wake math.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum Region {
     /// Switch the crossbar networks this shard owns.
-    Net,
+    Net {
+        /// Current interconnect-domain cycle count.
+        cyc: u64,
+    },
     /// Advance every L2 bank pipeline one interconnect cycle.
     Bank {
         /// Wall-clock picosecond of this tick.
         now_ps: Picos,
+        /// Current interconnect-domain cycle count.
+        cyc: u64,
     },
     /// Advance every SIMT core one core cycle.
     Core {
         /// Wall-clock picosecond of this tick.
         now_ps: Picos,
+        /// Current core-domain cycle count.
+        cyc: u64,
     },
     /// Advance every DRAM channel one DRAM cycle.
     Dram {
@@ -95,52 +108,290 @@ impl Shard {
             channels: Vec::new(),
             nets: Vec::new(),
             trace: TraceSink::disabled(),
+            sched: ShardSched::hollow(),
             active_regions: 0,
         }
     }
 
-    /// Whether the shard owns any component of `region`'s class. Empty
-    /// shards skip the dispatch entirely — the region provably cannot
-    /// touch them, so skipping is a pure scheduling choice with no effect
-    /// on results.
+    /// Whether dispatching `region` to this shard could do any work: the
+    /// shard owns components of the class and (with the event scheduler
+    /// on) at least one of them is awake. Skipping the dispatch otherwise
+    /// is a pure scheduling choice — the gated region loop below would
+    /// visit nobody — with no effect on results.
     pub fn wants(&self, region: Region) -> bool {
-        match region {
-            Region::Net => !self.nets.is_empty(),
-            Region::Bank { .. } => !self.banks.is_empty(),
-            Region::Core { .. } => !self.cores.is_empty(),
-            Region::Dram { .. } => !self.channels.is_empty(),
-        }
+        let (populated, awake) = match region {
+            Region::Net { .. } => (!self.nets.is_empty(), self.sched.awake_nets),
+            Region::Bank { .. } => (!self.banks.is_empty(), self.sched.awake_banks),
+            Region::Core { .. } => (!self.cores.is_empty(), self.sched.awake_cores),
+            Region::Dram { .. } => (!self.channels.is_empty(), self.sched.awake_chans),
+        };
+        populated && (!self.sched.enabled || awake > 0)
     }
 
-    /// Executes one region over this shard's components, in ascending
-    /// component order — the same order the serial sweep visits them.
+    /// Executes one region over this shard's *awake* components, in
+    /// ascending component order — the same order the serial sweep visits
+    /// them (sleeping components are provably inert this tick, so skipping
+    /// them is exact). After its cycle each component is re-probed: a
+    /// quiet probe parks it in the shard-local scheduler, a busy one keeps
+    /// it hot with zero queue traffic.
     pub fn run_region(&mut self, region: Region) {
         if !self.wants(region) {
             return;
         }
         self.active_regions += 1;
+        let Shard {
+            cores,
+            banks,
+            channels,
+            nets,
+            trace,
+            sched,
+            ..
+        } = self;
         match region {
-            Region::Net => {
-                for n in &mut self.nets {
-                    n.cycle();
+            Region::Net { cyc } => {
+                for (i, n) in nets.iter_mut().enumerate() {
+                    let id = sched.net_id(i);
+                    if sched.enabled && !sched.awake[id] {
+                        continue;
+                    }
+                    let moved = n.cycle();
+                    if !sched.enabled {
+                        continue;
+                    }
+                    sched.done[id] = cyc;
+                    // A moving switch is trivially busy: probe only on a
+                    // do-nothing cycle, keeping the saturated path free of
+                    // per-cycle head scans. A parked ejection backlog is
+                    // re-offered by the coordinator every tick; the
+                    // network's own bound does not cover it, so a
+                    // backlogged switch stays awake.
+                    if moved || n.ejection_backlog() > 0 {
+                        continue;
+                    }
+                    match n.next_event_bound() {
+                        EventBound::Busy => {}
+                        EventBound::QuietUntil { bound } => sched.sleep(id, Class::Net, bound),
+                    }
                 }
             }
-            Region::Bank { now_ps } => {
-                let Shard { banks, trace, .. } = self;
-                for b in banks {
+            Region::Bank { now_ps, cyc } => {
+                for (i, b) in banks.iter_mut().enumerate() {
+                    let id = sched.bank_id(i);
+                    if sched.enabled && !sched.awake[id] {
+                        continue;
+                    }
                     b.cycle_traced(now_ps, trace);
+                    if !sched.enabled {
+                        continue;
+                    }
+                    sched.done[id] = cyc;
+                    // The bank probe is three O(1) queue checks — probing
+                    // every cycle costs no more than an activity check.
+                    match b.next_event_bound() {
+                        EventBound::Busy => {}
+                        EventBound::QuietUntil { bound } => sched.sleep(id, Class::Bank, bound),
+                    }
                 }
             }
-            Region::Core { now_ps } => {
-                let Shard { cores, trace, .. } = self;
-                for c in cores {
-                    c.cycle_traced(now_ps, trace);
+            Region::Core { now_ps, cyc } => {
+                for (i, c) in cores.iter_mut().enumerate() {
+                    let id = sched.core_id(i);
+                    if sched.enabled && !sched.awake[id] {
+                        continue;
+                    }
+                    let active = c.cycle_traced(now_ps, trace);
+                    if !sched.enabled {
+                        continue;
+                    }
+                    sched.done[id] = cyc;
+                    // An active cycle (pipeline inputs to chew on, or an
+                    // instruction issued) implies the probe would answer
+                    // `Busy` or the core is one cycle from quiescing —
+                    // skip the O(warps) probe scan and re-check next tick.
+                    if active {
+                        continue;
+                    }
+                    match c.next_event_bound() {
+                        CoreIdleProbe::Busy => {}
+                        CoreIdleProbe::Quiet { bound, stall } => {
+                            sched.core_stall[i] = stall;
+                            sched.sleep(id, Class::Core, bound);
+                        }
+                    }
                 }
             }
             Region::Dram { cyc } => {
-                for ch in &mut self.channels {
+                for (i, ch) in channels.iter_mut().enumerate() {
+                    let id = sched.chan_id(i);
+                    if sched.enabled && !sched.awake[id] {
+                        continue;
+                    }
                     ch.cycle(cyc);
+                    if !sched.enabled {
+                        continue;
+                    }
+                    sched.done[id] = cyc;
+                    // The channel probe early-outs `Busy` on the first
+                    // visible queue entry, so per-cycle probing is cheap
+                    // on the saturated path.
+                    match ch.next_event_bound(cyc) {
+                        EventBound::Busy => {}
+                        EventBound::QuietUntil { bound } => sched.sleep(id, Class::Chan, bound),
+                    }
                 }
+            }
+        }
+    }
+
+    // ---- wake helpers --------------------------------------------------------
+    //
+    // Every helper follows the flush-before-mutate discipline: the owed
+    // quiet cycles are replayed through the component's bulk skip hook
+    // while its state is still the frozen quiet state the hook's
+    // debug_assert demands, and only then does the caller mutate it.
+    // `target` is the own-domain tick count the component must have
+    // absorbed *before* the caller's mutation (callers subtract one when
+    // the component's own region still runs later this instant).
+
+    /// Wakes core `slot`, flushing its owed quiet cycles (with the stall
+    /// class captured when it went to sleep) up to core tick `target`.
+    pub fn wake_core(&mut self, slot: usize, target: u64) {
+        if !self.sched.enabled {
+            return;
+        }
+        let id = self.sched.core_id(slot);
+        if !self.sched.wake(id, Class::Core) {
+            return;
+        }
+        let owed = target - self.sched.done[id];
+        if owed > 0 {
+            self.cores[slot].skip_idle(owed, self.sched.core_stall[slot]);
+        }
+        self.sched.done[id] = target;
+    }
+
+    /// Wakes bank `slot`, flushing up to interconnect tick `target`.
+    pub fn wake_bank(&mut self, slot: usize, target: u64) {
+        if !self.sched.enabled {
+            return;
+        }
+        let id = self.sched.bank_id(slot);
+        if !self.sched.wake(id, Class::Bank) {
+            return;
+        }
+        let owed = target - self.sched.done[id];
+        if owed > 0 {
+            self.banks[slot].skip_cycles(owed);
+        }
+        self.sched.done[id] = target;
+    }
+
+    /// Wakes channel `slot`, flushing up to DRAM tick `target`. The skip
+    /// hook receives the channel's *pre-skip* cycle count — the `now` its
+    /// most recent real cycle saw — so its quiet assertion evaluates the
+    /// frozen state.
+    pub fn wake_channel(&mut self, slot: usize, target: u64) {
+        if !self.sched.enabled {
+            return;
+        }
+        let id = self.sched.chan_id(slot);
+        if !self.sched.wake(id, Class::Chan) {
+            return;
+        }
+        let done = self.sched.done[id];
+        let owed = target - done;
+        if owed > 0 {
+            self.channels[slot].skip_cycles(owed, done);
+        }
+        self.sched.done[id] = target;
+    }
+
+    /// Wakes network `slot`, flushing up to interconnect tick `target`.
+    pub fn wake_net(&mut self, slot: usize, target: u64) {
+        if !self.sched.enabled {
+            return;
+        }
+        let id = self.sched.net_id(slot);
+        if !self.sched.wake(id, Class::Net) {
+            return;
+        }
+        let owed = target - self.sched.done[id];
+        if owed > 0 {
+            self.nets[slot].skip_cycles(owed);
+        }
+        self.sched.done[id] = target;
+    }
+
+    /// Drains this shard's due wakes at one clock instant: every queued
+    /// component whose wake time has arrived is flushed to `cycles - 1` of
+    /// its own domain (its domain provably fires at its wake instant, so
+    /// the region running later this instant executes the final tick) and
+    /// marked awake. Returns the number of components woken.
+    pub fn drain_wakes(
+        &mut self,
+        now_ps: Picos,
+        fired: TickSet,
+        core_cyc: u64,
+        icnt_cyc: u64,
+        dram_cyc: u64,
+    ) -> u64 {
+        if !self.sched.enabled {
+            return 0;
+        }
+        let mut woke = 0;
+        while let Some(id) = self.sched.q.pop_ready(now_ps) {
+            let (class, slot) = self.sched.locate(id);
+            debug_assert!(
+                match class {
+                    Class::Core => fired.core,
+                    Class::Bank | Class::Net => fired.icnt,
+                    Class::Chan => fired.dram,
+                },
+                "a wake instant must be a tick instant of its own domain"
+            );
+            match class {
+                Class::Core => self.wake_core(slot, core_cyc - 1),
+                Class::Bank => self.wake_bank(slot, icnt_cyc - 1),
+                Class::Chan => self.wake_channel(slot, dram_cyc - 1),
+                Class::Net => self.wake_net(slot, icnt_cyc - 1),
+            }
+            woke += 1;
+        }
+        woke
+    }
+
+    /// End-of-run flush: replays every sleeping component's owed quiet
+    /// cycles up to the final domain tick counts, so the collected stats
+    /// (stall attribution, occupancy samples, blocked-cycle counts) are
+    /// exactly what the naive loop would have accumulated. Classes the
+    /// memory model never ticks are left untouched, like the naive loop
+    /// leaves them.
+    pub fn flush_end(
+        &mut self,
+        core_end: u64,
+        icnt_end: u64,
+        dram_end: u64,
+        hierarchy: bool,
+        full_dram: bool,
+    ) {
+        if !self.sched.enabled {
+            return;
+        }
+        for slot in 0..self.cores.len() {
+            self.wake_core(slot, core_end);
+        }
+        if hierarchy {
+            for slot in 0..self.banks.len() {
+                self.wake_bank(slot, icnt_end);
+            }
+            for slot in 0..self.nets.len() {
+                self.wake_net(slot, icnt_end);
+            }
+        }
+        if full_dram {
+            for slot in 0..self.channels.len() {
+                self.wake_channel(slot, dram_end);
             }
         }
     }
@@ -263,9 +514,9 @@ mod tests {
     #[test]
     fn empty_shard_wants_nothing() {
         let s = bare_shard(3);
-        assert!(!s.wants(Region::Net));
-        assert!(!s.wants(Region::Bank { now_ps: 0 }));
-        assert!(!s.wants(Region::Core { now_ps: 0 }));
+        assert!(!s.wants(Region::Net { cyc: 0 }));
+        assert!(!s.wants(Region::Bank { now_ps: 0, cyc: 0 }));
+        assert!(!s.wants(Region::Core { now_ps: 0, cyc: 0 }));
         assert!(!s.wants(Region::Dram { cyc: 0 }));
         assert_eq!(s.id, 3);
     }
@@ -273,7 +524,7 @@ mod tests {
     #[test]
     fn run_region_on_empty_shard_counts_nothing() {
         let mut s = bare_shard(0);
-        s.run_region(Region::Core { now_ps: 10 });
+        s.run_region(Region::Core { now_ps: 10, cyc: 1 });
         s.run_region(Region::Dram { cyc: 5 });
         assert_eq!(s.active_regions, 0);
     }
@@ -281,8 +532,8 @@ mod tests {
     #[test]
     fn pool_round_trips_shards() {
         let pool = ParPool::spawn(2, None);
-        pool.dispatch(0, Region::Net, bare_shard(1));
-        pool.dispatch(1, Region::Net, bare_shard(2));
+        pool.dispatch(0, Region::Net { cyc: 1 }, bare_shard(1));
+        pool.dispatch(1, Region::Net { cyc: 1 }, bare_shard(2));
         let a = pool.collect();
         let b = pool.collect();
         let mut ids = [a.id, b.id];
@@ -297,8 +548,8 @@ mod tests {
     fn profiled_pool_returns_worker_lanes_with_spans() {
         let pool = ParPool::spawn(2, Some(Instant::now()));
         for round in 0..3 {
-            pool.dispatch(0, Region::Net, bare_shard(1));
-            pool.dispatch(1, Region::Net, bare_shard(2));
+            pool.dispatch(0, Region::Net { cyc: 1 }, bare_shard(1));
+            pool.dispatch(1, Region::Net { cyc: 1 }, bare_shard(2));
             let _ = pool.collect();
             let _ = pool.collect();
             let _ = round;

@@ -3,16 +3,17 @@
 use crate::config::{GpuConfig, MemoryModel};
 use crate::l2bank::L2Bank;
 use crate::par::{ParPool, Region, Shard};
+use crate::sched::ShardSched;
 use crate::stats::SimStats;
 use gmh_cache::TagArray;
 use gmh_dram::DramChannel;
 use gmh_icnt::{Crossbar, Network};
-use gmh_simt::{CoreIdleProbe, IssueStallKind, SimtCore};
+use gmh_simt::SimtCore;
 use gmh_types::prof::{HostPhase, HostProfiler, HostReport};
 use gmh_types::trace::{Level, TraceEventKind, TraceSink};
 use gmh_types::{
-    stable_hash_str, ClockDomains, DomainId, EventBound, FetchAudit, MemFetch, Picos, SeriesId,
-    Telemetry,
+    stable_hash_str, ClockDomains, DomainId, FetchAudit, MemFetch, Picos, SeriesId, Telemetry,
+    TickSet,
 };
 use gmh_workloads::WorkloadSpec;
 use std::collections::VecDeque;
@@ -190,9 +191,9 @@ pub struct GpuSim {
     ideal_blocked: Vec<bool>,
     /// Reusable holding deque for the ideal-delivery compaction pass.
     ideal_scratch: VecDeque<(u64, MemFetch)>,
-    /// Per-core stall classes captured by the last successful fast-forward
-    /// probe (scratch; valid only inside [`GpuSim::try_fast_forward`]).
-    ff_stalls: Vec<Option<IssueStallKind>>,
+    /// Event core enabled (`!force_naive_loop`): components sleep through
+    /// provably-quiet windows and the loop jumps when everything sleeps.
+    ev: bool,
     /// Observational fast-forward engagement counters.
     ff_stats: FastForwardStats,
     /// Per-phase wall time (populated only under `cfg.profile_phases`).
@@ -287,6 +288,7 @@ impl GpuSim {
                 banks: take_chunk(&mut banks, layout.bank_chunk),
                 channels: take_chunk(&mut channels, layout.chan_chunk),
                 nets: Vec::new(),
+                sched: ShardSched::hollow(),
                 trace: TraceSink::shard(cfg.trace_sample, trace_seed),
                 active_regions: 0,
             })
@@ -299,8 +301,31 @@ impl GpuSim {
             shards[0].nets.push(req_net);
             shards[0].nets.push(rep_net);
         }
+        let clocks = ClockDomains::new(cfg.core_mhz, cfg.icnt_mhz, cfg.dram_mhz);
+        // Classes a memory model never ticks are born parked; the event
+        // core then never probes, wakes or flushes them — mirroring the
+        // naive loop, which never touches them either.
+        let ev = !cfg.force_naive_loop;
+        let hier = matches!(
+            cfg.memory_model,
+            MemoryModel::Full | MemoryModel::InfiniteDram { .. }
+        );
+        let full = matches!(cfg.memory_model, MemoryModel::Full);
+        let periods = [
+            clocks.domain(DomainId::Core).period_ps(),
+            clocks.domain(DomainId::Icnt).period_ps(),
+            clocks.domain(DomainId::Dram).period_ps(),
+        ];
+        for s in &mut shards {
+            s.sched = ShardSched::new(
+                ev,
+                [s.cores.len(), s.banks.len(), s.channels.len(), s.nets.len()],
+                [true, hier, full, hier],
+                periods,
+            );
+        }
         GpuSim {
-            clocks: ClockDomains::new(cfg.core_mhz, cfg.icnt_mhz, cfg.dram_mhz),
+            clocks,
             shards,
             layout,
             ideal_fast: VecDeque::new(),
@@ -316,7 +341,7 @@ impl GpuSim {
             prev_l2_stalls: [0; 5],
             ideal_blocked: vec![false; cfg.n_cores],
             ideal_scratch: VecDeque::new(),
-            ff_stalls: vec![None; cfg.n_cores],
+            ev,
             ff_stats: FastForwardStats::default(),
             profile: PhaseProfile::default(),
             host_prof: cfg.profile_host.then(HostProfiler::new),
@@ -405,6 +430,53 @@ impl GpuSim {
             &mut self.shards[1].nets[0]
         } else {
             &mut self.shards[0].nets[1]
+        }
+    }
+
+    /// Whether global core `c` is awake. Always true in naive mode, so the
+    /// gated coordinator loops degrade to their original ungated sweeps.
+    fn core_awake(&self, c: usize) -> bool {
+        let s = &self.shards[c / self.layout.core_chunk];
+        s.sched.awake[s.sched.core_id(c % self.layout.core_chunk)]
+    }
+
+    /// Whether global L2 bank `b` is awake (see [`GpuSim::core_awake`]).
+    fn bank_awake(&self, b: usize) -> bool {
+        let s = &self.shards[b / self.layout.bank_chunk];
+        s.sched.awake[s.sched.bank_id(b % self.layout.bank_chunk)]
+    }
+
+    // ---- cross-component wakes ----------------------------------------------
+    //
+    // Every coordinator step that hands work to a component first wakes it
+    // at the last own-domain tick the component has provably absorbed
+    // (flushing the owed quiet cycles through its bulk skip hook), so the
+    // mutation lands on exactly the state the naive loop would have.
+
+    fn wake_core_at(&mut self, c: usize, target: u64) {
+        let chunk = self.layout.core_chunk;
+        self.shards[c / chunk].wake_core(c % chunk, target);
+    }
+
+    fn wake_bank_at(&mut self, b: usize, target: u64) {
+        let chunk = self.layout.bank_chunk;
+        self.shards[b / chunk].wake_bank(b % chunk, target);
+    }
+
+    fn wake_channel_at(&mut self, ch: usize, target: u64) {
+        let chunk = self.layout.chan_chunk;
+        self.shards[ch / chunk].wake_channel(ch % chunk, target);
+    }
+
+    fn wake_req_net_at(&mut self, target: u64) {
+        self.shards[0].wake_net(0, target);
+    }
+
+    fn wake_rep_net_at(&mut self, target: u64) {
+        if self.shards.len() > 1 {
+            self.shards[1].wake_net(0, target);
+        } else {
+            self.shards[0].wake_net(1, target);
         }
     }
 
@@ -516,11 +588,6 @@ impl GpuSim {
 
     fn run_loop(&mut self, pool: Option<&ParPool>) -> SimStats {
         let mut hit_cap = false;
-        // Probe throttle: a failed probe (something was busy) predicts more
-        // busy cycles, so back off exponentially before probing again.
-        // Probes are pure, so any throttle policy preserves bit-identity.
-        let mut ff_backoff: u64 = 0;
-        let mut ff_cooldown: u64 = 0;
         loop {
             let core_cycles = self.clocks.domain(DomainId::Core).cycles();
             if core_cycles >= self.cfg.max_core_cycles {
@@ -529,43 +596,19 @@ impl GpuSim {
             }
             // done() is cheap (drained-warp counters), but the coarse
             // 64-cycle stride is kept because it pins the recorded
-            // termination cycle — which the fast-forward path must not
-            // overshoot (its probe refuses to skip once done() holds).
+            // termination cycle — which the jump path must not overshoot
+            // (it refuses to skip once done() holds).
             if core_cycles.is_multiple_of(64) && self.done() {
                 break;
             }
-            if !self.cfg.force_naive_loop {
-                if ff_cooldown == 0 {
-                    let h0 = self.host_prof.as_ref().and_then(|hp| hp.coord.begin());
-                    let t0 = self.cfg.profile_phases.then(std::time::Instant::now);
-                    let jumped = self.try_fast_forward();
-                    if let Some(t0) = t0 {
-                        self.profile.fast_forward += t0.elapsed();
-                    }
-                    if h0.is_some() {
-                        // The whole call is timed either way; which phase
-                        // it lands in depends on whether it jumped.
-                        let phase = if jumped {
-                            HostPhase::FfJump
-                        } else {
-                            HostPhase::FfProbe
-                        };
-                        if let Some(hp) = self.host_prof.as_mut() {
-                            hp.coord.end(phase, h0);
-                        }
-                    }
-                    if jumped {
-                        ff_backoff = 0;
-                        continue;
-                    }
-                    ff_backoff = (ff_backoff * 2).clamp(1, 64);
-                    ff_cooldown = ff_backoff;
-                } else {
-                    ff_cooldown -= 1;
-                }
+            if self.ev && self.try_jump() {
+                continue;
             }
             let fired = self.clocks.advance();
             let now_ps = self.clocks.now();
+            if self.ev {
+                self.drain_due_wakes(fired, now_ps);
+            }
             if self.host_prof.is_some() {
                 self.dispatch_ticks_host(fired, now_ps, pool);
             } else if self.cfg.profile_phases {
@@ -574,6 +617,7 @@ impl GpuSim {
                 self.dispatch_ticks(fired, now_ps, pool);
             }
         }
+        self.flush_all();
         let stats = self.collect(hit_cap);
         // Conservation must hold on every run: a fetch that vanished (or
         // returned twice, or traveled back in time) is a simulator bug.
@@ -596,10 +640,10 @@ impl GpuSim {
     }
 
     /// Runs every domain tick fired by one clock edge (the naive path).
-    fn dispatch_ticks(&mut self, fired: gmh_types::TickSet, now_ps: Picos, pool: Option<&ParPool>) {
+    fn dispatch_ticks(&mut self, fired: TickSet, now_ps: Picos, pool: Option<&ParPool>) {
         if fired.icnt {
             if self.uses_hierarchy() {
-                self.icnt_tick(now_ps, pool);
+                self.icnt_tick(fired, now_ps, pool);
             }
             self.sample_telemetry();
         }
@@ -613,17 +657,12 @@ impl GpuSim {
 
     /// [`GpuSim::dispatch_ticks`] with a wall-clock timer around each phase
     /// (same calls in the same order; results are identical).
-    fn dispatch_ticks_profiled(
-        &mut self,
-        fired: gmh_types::TickSet,
-        now_ps: Picos,
-        pool: Option<&ParPool>,
-    ) {
+    fn dispatch_ticks_profiled(&mut self, fired: TickSet, now_ps: Picos, pool: Option<&ParPool>) {
         use std::time::Instant;
         if fired.icnt {
             if self.uses_hierarchy() {
                 let t0 = Instant::now();
-                self.icnt_tick(now_ps, pool);
+                self.icnt_tick(fired, now_ps, pool);
                 self.profile.icnt += t0.elapsed();
             }
             let t0 = Instant::now();
@@ -646,16 +685,11 @@ impl GpuSim {
     /// phase (same calls in the same order; results are identical). Spans
     /// chain — the end of one phase is the start of the next — so a fully
     /// fired edge costs one clock read per phase boundary, not two.
-    fn dispatch_ticks_host(
-        &mut self,
-        fired: gmh_types::TickSet,
-        now_ps: Picos,
-        pool: Option<&ParPool>,
-    ) {
+    fn dispatch_ticks_host(&mut self, fired: TickSet, now_ps: Picos, pool: Option<&ParPool>) {
         let mut t = std::time::Instant::now();
         if fired.icnt {
             if self.uses_hierarchy() {
-                self.icnt_tick(now_ps, pool);
+                self.icnt_tick(fired, now_ps, pool);
                 t = self.host_span_chain(HostPhase::IcntTick, t);
             }
             self.sample_telemetry();
@@ -762,99 +796,99 @@ impl GpuSim {
         }
     }
 
-    /// Attempts one idle-phase fast-forward jump. Returns `true` when it
-    /// advanced the clocks (the caller restarts its loop), `false` when any
-    /// component was busy or no tick fit under the bound.
+    /// Attempts one event-core jump. Returns `true` when it advanced the
+    /// clocks (the caller restarts its loop), `false` when any component is
+    /// still awake or no tick fit under the bound.
     ///
-    /// Safety argument: each component's probe answers `Busy` or a
-    /// conservative bound on the first tick of its own domain at which it
-    /// could act (see [`EventBound`]). While *every* component is inert, no
-    /// new event can be created — the machine's state is frozen apart from
-    /// constant per-cycle bookkeeping — so the minimum of all bounds (as an
-    /// exclusive picosecond instant) is a sound global jump target: every
-    /// skipped tick of every domain would have been a no-op apart from that
-    /// bookkeeping, which the per-component `skip`/`*_repeated` methods
-    /// replay in closed form. Probing is pure; under-skipping is always
-    /// safe and merely falls back to the naive loop.
-    fn try_fast_forward(&mut self) -> bool {
+    /// Safety argument: a sleeping component proved (via its
+    /// `next_event_bound` probe, re-run after its every cycle) that it is
+    /// inert on every own-domain tick strictly before its scheduled wake.
+    /// While *every* component sleeps, no new event can be created — the
+    /// machine's state is frozen apart from constant per-cycle bookkeeping
+    /// — so the earliest scheduled wake (as an exclusive picosecond bound)
+    /// is a sound global jump target. The skipped per-cycle bookkeeping is
+    /// not replayed here at all: each sleeper's `done` ledger keeps the
+    /// debt, and the bulk skip hooks settle it at wake (or end-of-run
+    /// flush) time. Only telemetry, which samples global state per
+    /// interconnect tick, is replayed eagerly — every sampled value is
+    /// frozen across the window, so repeating one sample is exact.
+    fn try_jump(&mut self) -> bool {
+        let mut cores = 0;
+        let mut banks = 0;
+        let mut chans = 0;
+        let mut nets = 0;
+        for s in &self.shards {
+            cores += s.sched.awake_cores;
+            banks += s.sched.awake_banks;
+            chans += s.sched.awake_chans;
+            nets += s.sched.awake_nets;
+        }
+        if cores + banks + chans + nets > 0 {
+            // Mirror the pre-event probe's first-busy attribution order
+            // (nets and their backlogs, then banks, channels, cores).
+            if nets > 0 {
+                self.ff_stats.busy_icnt += 1;
+            } else if banks > 0 {
+                self.ff_stats.busy_bank += 1;
+            } else if chans > 0 {
+                self.ff_stats.busy_dram += 1;
+            } else {
+                self.ff_stats.busy_core += 1;
+            }
+            return false;
+        }
         // A drained machine must step naively to its next 64-cycle done()
         // poll so the recorded termination cycle is unchanged.
         if self.done() {
             return false;
         }
-        let core_period = self.clocks.domain(DomainId::Core).period_ps();
-        let icnt_period = self.clocks.domain(DomainId::Icnt).period_ps();
-        let dram_period = self.clocks.domain(DomainId::Dram).period_ps();
-        // Exclusive picosecond bound on skippable tick instants. A domain
-        // tick with index N fires at (N-1)*period, so a component bound of
-        // "inert strictly before tick N" converts to (N-1)*period. Seed
-        // with the cycle cap: naive execution fires nothing at any instant
-        // after core tick `max_core_cycles` (time (max-1)*core_period).
-        let mut t: Picos = (self.cfg.max_core_cycles.saturating_sub(1)) * core_period + 1;
-
-        // Cheapest probes first, bailing out on the first busy component.
-        // Probes iterate the shard fields directly (global component order
-        // is preserved by the contiguous chunking) so the busy counters can
-        // be bumped without fighting the borrow on an accessor iterator.
-        if self.uses_hierarchy() {
-            // Parked ejections are re-offered to L2 banks / core FIFOs on
-            // every icnt tick; only an empty backlog is inert.
-            if self.req().ejection_backlog() > 0 || self.rep().ejection_backlog() > 0 {
-                self.ff_stats.busy_icnt += 1;
-                return false;
+        let h0 = self.host_prof.as_ref().and_then(|hp| hp.coord.begin());
+        let t0 = self.cfg.profile_phases.then(std::time::Instant::now);
+        let counts = self.clocks.fast_forward(self.jump_target());
+        let jumped = counts.total() > 0;
+        if jumped {
+            self.ff_stats.jumps += 1;
+            self.ff_stats.skipped_core += counts.core;
+            self.ff_stats.skipped_icnt += counts.icnt;
+            self.ff_stats.skipped_dram += counts.dram;
+            if counts.icnt > 0 {
+                self.sample_telemetry_repeated(counts.icnt);
             }
-            let nets: [&Network; 2] = if self.shards.len() > 1 {
-                [&self.shards[0].nets[0], &self.shards[1].nets[0]]
+        } else {
+            self.ff_stats.zero_window += 1;
+        }
+        if let Some(t0) = t0 {
+            self.profile.fast_forward += t0.elapsed();
+        }
+        if h0.is_some() {
+            let phase = if jumped {
+                HostPhase::FfJump
             } else {
-                [&self.shards[0].nets[0], &self.shards[0].nets[1]]
+                HostPhase::FfProbe
             };
-            for net in nets {
-                match net.next_event_bound() {
-                    EventBound::Busy => {
-                        self.ff_stats.busy_icnt += 1;
-                        return false;
-                    }
-                    EventBound::QuietUntil { bound: Some(b) } => {
-                        t = t.min((b - 1) * icnt_period);
-                    }
-                    EventBound::QuietUntil { bound: None } => {}
-                }
-            }
-            for s in &self.shards {
-                for bank in &s.banks {
-                    match bank.next_event_bound() {
-                        EventBound::Busy => {
-                            self.ff_stats.busy_bank += 1;
-                            return false;
-                        }
-                        EventBound::QuietUntil { bound: Some(b) } => {
-                            t = t.min((b - 1) * icnt_period);
-                        }
-                        EventBound::QuietUntil { bound: None } => {}
-                    }
-                }
+            if let Some(hp) = self.host_prof.as_mut() {
+                hp.coord.end(phase, h0);
             }
         }
-        if matches!(self.cfg.memory_model, MemoryModel::Full) {
-            let dram_now = self.clocks.domain(DomainId::Dram).cycles();
-            for s in &self.shards {
-                for ch in &s.channels {
-                    match ch.next_event_bound(dram_now) {
-                        EventBound::Busy => {
-                            self.ff_stats.busy_dram += 1;
-                            return false;
-                        }
-                        EventBound::QuietUntil { bound: Some(b) } => {
-                            t = t.min((b - 1) * dram_period);
-                        }
-                        EventBound::QuietUntil { bound: None } => {}
-                    }
-                }
+        jumped
+    }
+
+    /// The exclusive picosecond bound for an all-asleep jump: the earliest
+    /// scheduled component wake, the earliest ideal-queue ready time, or
+    /// the cycle cap — whichever comes first. A domain tick with index N
+    /// fires at `(N-1)*period`; the ideal queues are FIFO by ready time,
+    /// so each front is that queue's earliest event (a due-but-blocked
+    /// front pins the bound into the past and the jump fires nothing).
+    fn jump_target(&self) -> Picos {
+        let core_period = self.clocks.domain(DomainId::Core).period_ps();
+        // Seed with the cycle cap: naive execution fires nothing at any
+        // instant after core tick max_core_cycles ((max-1)*core_period).
+        let mut t: Picos = (self.cfg.max_core_cycles.saturating_sub(1)) * core_period + 1;
+        for s in &self.shards {
+            if let Some((wake_ps, _)) = s.sched.q.peek() {
+                t = t.min(wake_ps);
             }
         }
-        // Ideal in-flight queues are FIFO by ready time, so the front is
-        // each queue's earliest event. No busy case: a due-but-blocked
-        // front simply pins `t` into the past and the jump fires nothing.
         for q in [&self.ideal_fast, &self.ideal_slow] {
             if let Some((ready_cycle, _)) = q.front() {
                 t = t.min(ready_cycle.saturating_sub(1) * core_period);
@@ -865,66 +899,57 @@ impl GpuSim {
                 t = t.min(*ready_ps);
             }
         }
-        let mut i = 0;
-        for s in &self.shards {
-            for c in &s.cores {
-                match c.next_event_bound() {
-                    CoreIdleProbe::Busy => {
-                        self.ff_stats.busy_core += 1;
-                        return false;
-                    }
-                    CoreIdleProbe::Quiet { bound, stall } => {
-                        self.ff_stalls[i] = stall;
-                        if let Some(b) = bound {
-                            t = t.min((b - 1) * core_period);
-                        }
-                    }
-                }
-                i += 1;
-            }
-        }
+        t
+    }
 
-        let dram_now = self.clocks.domain(DomainId::Dram).cycles();
-        let counts = self.clocks.fast_forward(t);
-        if counts.total() == 0 {
-            self.ff_stats.zero_window += 1;
-            return false;
+    /// Wakes every component whose scheduled time has arrived at this
+    /// clock edge, flushing its owed quiet cycles first. Runs before the
+    /// tick dispatch so the woken component's own region (which provably
+    /// fires this instant — wake times are own-domain tick instants)
+    /// executes its final, possibly-eventful tick.
+    fn drain_due_wakes(&mut self, fired: TickSet, now_ps: Picos) {
+        // Common case: nothing due anywhere — one peek per shard.
+        if !self
+            .shards
+            .iter()
+            .any(|s| matches!(s.sched.q.peek(), Some((w, _)) if w <= now_ps))
+        {
+            return;
         }
-        self.ff_stats.jumps += 1;
-        self.ff_stats.skipped_core += counts.core;
-        self.ff_stats.skipped_icnt += counts.icnt;
-        self.ff_stats.skipped_dram += counts.dram;
-        // Replay each skipped tick's constant bookkeeping in bulk, exactly
-        // as the naive loop's per-tick calls would have.
-        if counts.core > 0 {
-            let mut i = 0;
-            for s in &mut self.shards {
-                for c in &mut s.cores {
-                    c.skip_idle(counts.core, self.ff_stalls[i]);
-                    i += 1;
-                }
-            }
+        let core_cyc = self.clocks.domain(DomainId::Core).cycles();
+        let icnt_cyc = self.clocks.domain(DomainId::Icnt).cycles();
+        let dram_cyc = self.clocks.domain(DomainId::Dram).cycles();
+        let t0 = self.host_prof.as_ref().and_then(|hp| hp.coord.begin());
+        let mut woke = 0;
+        for s in &mut self.shards {
+            woke += s.drain_wakes(now_ps, fired, core_cyc, icnt_cyc, dram_cyc);
         }
-        if counts.icnt > 0 {
-            if self.uses_hierarchy() {
-                self.req_mut().skip_cycles(counts.icnt);
-                self.rep_mut().skip_cycles(counts.icnt);
-                for s in &mut self.shards {
-                    for bank in &mut s.banks {
-                        bank.skip_cycles(counts.icnt);
-                    }
-                }
-            }
-            self.sample_telemetry_repeated(counts.icnt);
+        debug_assert!(woke > 0, "a due peek must drain at least one wake");
+        if let Some(hp) = self.host_prof.as_mut() {
+            hp.coord.end(HostPhase::SchedPop, t0);
         }
-        if counts.dram > 0 && matches!(self.cfg.memory_model, MemoryModel::Full) {
-            for s in &mut self.shards {
-                for ch in &mut s.channels {
-                    ch.skip_cycles(counts.dram, dram_now);
-                }
-            }
+    }
+
+    /// End-of-run settlement of the lazy skipped-cycle ledger: every
+    /// sleeping component replays its owed quiet cycles up to the final
+    /// domain tick counts, so collected stats match the naive loop's
+    /// exactly. No-op for awake components and in naive mode.
+    fn flush_all(&mut self) {
+        if !self.ev {
+            return;
         }
-        true
+        let core_end = self.clocks.domain(DomainId::Core).cycles();
+        let icnt_end = self.clocks.domain(DomainId::Icnt).cycles();
+        let dram_end = self.clocks.domain(DomainId::Dram).cycles();
+        let hier = self.uses_hierarchy();
+        let full = matches!(self.cfg.memory_model, MemoryModel::Full);
+        let t0 = self.host_prof.as_ref().and_then(|hp| hp.coord.begin());
+        for s in &mut self.shards {
+            s.flush_end(core_end, icnt_end, dram_end, hier, full);
+        }
+        if let Some(hp) = self.host_prof.as_mut() {
+            hp.coord.end(HostPhase::SchedResched, t0);
+        }
     }
 
     /// Computes this interconnect cycle's sample for every telemetry series
@@ -1032,12 +1057,16 @@ impl GpuSim {
     // ---- core domain --------------------------------------------------------
 
     fn core_tick(&mut self, now_ps: Picos, pool: Option<&ParPool>) {
-        self.run_region(Region::Core { now_ps }, pool);
         let cyc = self.clocks.domain(DomainId::Core).cycles();
+        self.run_region(Region::Core { now_ps, cyc }, pool);
         match self.cfg.memory_model {
             MemoryModel::Full | MemoryModel::InfiniteDram { .. } => {}
             MemoryModel::FixedL1MissLatency(lat) => {
                 for i in 0..self.cfg.n_cores {
+                    // A sleeping core has an empty L1 miss queue.
+                    if !self.core_awake(i) {
+                        continue;
+                    }
                     while let Some(f) = self.core_mut(i).pop_outgoing() {
                         self.audit.emitted(&f);
                         self.trace
@@ -1056,6 +1085,9 @@ impl GpuSim {
             }
             MemoryModel::InfiniteBw { l2_hit, dram } => {
                 for i in 0..self.cfg.n_cores {
+                    if !self.core_awake(i) {
+                        continue;
+                    }
                     while let Some(f) = self.core_mut(i).pop_outgoing() {
                         self.audit.emitted(&f);
                         self.trace
@@ -1122,6 +1154,9 @@ impl GpuSim {
                 self.audit.returned(&f, now_ps);
                 self.trace
                     .record_fetch(&f, now_ps, TraceEventKind::Returned);
+                // The Core region already ran this tick: flush the sleeping
+                // recipient through tick `cyc` before mutating it.
+                self.wake_core_at(core, cyc);
                 // INVARIANT: can_accept_response() held just above.
                 self.core_mut(core).push_response(f).expect("space checked");
             }
@@ -1137,13 +1172,23 @@ impl GpuSim {
 
     // ---- interconnect / L2 domain -------------------------------------------
 
-    fn icnt_tick(&mut self, now_ps: Picos, pool: Option<&ParPool>) {
-        // 1. Cores inject L1 miss traffic into the request network.
+    fn icnt_tick(&mut self, fired: TickSet, now_ps: Picos, pool: Option<&ParPool>) {
+        let icnt_cyc = self.clocks.domain(DomainId::Icnt).cycles();
+        // 1. Cores inject L1 miss traffic into the request network. A
+        //    sleeping core has an empty L1 miss queue, so only awake cores
+        //    can have a head to peek.
         for c in 0..self.cfg.n_cores {
+            if !self.core_awake(c) {
+                continue;
+            }
             if let Some(head) = self.core(c).peek_outgoing() {
                 let bytes = head.request_bytes();
                 let dst = head.line.interleave(self.cfg.n_l2_banks);
                 if self.req().can_inject(c, bytes) {
+                    // The Net region runs *after* this step: flush the
+                    // request switch through tick icnt_cyc - 1 so its
+                    // router-latency stamp sees the current cycle.
+                    self.wake_req_net_at(icnt_cyc - 1);
                     // INVARIANT: peek_outgoing() returned Some above.
                     let mut f = self.core_mut(c).pop_outgoing().expect("peeked");
                     self.audit.emitted(&f);
@@ -1162,7 +1207,7 @@ impl GpuSim {
 
         // 2. Switch both networks (independent — each in its own shard
         //    when the machine is sharded).
-        self.run_region(Region::Net, pool);
+        self.run_region(Region::Net { cyc: icnt_cyc }, pool);
 
         // 3. Ejected requests enter L2 access queues (or stay in the
         //    crossbar's ejection buffers when a queue is full — that is the
@@ -1174,6 +1219,9 @@ impl GpuSim {
                     if !self.bank(b).can_accept() {
                         break;
                     }
+                    // The Bank region runs after this step: flush the
+                    // sleeping bank through tick icnt_cyc - 1 only.
+                    self.wake_bank_at(b, icnt_cyc - 1);
                     // INVARIANT: peek_eject() returned Some in the loop guard.
                     let mut f = self.req_mut().pop_eject(b).expect("peeked");
                     f.time.l2_arrive = now_ps;
@@ -1207,13 +1255,25 @@ impl GpuSim {
         //    at every shard width.
         let l2_t0 = self.host_prof.as_ref().and_then(|hp| hp.coord.begin());
         for b in 0..self.cfg.n_l2_banks {
+            // A sleeping bank does not cycle this tick, so its credit is
+            // never read; it always receives a fresh credit on the first
+            // tick it is awake for (wakes drain before this step).
+            if !self.bank_awake(b) {
+                continue;
+            }
             let credit = match self.bank(b).response_ready_next() {
                 Some(resp) => self.rep().can_inject(b, resp.response_bytes()),
                 None => true,
             };
             self.bank_mut(b).set_reply_credit(credit);
         }
-        self.run_region(Region::Bank { now_ps }, pool);
+        self.run_region(
+            Region::Bank {
+                now_ps,
+                cyc: icnt_cyc,
+            },
+            pool,
+        );
         // The "l2_tick" sub-phase (credits + bank pipelines) nests inside
         // this icnt span by time containment.
         if let Some(hp) = self.host_prof.as_mut() {
@@ -1227,6 +1287,10 @@ impl GpuSim {
             _ => None,
         };
         for b in 0..self.cfg.n_l2_banks {
+            // A sleeping bank has an empty miss queue.
+            if !self.bank_awake(b) {
+                continue;
+            }
             let Some(head) = self.bank(b).miss_queue_front() else {
                 continue;
             };
@@ -1246,6 +1310,12 @@ impl GpuSim {
                 }
                 None => {
                     if self.channel(ch).can_accept() {
+                        // The Dram region does not run at pure-icnt
+                        // instants; flush the channel through the last
+                        // DRAM tick that already executed (one less when
+                        // this edge fires DRAM too — that tick runs after
+                        // this hand-off).
+                        self.wake_channel_at(ch, dram_cyc - u64::from(fired.dram));
                         // INVARIANT: miss_queue_front() returned Some above.
                         let mut f = self.bank_mut(b).pop_miss().expect("peeked");
                         f.time.dram_arrive = now_ps;
@@ -1279,6 +1349,10 @@ impl GpuSim {
                             now_ps,
                             TraceEventKind::ServicedAt(Level::Dram),
                         );
+                        // The Bank region already ran: flush the sleeping
+                        // bank through tick icnt_cyc so the fill's ready
+                        // stamp (bank.now + 1) lands on the next tick.
+                        self.wake_bank_at(bank, icnt_cyc);
                         self.bank_mut(bank).deliver_fill(f, now_ps);
                     }
                 }
@@ -1311,18 +1385,29 @@ impl GpuSim {
                             now_ps,
                             TraceEventKind::ServicedAt(Level::Dram),
                         );
+                        // See the ideal branch above: flush through this
+                        // tick before the fill stamps bank.now + 1.
+                        self.wake_bank_at(bank, icnt_cyc);
                         self.bank_mut(bank).deliver_fill(f, now_ps);
                     }
                 }
             }
         }
 
-        // 7. L2 responses inject into the reply network.
+        // 7. L2 responses inject into the reply network. A sleeping bank
+        //    never has a ready response (that would have kept it awake).
         for b in 0..self.cfg.n_l2_banks {
+            if !self.bank_awake(b) {
+                continue;
+            }
             if let Some(resp) = self.bank(b).response_ready() {
                 let bytes = resp.response_bytes();
                 let dst = resp.core_id;
                 if self.rep().can_inject(b, bytes) {
+                    // The Net region already ran this tick: flush the reply
+                    // switch through tick icnt_cyc before it stamps
+                    // router latency against its own clock.
+                    self.wake_rep_net_at(icnt_cyc);
                     // INVARIANT: response_ready() returned Some above.
                     let f = self.bank_mut(b).pop_response().expect("ready");
                     // An L2 hit is "serviced" when its response leaves the
@@ -1345,11 +1430,16 @@ impl GpuSim {
         // 8. Ejected replies enter core response FIFOs. Same early-out as
         //    step 3: no backlog, nothing to re-offer.
         if self.rep().ejection_backlog() > 0 {
+            let core_cyc = self.clocks.domain(DomainId::Core).cycles();
             for c in 0..self.cfg.n_cores {
                 while self.rep().peek_eject(c).is_some() {
                     if !self.core(c).can_accept_response() {
                         break;
                     }
+                    // The Core region runs after the icnt phase when this
+                    // edge fires it: flush the sleeping core through the
+                    // last core tick that already executed.
+                    self.wake_core_at(c, core_cyc - u64::from(fired.core));
                     // INVARIANT: peek_eject() returned Some in the loop guard.
                     let f = self.rep_mut().pop_eject(c).expect("peeked");
                     self.audit.returned(&f, now_ps);
@@ -1467,7 +1557,7 @@ impl GpuSim {
 mod tests {
     use super::*;
     use gmh_workloads::catalog;
-    use gmh_workloads::spec::{AddressMix, Suite, WorkloadSpec};
+    use gmh_workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 
     /// A small fast workload for sim unit tests.
     fn tiny_workload() -> WorkloadSpec {
@@ -1488,6 +1578,7 @@ mod tests {
             hot_lines: 64,
             shared_lines: 128,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 42,
         }
     }

@@ -1,0 +1,231 @@
+//! Conservativeness proptests for every `next_event_bound` implementor.
+//!
+//! The contract ([`gmh_types::EventBound`]): a component answering
+//! `QuietUntil { bound }` is *inert* on every own-domain tick strictly
+//! below `bound` — apart from the constant per-cycle bookkeeping its bulk
+//! skip hook reproduces. These tests drive each component with random
+//! traffic, and whenever a probe promises a quiet window they fork the
+//! component: one copy lives through the window cycle by cycle, the other
+//! takes the `skip_cycles`/`skip_idle` shortcut. The two must end in
+//! equal observable state (`Debug` covers every field on the derived
+//! impls), which is exactly the property that makes the event-driven run
+//! loop bit-identical to the one-tick oracle.
+
+use gmh_cache::CacheConfig;
+use gmh_core::L2Bank;
+use gmh_dram::{DramChannel, DramConfig};
+use gmh_icnt::Network;
+use gmh_simt::inst::{Inst, InstSource};
+use gmh_simt::{CoreConfig, CoreIdleProbe, SimtCore};
+use gmh_types::{AccessKind, EventBound, LineAddr, MemFetch};
+use proptest::prelude::*;
+
+fn load(id: u64, line: u64) -> MemFetch {
+    MemFetch::new(id, 0, 0, AccessKind::Load, LineAddr::new(line), 0)
+}
+
+/// The widest in-window skip the probe licenses from tick count `done`:
+/// ticks `done + 1 ..= bound - 1` are promised inert.
+fn window(done: u64, bound: Option<u64>) -> Option<u64> {
+    let b = bound?;
+    (b > done + 1).then(|| b - 1 - done)
+}
+
+proptest! {
+    /// Crossbar: skipping a promised-quiet window is indistinguishable
+    /// from living through it. Windows open while injected packets sit
+    /// out their router latency.
+    #[test]
+    fn network_quiet_window_matches_cycling(
+        pkts in prop::collection::vec((0usize..4, 0usize..3, 1u32..256), 1..12),
+        pre in 0u64..4,
+        latency in 2u64..30,
+    ) {
+        let mut net = Network::new(4, 3, 32, 64, 8, latency);
+        let mut now = 0u64;
+        for (i, (src, dst, bytes)) in pkts.iter().enumerate() {
+            let _ = net.inject(*src, *dst, load(i as u64, i as u64), *bytes);
+            for _ in 0..pre {
+                net.cycle();
+                now += 1;
+            }
+            let EventBound::QuietUntil { bound } = net.next_event_bound() else {
+                continue;
+            };
+            let Some(k) = window(now, bound) else { continue };
+            let mut lived = net.clone();
+            let mut skipped = net.clone();
+            for _ in 0..k {
+                lived.cycle();
+            }
+            skipped.skip_cycles(k);
+            // One real cycle at tick `bound` normalizes the per-cycle
+            // arbitration scratch (overwritten before use, so it carries
+            // no state across cycles) and checks both copies act
+            // identically at the wake tick.
+            lived.cycle();
+            skipped.cycle();
+            prop_assert_eq!(format!("{lived:?}"), format!("{skipped:?}"));
+            // Drain the ejection side so buffers keep turning over.
+            for d in 0..3 {
+                let _ = net.pop_eject(d);
+            }
+        }
+    }
+
+    /// DRAM channel: quiet windows open while queued requests wait out
+    /// their visibility latency and bursts fly through the banks.
+    #[test]
+    fn dram_quiet_window_matches_cycling(
+        reqs in prop::collection::vec((any::<bool>(), 0u64..(1 << 12)), 1..20),
+        pre in 0u64..6,
+    ) {
+        let mut ch = DramChannel::new(DramConfig::gtx480(), 0);
+        let mut now = 0u64;
+        for (i, (is_write, l)) in reqs.iter().enumerate() {
+            let line = l * 6; // route to channel 0
+            let kind = if *is_write { AccessKind::Store } else { AccessKind::Load };
+            let f = MemFetch::new(i as u64, 0, 0, kind, LineAddr::new(line), 0);
+            if ch.can_accept() {
+                ch.push(f, now).unwrap();
+            }
+            for _ in 0..pre {
+                ch.cycle(now);
+                now += 1;
+                let _ = ch.pop_response();
+            }
+            let EventBound::QuietUntil { bound } = ch.next_event_bound(now) else {
+                continue;
+            };
+            let Some(k) = window(now, bound) else { continue };
+            let mut lived = ch.clone();
+            let mut skipped = ch.clone();
+            for j in 0..k {
+                lived.cycle(now + j);
+            }
+            skipped.skip_cycles(k, now);
+            prop_assert_eq!(format!("{lived:?}"), format!("{skipped:?}"));
+        }
+    }
+
+    /// L2 bank: quiet windows open while a parked response waits for its
+    /// pipeline-release cycle.
+    #[test]
+    fn l2bank_quiet_window_matches_cycling(
+        lines in prop::collection::vec(0u64..64, 1..12),
+        lat in 1u64..12,
+        pre in 0u64..3,
+    ) {
+        let mut bank = L2Bank::new(CacheConfig::fermi_l2_bank(), 8, 8, 128, lat);
+        let mut now = 0u64;
+        for (i, l) in lines.iter().enumerate() {
+            let _ = bank.push_access(load(i as u64, *l));
+            for _ in 0..(pre + 1) {
+                bank.cycle(now * 1000);
+                now += 1;
+            }
+            let EventBound::QuietUntil { bound } = bank.next_event_bound() else {
+                continue;
+            };
+            let Some(k) = window(now, bound) else { continue };
+            let mut lived = bank.clone();
+            let mut skipped = bank.clone();
+            for j in 0..k {
+                lived.cycle((now + j) * 1000);
+            }
+            skipped.skip_cycles(k);
+            prop_assert_eq!(format!("{lived:?}"), format!("{skipped:?}"));
+            let _ = bank.pop_response();
+        }
+    }
+}
+
+/// A deterministic pure-ALU stream: chained dependences at `latency`, so
+/// the issue stage stalls on data-ALU hazards and the probe opens bounded
+/// quiet windows (`bound = alu_ready_at`).
+struct ChainSource {
+    per_warp: u64,
+    latency: u32,
+}
+
+impl InstSource for ChainSource {
+    fn next_inst(&mut self, _warp: usize) -> Option<Inst> {
+        if self.per_warp == 0 {
+            return None;
+        }
+        self.per_warp -= 1;
+        Some(Inst::alu(self.latency).after_alu())
+    }
+
+    fn code_lines(&self) -> u64 {
+        1
+    }
+}
+
+/// Zero-latency instruction memory: every I-miss is served the moment it
+/// would inject into the interconnect. Applied identically to both the
+/// lived-through and the post-skip core, so divergence can only come from
+/// the skip hook itself.
+fn serve_imisses(core: &mut SimtCore) {
+    while let Some(f) = core.pop_outgoing() {
+        core.push_response(f).expect("response fifo has room");
+    }
+}
+
+proptest! {
+    /// SIMT core: living through an ALU-dependence window equals
+    /// `skip_idle` over it — clock, issue counts, and the per-cycle stall
+    /// attribution all match (`skip_idle` replays the stall class the
+    /// probe captured). Cores are not `Clone` (they own a boxed
+    /// instruction source), so two identically-constructed cores are
+    /// driven in lock-step instead of forked.
+    #[test]
+    fn core_quiet_window_matches_skip_idle(
+        latency in 2u32..120,
+        insts in 2u64..12,
+        drive in 1u64..5,
+    ) {
+        let cfg = CoreConfig {
+            max_warps: 2,
+            ..CoreConfig::gtx480()
+        };
+        let mk = || {
+            SimtCore::new(
+                0,
+                cfg.clone(),
+                Box::new(ChainSource { per_warp: insts, latency }),
+            )
+        };
+        let mut lived = mk();
+        let mut skipped = mk();
+        let mut now = 0u64;
+        for _ in 0..200 {
+            if lived.done() {
+                break;
+            }
+            for _ in 0..drive {
+                lived.cycle(now * 714);
+                skipped.cycle(now * 714);
+                now += 1;
+                serve_imisses(&mut lived);
+                serve_imisses(&mut skipped);
+            }
+            let probe = lived.next_event_bound();
+            let CoreIdleProbe::Quiet { bound, stall } = probe else {
+                continue;
+            };
+            prop_assert_eq!(probe, skipped.next_event_bound(), "lock-step cores agree");
+            let Some(k) = window(now, bound) else { continue };
+            for j in 0..k {
+                lived.cycle((now + j) * 714);
+            }
+            skipped.skip_idle(k, stall);
+            now += k;
+            prop_assert_eq!(format!("{lived:?}"), format!("{skipped:?}"));
+            prop_assert_eq!(
+                format!("{:?}", lived.stats()),
+                format!("{:?}", skipped.stats())
+            );
+        }
+    }
+}

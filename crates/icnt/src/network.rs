@@ -262,12 +262,17 @@ impl Network {
 
     /// Advances the switch by one cycle: each output port pulls at most one
     /// flit from one input, each input sends at most one flit.
-    pub fn cycle(&mut self) {
+    ///
+    /// Returns whether any flit moved. A moving switch is trivially busy,
+    /// so the fast-forward scheduler skips its idle probe on `true`; a
+    /// `false` return (empty, or every head short of its router latency /
+    /// blocked on ejection credits) is the cue to probe for a sleep window.
+    pub fn cycle(&mut self) -> bool {
         self.now += 1;
         if self.buffered_total == 0 {
             // No buffered flits anywhere: the dst/src scan below would find
             // no head, move nothing and charge nothing. Exact early-out.
-            return;
+            return false;
         }
         self.input_used.fill(false);
         let mut any_moved = false;
@@ -360,6 +365,7 @@ impl Network {
         if !any_moved {
             self.stats.blocked_cycles.inc();
         }
+        any_moved
     }
 
     /// Conservative idle probe for the fast-forward scheduler, over this

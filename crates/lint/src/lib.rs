@@ -6,7 +6,7 @@
 //! in a fixed priority order, and every fetch flowing through bounded
 //! queues that exert back-pressure. PR 1 added the *runtime* audit
 //! (fetch conservation); this crate is the *static* layer that catches
-//! violations at review time. Six rules:
+//! violations at review time. Nine rules:
 //!
 //! - **R1 determinism** — no `HashMap`/`HashSet`, wall-clock time, or
 //!   unseeded RNG in model crates ([`rules::determinism`]);
@@ -27,7 +27,10 @@
 //!   across the `collect()` barrier ([`rules::shards`]);
 //! - **R8 time-unit consistency** — `_ps`/`_cycles`/`_ticks` unit classes
 //!   never mix without a sanctioned `ClockDomains` conversion, and magic
-//!   time literals stay in config files ([`rules::units`]).
+//!   time literals stay in config files ([`rules::units`]);
+//! - **R9 event-bound completeness** — a model file exposing a
+//!   `next_event_bound` idle probe must implement the matching
+//!   `skip_cycles`/`skip_idle` bulk-replay hook ([`rules::events`]).
 //!
 //! R7 and R8 are *symbol-resolved*: they run over a workspace-wide item
 //! index ([`index::ItemIndex`] — types with fields, functions with
@@ -107,6 +110,7 @@ pub fn run_raw(cfg: &LintConfig, files: &[SourceFile]) -> Vec<Finding> {
         rules::panics::check(cfg, f, &mut findings);
         rules::alloc::check(cfg, f, &mut findings);
         rules::units::check(cfg, f, &mut findings);
+        rules::events::check(cfg, f, &mut findings);
     }
     rules::stalls::check(cfg, files, &mut findings);
     rules::shards::check(cfg, files, &idx, &mut findings);
@@ -224,7 +228,7 @@ pub fn render(findings: &[Finding], files_scanned: usize) -> String {
     }
     if findings.is_empty() {
         out.push_str(&format!(
-            "gmh-lint: clean — {files_scanned} files, 8 rules + suppression audit, 0 findings\n"
+            "gmh-lint: clean — {files_scanned} files, 9 rules + suppression audit, 0 findings\n"
         ));
     } else {
         out.push_str(&format!(

@@ -1,0 +1,110 @@
+//! R9 — event-bound completeness. A component that advertises a
+//! fast-forward idle probe (`fn next_event_bound`) is promising the
+//! event-driven run loop that its quiet windows can be *skipped*, which
+//! requires the matching bulk-replay hook (`fn skip_cycles`, or
+//! `fn skip_idle` for the SIMT core's stall-classified variant) in the
+//! same file. A probe without a skip hook is a latent correctness trap:
+//! the scheduler would park the component and have no way to replay the
+//! owed quiet cycles at wake time, silently desynchronizing its clock and
+//! per-cycle statistics from the naive oracle.
+
+use crate::config::LintConfig;
+use crate::source::{contains_token, SourceFile};
+use crate::Finding;
+
+pub const RULE: &str = "R9";
+
+/// Accepted bulk-replay hook names (either satisfies the rule).
+const SKIP_HOOKS: &[&str] = &["fn skip_cycles", "fn skip_idle"];
+
+pub fn check(cfg: &LintConfig, f: &SourceFile, out: &mut Vec<Finding>) {
+    if !crate::in_model_crate(cfg, &f.path) {
+        return;
+    }
+    let has_hook = f
+        .code
+        .iter()
+        .enumerate()
+        .any(|(i, code)| !f.in_test[i] && SKIP_HOOKS.iter().any(|h| contains_token(code, h)));
+    if has_hook {
+        return;
+    }
+    for (i, code) in f.code.iter().enumerate() {
+        if f.in_test[i] {
+            continue;
+        }
+        if contains_token(code, "fn next_event_bound") {
+            out.push(Finding {
+                rule: RULE,
+                path: f.path.clone(),
+                line: i + 1,
+                message: "`next_event_bound` probe without a `skip_cycles`/`skip_idle` replay \
+                          hook in the same file"
+                    .to_string(),
+                hint: "a quiet probe lets the event scheduler park this component; implement \
+                       the bulk skip hook that replays k quiescent cycles (clock advance plus \
+                       any per-cycle accounting the naive loop would have done) so wakes stay \
+                       bit-identical to the one-tick oracle"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+
+    fn cfg() -> LintConfig {
+        LintConfig::parse("[lint]\nmodel_crates = [\"model\"]\n").unwrap()
+    }
+
+    fn run(path: &str, text: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(path, text);
+        let mut out = Vec::new();
+        check(&cfg(), &f, &mut out);
+        out
+    }
+
+    #[test]
+    fn probe_without_hook_is_flagged() {
+        let src = "impl Foo {\n    pub fn next_event_bound(&self) -> EventBound {\n        \
+                   EventBound::Busy\n    }\n}\n";
+        let out = run("crates/model/src/foo.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "R9");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn probe_with_skip_cycles_is_clean() {
+        let src = "impl Foo {\n    pub fn next_event_bound(&self) -> EventBound {\n        \
+                   EventBound::Busy\n    }\n    pub fn skip_cycles(&mut self, k: u64) {}\n}\n";
+        assert!(run("crates/model/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn probe_with_skip_idle_is_clean() {
+        let src = "impl Core {\n    pub fn next_event_bound(&self) -> CoreIdleProbe {\n        \
+                   CoreIdleProbe::Busy\n    }\n    pub fn skip_idle(&mut self, k: u64) {}\n}\n";
+        assert!(run("crates/model/src/core.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_foreign_crates_are_ignored() {
+        let probe_only = "pub fn next_event_bound() {}\n";
+        assert!(run("crates/other/src/foo.rs", probe_only).is_empty());
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn next_event_bound() {}\n}\n";
+        assert!(run("crates/model/src/foo.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn hook_mentions_in_comments_do_not_count() {
+        // The hook must be real code: a comment naming `fn skip_cycles`
+        // lives in the masked-out view and cannot satisfy the rule.
+        let src = "// see fn skip_cycles\npub fn next_event_bound() {}\n";
+        let out = run("crates/model/src/foo.rs", src);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -136,7 +136,6 @@ pub struct SimtCore {
     need_fetch: Vec<bool>,
     n_need_fetch: usize,
     sched: WarpScheduler,
-    order_buf: Vec<usize>,
     lsu: LoadStoreUnit,
     l1d: Cache,
     l1i: Cache,
@@ -179,7 +178,6 @@ impl SimtCore {
             n_need_fetch,
             warps,
             sched: WarpScheduler::new(cfg.sched_policy, cfg.max_warps),
-            order_buf: Vec::with_capacity(cfg.max_warps),
             lsu: LoadStoreUnit::new(cfg.mem_pipeline_width),
             l1d: Cache::new(cfg.l1d.clone()),
             l1i: Cache::new(cfg.l1i.clone()),
@@ -440,21 +438,39 @@ impl SimtCore {
     // ---- pipeline stages ---------------------------------------------------
 
     /// Advances the core one cycle at wall-clock time `now_ps`.
-    pub fn cycle(&mut self, now_ps: Picos) {
-        self.cycle_traced(now_ps, &mut TraceSink::disabled());
+    ///
+    /// Returns whether the cycle did observable work (see
+    /// [`SimtCore::cycle_traced`]).
+    pub fn cycle(&mut self, now_ps: Picos) -> bool {
+        self.cycle_traced(now_ps, &mut TraceSink::disabled())
     }
 
     /// Advances the core one cycle, recording lifecycle events for sampled
     /// fetches into `trace` (see [`gmh_types::trace`]).
-    pub fn cycle_traced(&mut self, now_ps: Picos, trace: &mut TraceSink) {
+    ///
+    /// Returns whether the cycle did observable work: it entered with
+    /// pipeline state to process (a pending fill, a fetch need, an LSU or
+    /// miss-queue occupant — each of which [`SimtCore::next_event_bound`]
+    /// would call `Busy` anyway) or it issued an instruction. A `false`
+    /// return is the fast-forward scheduler's cue that a probe could pay
+    /// off; an active cycle never needs one, which keeps the saturated
+    /// path free of per-cycle warp scans.
+    pub fn cycle_traced(&mut self, now_ps: Picos, trace: &mut TraceSink) -> bool {
         self.now += 1;
         self.stats.cycles += 1;
+        let busy_in = !self.response_fifo.is_empty()
+            || self.n_need_fetch > 0
+            || !self.lsu.is_empty()
+            || self.l1d.miss_queue_len() != 0
+            || self.l1i.miss_queue_len() != 0;
+        let issued_before = self.stats.insts_issued;
         self.intake_response(now_ps, trace);
         self.fetch_stage(now_ps, trace);
         self.issue_stage(now_ps, trace);
         self.lsu_stage(now_ps, trace);
         self.l1d.sample_occupancy();
         self.l1i.sample_occupancy();
+        busy_in || self.stats.insts_issued != issued_before
     }
 
     /// Processes one fill per cycle from the response FIFO.
@@ -623,12 +639,13 @@ impl SimtCore {
         let mut any_live = false;
         let mut wake = Cycle::MAX;
 
-        // Candidate order per the configured policy, into a reused buffer
-        // (no steady-state allocation).
-        let mut order = std::mem::take(&mut self.order_buf);
-        self.sched.fill_order(&mut order);
+        // Candidates in policy priority order, generated positionally —
+        // GTO's greedy warp usually issues at position 0, so the hot path
+        // never touches the rest of the order.
+        let n_warps = self.warps.len();
         let mut issued = false;
-        for &wid in &order {
+        for pos in 0..n_warps {
+            let wid = self.sched.candidate(pos);
             let warp = &self.warps[wid];
             if warp.finished() {
                 continue;
@@ -690,7 +707,6 @@ impl SimtCore {
             issued = true;
             break;
         }
-        self.order_buf = order;
         if issued {
             return;
         }

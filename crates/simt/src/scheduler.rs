@@ -124,6 +124,48 @@ impl WarpScheduler {
         }
     }
 
+    /// The warp tried at priority position `pos` this cycle, in O(1) —
+    /// the same sequence [`WarpScheduler::fill_order`] materializes,
+    /// without writing a buffer. The issue stage usually stops at
+    /// position 0 (GTO's greedy warp keeps issuing), so generating
+    /// candidates positionally keeps the hot path free of the
+    /// O(warps) order build.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `pos < n_warps`.
+    #[inline]
+    pub fn candidate(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.n_warps);
+        match self.policy {
+            WarpSchedPolicy::Gto => match self.greedy {
+                Some(g) => {
+                    if pos == 0 {
+                        g
+                    } else {
+                        // Oldest-first with the greedy warp removed: ids
+                        // below g keep their position, ids above shift one.
+                        let i = pos - 1;
+                        if i < g {
+                            i
+                        } else {
+                            i + 1
+                        }
+                    }
+                }
+                None => pos,
+            },
+            WarpSchedPolicy::Lrr => {
+                let p = self.rr + pos;
+                if p >= self.n_warps {
+                    p - self.n_warps
+                } else {
+                    p
+                }
+            }
+        }
+    }
+
     /// Records that `warp` issued this cycle.
     pub fn issued(&mut self, warp: usize) {
         debug_assert!(warp < self.n_warps);
@@ -164,6 +206,23 @@ mod tests {
         s.issued(2);
         s.fill_order(&mut buf);
         assert_eq!(buf, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn candidate_matches_fill_order_everywhere() {
+        for policy in [WarpSchedPolicy::Gto, WarpSchedPolicy::Lrr] {
+            let mut s = WarpScheduler::new(policy, 7);
+            let mut buf = Vec::new();
+            // Fresh scheduler, then after every issue position.
+            for issued in [None, Some(0), Some(3), Some(6), Some(3)] {
+                if let Some(w) = issued {
+                    s.issued(w);
+                }
+                s.fill_order(&mut buf);
+                let positional: Vec<usize> = (0..7).map(|p| s.candidate(p)).collect();
+                assert_eq!(positional, buf, "{policy:?} after {issued:?}");
+            }
+        }
     }
 
     #[test]

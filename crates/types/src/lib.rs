@@ -33,6 +33,7 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
+pub mod timeq;
 pub mod trace;
 
 pub use addr::{Address, LineAddr, LINE_SIZE};
@@ -44,6 +45,7 @@ pub use queue::{BoundedQueue, OccupancyHistogram};
 pub use rng::Xoshiro256;
 pub use stats::{Counter, Histogram, LatencyHistogram, MeanAccumulator, RatioStat};
 pub use telemetry::{AuditSummary, FetchAudit, SeriesId, Telemetry, TelemetrySnapshot};
+pub use timeq::TimeQ;
 pub use trace::{
     spans_of, Level, LevelLatency, Span, StallCause, TraceData, TraceEvent, TraceEventKind,
     TraceSink,

@@ -69,10 +69,18 @@ pub enum HostPhase {
     /// Worker: sending the finished shard back to the coordinator. Worker
     /// lanes only.
     SendReturn,
+    /// Event scheduler: draining due wakes from the per-shard time queues
+    /// at the top of an instant (`TimeQ::pop_ready` + owed-cycle flush).
+    /// Top-level.
+    SchedPop,
+    /// Event scheduler: cross-component activation wakes (flush + awake
+    /// transitions outside the pop pass) and the end-of-run flush.
+    /// Top-level.
+    SchedResched,
 }
 
 /// Number of [`HostPhase`] variants (array-index bound).
-pub const N_HOST_PHASES: usize = 13;
+pub const N_HOST_PHASES: usize = 15;
 
 impl HostPhase {
     /// Every phase, in fixed display/index order.
@@ -90,6 +98,8 @@ impl HostPhase {
         HostPhase::RegionExec,
         HostPhase::RecvWait,
         HostPhase::SendReturn,
+        HostPhase::SchedPop,
+        HostPhase::SchedResched,
     ];
 
     /// Stable dense index into per-phase arrays.
@@ -109,6 +119,8 @@ impl HostPhase {
             HostPhase::RegionExec => 10,
             HostPhase::RecvWait => 11,
             HostPhase::SendReturn => 12,
+            HostPhase::SchedPop => 13,
+            HostPhase::SchedResched => 14,
         }
     }
 
@@ -129,6 +141,8 @@ impl HostPhase {
             HostPhase::RegionExec => "region_exec",
             HostPhase::RecvWait => "recv_wait",
             HostPhase::SendReturn => "send_return",
+            HostPhase::SchedPop => "sched_pop",
+            HostPhase::SchedResched => "sched_resched",
         }
     }
 
@@ -146,6 +160,8 @@ impl HostPhase {
                 | HostPhase::FfProbe
                 | HostPhase::FfJump
                 | HostPhase::Telemetry
+                | HostPhase::SchedPop
+                | HostPhase::SchedResched
         )
     }
 }

@@ -1,0 +1,352 @@
+//! Deterministic per-component event queue for the event-driven run loop.
+//!
+//! [`TimeQ`] is a bounded binary min-heap of *component ids* ordered by
+//! `(wake_ps, id)`. The id tiebreak makes the pop order a total order, so
+//! two runs that schedule the same wake set pop it in the same sequence —
+//! replay stability does not depend on insertion order or heap internals.
+//!
+//! ## Bounded-heap discipline
+//!
+//! The queue is sized once at construction for a fixed component universe
+//! (`0..capacity`) and never allocates afterwards: each component occupies
+//! at most one heap slot (scheduling an already-queued component is an
+//! upsert that *re-sifts* the existing slot), so the backing vectors never
+//! grow past `capacity`. Membership and wake times live in flat
+//! `Vec`-indexed arrays — no hashing, no per-operation allocation — which
+//! keeps the scheduler on the cheap-tick path (gmh-lint R1/R2/R6).
+//!
+//! ## Conservativeness contract
+//!
+//! A wake time in the queue is a *lower bound* promise from the component's
+//! `next_event_bound()`: the component is inert on every own-domain tick
+//! strictly before its bound, so the run loop may skip it until `wake_ps`.
+//! Waking *early* is always safe (the component just reports quiet again);
+//! waking late is a model bug. Cross-component activations therefore
+//! force an immediate reschedule to "now" via [`TimeQ::reschedule`].
+
+/// Sentinel for "not in the heap" in the position index.
+const ABSENT: usize = usize::MAX;
+
+/// A bounded, deterministic time-ordered priority queue of component ids.
+///
+/// Keys are `(wake_ps, id)`; pops are total-ordered and replay-stable.
+/// All storage is pre-sized at construction; no operation allocates.
+#[derive(Debug, Clone)]
+pub struct TimeQ {
+    /// Heap of component ids, ordered by `(wake[id], id)`.
+    heap: Vec<usize>,
+    /// Wake time per component id (valid only while queued).
+    wake: Vec<u64>,
+    /// Heap slot per component id, or `ABSENT`.
+    pos: Vec<usize>,
+}
+
+impl TimeQ {
+    /// Creates a queue for the fixed component universe `0..capacity`.
+    ///
+    /// All storage is allocated here; no later operation allocates.
+    pub fn new(capacity: usize) -> Self {
+        TimeQ {
+            heap: Vec::with_capacity(capacity),
+            wake: vec![0; capacity],
+            pos: vec![ABSENT; capacity],
+        }
+    }
+
+    /// Number of components currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no component is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether component `id` is currently queued.
+    pub fn contains(&self, id: usize) -> bool {
+        self.pos[id] != ABSENT
+    }
+
+    /// The earliest `(wake_ps, id)` in the queue, if any. Deterministic:
+    /// ties on `wake_ps` always surface the smallest id.
+    pub fn peek(&self) -> Option<(u64, usize)> {
+        self.heap.first().map(|&id| (self.wake[id], id))
+    }
+
+    /// Schedules component `id` to wake at `wake_ps`.
+    ///
+    /// If `id` is already queued this is an upsert: the existing entry is
+    /// re-keyed (in either direction) rather than duplicated, preserving
+    /// the one-slot-per-component bound.
+    pub fn schedule(&mut self, id: usize, wake_ps: u64) {
+        if self.pos[id] == ABSENT {
+            self.wake[id] = wake_ps;
+            self.pos[id] = self.heap.len();
+            self.heap.push(id);
+            self.sift_up(self.pos[id]);
+        } else {
+            self.reschedule(id, wake_ps);
+        }
+    }
+
+    /// Re-keys an entry (or inserts it if absent). Used by cross-component
+    /// activations to pull a sleeping component's wake forward to "now".
+    pub fn reschedule(&mut self, id: usize, wake_ps: u64) {
+        if self.pos[id] == ABSENT {
+            self.schedule(id, wake_ps);
+            return;
+        }
+        let old = self.wake[id];
+        self.wake[id] = wake_ps;
+        let slot = self.pos[id];
+        if wake_ps < old {
+            self.sift_up(slot);
+        } else if wake_ps > old {
+            self.sift_down(slot);
+        }
+    }
+
+    /// Removes component `id` from the queue if present.
+    pub fn cancel(&mut self, id: usize) {
+        let slot = self.pos[id];
+        if slot == ABSENT {
+            return;
+        }
+        self.remove_slot(slot);
+    }
+
+    /// Pops the earliest component whose wake time has arrived
+    /// (`wake_ps <= now_ps`), or `None` when the head is still in the
+    /// future or the queue is empty. Call in a loop to drain one instant.
+    pub fn pop_ready(&mut self, now_ps: u64) -> Option<usize> {
+        let &id = self.heap.first()?;
+        if self.wake[id] > now_ps {
+            return None;
+        }
+        self.remove_slot(0);
+        Some(id)
+    }
+
+    /// `(wake, id)` ordering key comparison: `a` strictly before `b`.
+    fn before(&self, a: usize, b: usize) -> bool {
+        (self.wake[a], a) < (self.wake[b], b)
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        let id = self.heap[slot];
+        self.pos[id] = ABSENT;
+        let last = self.heap.len() - 1;
+        if slot != last {
+            let moved = self.heap[last];
+            self.heap[slot] = moved;
+            self.pos[moved] = slot;
+            self.heap.pop();
+            // The swapped-in tail can violate order in either direction.
+            self.sift_down(slot);
+            self.sift_up(self.pos[moved].min(slot));
+        } else {
+            self.heap.pop();
+        }
+    }
+
+    fn sift_up(&mut self, mut slot: usize) {
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            if self.before(self.heap[slot], self.heap[parent]) {
+                self.swap_slots(slot, parent);
+                slot = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut slot: usize) {
+        loop {
+            let l = 2 * slot + 1;
+            let r = 2 * slot + 2;
+            let mut best = slot;
+            if l < self.heap.len() && self.before(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.before(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == slot {
+                break;
+            }
+            self.swap_slots(slot, best);
+            slot = best;
+        }
+    }
+
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a]] = a;
+        self.pos[self.heap[b]] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_at(q: &mut TimeQ, now: u64) -> Vec<usize> {
+        let mut out = Vec::new();
+        while let Some(id) = q.pop_ready(now) {
+            out.push(id);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_id_order() {
+        let mut q = TimeQ::new(8);
+        q.schedule(5, 300);
+        q.schedule(2, 100);
+        q.schedule(7, 100);
+        q.schedule(0, 200);
+        assert_eq!(q.peek(), Some((100, 2)));
+        assert_eq!(drain_at(&mut q, 1_000), vec![2, 7, 0, 5]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn insertion_order_does_not_affect_pop_order() {
+        // Same (wake, id) set inserted in two different orders must pop
+        // identically — the replay-stability property.
+        let entries = [(3usize, 50u64), (1, 50), (4, 10), (0, 90), (2, 50)];
+        let mut fwd = TimeQ::new(8);
+        for &(id, t) in &entries {
+            fwd.schedule(id, t);
+        }
+        let mut rev = TimeQ::new(8);
+        for &(id, t) in entries.iter().rev() {
+            rev.schedule(id, t);
+        }
+        assert_eq!(drain_at(&mut fwd, u64::MAX), drain_at(&mut rev, u64::MAX));
+    }
+
+    #[test]
+    fn pop_ready_respects_now_boundary() {
+        let mut q = TimeQ::new(4);
+        q.schedule(1, 100);
+        q.schedule(2, 101);
+        assert_eq!(q.pop_ready(99), None);
+        assert_eq!(q.pop_ready(100), Some(1));
+        assert_eq!(q.pop_ready(100), None);
+        assert_eq!(q.pop_ready(101), Some(2));
+        assert_eq!(q.pop_ready(u64::MAX), None);
+    }
+
+    #[test]
+    fn schedule_is_an_upsert_not_a_duplicate() {
+        let mut q = TimeQ::new(4);
+        q.schedule(1, 500);
+        q.schedule(1, 200);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek(), Some((200, 1)));
+        // Re-key later (backward move) also keeps one slot.
+        q.schedule(1, 900);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_ready(899), None);
+        assert_eq!(q.pop_ready(900), Some(1));
+    }
+
+    #[test]
+    fn reschedule_pulls_wake_forward_for_activation() {
+        let mut q = TimeQ::new(4);
+        q.schedule(0, 1_000);
+        q.schedule(3, 400);
+        // A fetch arrives at sleeping component 0 "now" (t = 250).
+        q.reschedule(0, 250);
+        assert_eq!(drain_at(&mut q, u64::MAX), vec![0, 3]);
+        // Rescheduling an absent id inserts it.
+        q.reschedule(2, 7);
+        assert_eq!(q.peek(), Some((7, 2)));
+    }
+
+    #[test]
+    fn cancel_removes_mid_heap_entries() {
+        let mut q = TimeQ::new(8);
+        for id in 0..6 {
+            q.schedule(id, 600 - id as u64 * 100);
+        }
+        q.cancel(3);
+        q.cancel(0);
+        assert!(!q.contains(3));
+        assert!(!q.contains(0));
+        q.cancel(3); // idempotent
+        assert_eq!(drain_at(&mut q, u64::MAX), vec![5, 4, 2, 1]);
+    }
+
+    #[test]
+    fn no_reallocation_after_construction() {
+        let mut q = TimeQ::new(16);
+        let cap = q.heap.capacity();
+        for round in 0..10 {
+            for id in 0..16 {
+                q.schedule(id, round * 100 + id as u64);
+            }
+            while q.pop_ready(u64::MAX).is_some() {}
+        }
+        assert_eq!(q.heap.capacity(), cap);
+    }
+
+    #[test]
+    fn randomized_heap_matches_reference_sort() {
+        let mut rng = gmh_types_test_rng(0x5EED);
+        for _ in 0..200 {
+            let n = 12usize;
+            let mut q = TimeQ::new(n);
+            let mut model: Vec<Option<u64>> = vec![None; n];
+            for _ in 0..40 {
+                let id = usize::try_from(next(&mut rng) % n as u64).expect("n fits usize");
+                match next(&mut rng) % 4 {
+                    0 | 1 => {
+                        let t = next(&mut rng) % 1_000;
+                        q.schedule(id, t);
+                        model[id] = Some(t);
+                    }
+                    2 => {
+                        let t = next(&mut rng) % 1_000;
+                        q.reschedule(id, t);
+                        model[id] = Some(t);
+                    }
+                    _ => {
+                        q.cancel(id);
+                        model[id] = None;
+                    }
+                }
+            }
+            let mut expect: Vec<(u64, usize)> = model
+                .iter()
+                .enumerate()
+                .filter_map(|(id, t)| t.map(|t| (t, id)))
+                .collect();
+            expect.sort_unstable();
+            let got: Vec<(u64, usize)> = std::iter::from_fn(|| {
+                let (t, id) = q.peek()?;
+                q.pop_ready(u64::MAX);
+                Some((t, id))
+            })
+            .collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    // Minimal xorshift for the randomized test — self-contained so the
+    // test does not depend on crate RNG seeding conventions.
+    fn gmh_types_test_rng(seed: u64) -> u64 {
+        seed | 1
+    }
+    fn next(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+}

@@ -224,18 +224,29 @@ pub struct TraceData {
 pub struct TraceSink {
     sample_denom: u64,
     cap: usize,
-    seed: u64,
     /// Shard-sink mode: `record` for a locally-unknown fetch re-derives the
     /// admission decision from the hash instead of requiring a prior
     /// `issued` on *this* sink (the `Issued` event lives in the sink of the
     /// core's shard). The global sink keeps the strict gate.
     lazy_admit: bool,
+    /// Hasher pre-seeded with the admission seed; cloned per query so the
+    /// seed bytes are folded in once instead of on every decision.
+    admit_prefix: StableHasher,
+    /// Direct-mapped memo of recent admission decisions. The decision is a
+    /// pure function of `(seed, sample_denom, core, fetch)` — all fixed at
+    /// construction — so a hit is always valid and the memo never needs
+    /// invalidation. Sized for the stalled-head pattern where the same
+    /// fetch is re-queried every cycle.
+    admit_memo: [(usize, FetchId, bool); ADMIT_MEMO_SLOTS],
     tracked: BTreeMap<(usize, FetchId), Tracked>,
     events: Vec<TraceEvent>,
     sampled: u64,
     skipped: u64,
     dropped: u64,
 }
+
+/// Slots in the direct-mapped admission memo (power of two for masking).
+const ADMIT_MEMO_SLOTS: usize = 64;
 
 impl TraceSink {
     /// A sink that records nothing and allocates nothing. Every call
@@ -248,11 +259,16 @@ impl TraceSink {
     /// holding at most `event_cap` events, with sampling decisions driven
     /// by `seed`.
     pub fn new(sample_denom: u64, event_cap: usize, seed: u64) -> Self {
+        let mut admit_prefix = StableHasher::new();
+        admit_prefix.write_u64(seed);
         TraceSink {
             sample_denom,
             cap: event_cap,
-            seed,
             lazy_admit: false,
+            admit_prefix,
+            // `tracks()` rejects `usize::MAX` cores, so this key can never
+            // collide with a real query — every slot starts as a miss.
+            admit_memo: [(usize::MAX, u64::MAX, false); ADMIT_MEMO_SLOTS],
             tracked: BTreeMap::new(),
             events: Vec::new(),
             sampled: 0,
@@ -282,18 +298,30 @@ impl TraceSink {
     /// `(seed, core, fetch id)`, so every sink sharing a seed agrees and
     /// no sequential RNG state is consumed (order-independence is what
     /// makes sharded tracing bit-identical to inline tracing).
-    fn admits(&self, core: usize, fetch: FetchId) -> bool {
+    fn admits(&mut self, core: usize, fetch: FetchId) -> bool {
         if self.sample_denom == 0 {
             return false;
         }
         if self.sample_denom == 1 {
             return true;
         }
-        let mut h = StableHasher::new();
-        h.write_u64(self.seed);
+        // Direct-mapped memo: a stalled fetch re-queries its (identical)
+        // decision every cycle, which previously re-hashed the full key
+        // each time on the cheap-tick path.
+        let masked = (core as u64 ^ fetch) & (ADMIT_MEMO_SLOTS as u64 - 1);
+        // INVARIANT: masked < ADMIT_MEMO_SLOTS (a usize constant), so the
+        // narrowing conversion cannot fail on any platform.
+        let slot = usize::try_from(masked).expect("masked below ADMIT_MEMO_SLOTS");
+        let (c, f, hit) = self.admit_memo[slot];
+        if c == core && f == fetch {
+            return hit;
+        }
+        let mut h = self.admit_prefix.clone();
         h.write_u64(core as u64);
         h.write_u64(fetch);
-        h.finish().is_multiple_of(self.sample_denom)
+        let admitted = h.finish().is_multiple_of(self.sample_denom);
+        self.admit_memo[slot] = (core, fetch, admitted);
+        admitted
     }
 
     /// Whether write-back pseudo-fetches and other non-core traffic are
@@ -350,11 +378,21 @@ impl TraceSink {
         if !self.is_enabled() || !Self::tracks(core, fetch) {
             return;
         }
+        // Reject unsampled fetches before any map traffic: an unadmitted
+        // fetch can never be tracked (`issued` filters on the same
+        // decision), and the admission memo answers from a direct-mapped
+        // slot — the overwhelmingly common exit on a sampling run, where
+        // `denom - 1` of every `denom` fetches take it each record call.
+        if self.sample_denom > 1 && !self.admits(core, fetch) {
+            return;
+        }
         if !self.tracked.contains_key(&(core, fetch)) {
             // Shard sinks re-derive the admission decision: the fetch's
             // `Issued` event went through the sink of the core's shard, so
-            // a locally-unknown fetch may still be sampled.
-            if !(self.lazy_admit && self.admits(core, fetch)) {
+            // a locally-unknown fetch may still be sampled. (Admission is
+            // already established above; a non-lazy sink that admitted but
+            // never issued the fetch — cap full — stays silent.)
+            if !self.lazy_admit {
                 return;
             }
             self.tracked.insert(

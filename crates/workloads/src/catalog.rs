@@ -6,7 +6,7 @@
 //! thrash the L2 when L1 bandwidth scales, who benefits from HBM), not to
 //! match absolute numbers from the authors' GTX 480 testbed.
 
-use crate::spec::{AddressMix, Suite, WorkloadSpec};
+use crate::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 
 /// Paper-reported reference speedups from Table II: `(P∞, P_DRAM)`.
 ///
@@ -63,6 +63,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 280,
             shared_lines: 2000,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x6d6d,
         },
         // Parboil Lattice-Boltzmann: a streaming grid sweep with heavy
@@ -84,6 +85,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 64,
             shared_lines: 1024,
             coherent_stream: true,
+            phases: PhaseSpec::STEADY,
             seed: 0x6c626d,
         },
         // Mars similarity score: dense vector comparisons against an
@@ -105,6 +107,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 320,
             shared_lines: 3000,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x7373,
         },
         // Rodinia nearest neighbour: massive TLP streaming through a large
@@ -126,6 +129,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 64,
             shared_lines: 512,
             coherent_stream: true,
+            phases: PhaseSpec::STEADY,
             seed: 0x6e6e,
         },
         // Rodinia hybrid sort: bucket scatter + merge passes — mixed
@@ -147,6 +151,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 380,
             shared_lines: 2048,
             coherent_stream: true,
+            phases: PhaseSpec::STEADY,
             seed: 0x6879,
         },
         // Rodinia computational fluid dynamics: irregular mesh gathers
@@ -168,6 +173,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 350,
             shared_lines: 2048,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x636664,
         },
         // Mars page-view rank: hash-bucket scatter over an L2-resident
@@ -189,6 +195,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 128,
             shared_lines: 3500,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x707672,
         },
         // Rodinia breadth-first search: frontier-driven irregular accesses
@@ -210,6 +217,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 128,
             shared_lines: 5000,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x626673,
         },
         // Rodinia lavaMD: n-body in cutoff boxes — compute-heavy with
@@ -231,6 +239,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 200,
             shared_lines: 1000,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x6c76,
         },
         // Rodinia stream cluster: distance kernels over an L1-resident
@@ -252,6 +261,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 192,
             shared_lines: 512,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x7363,
         },
         // Parboil BFS: queue-based traversal, more regular than Rodinia's.
@@ -272,6 +282,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 160,
             shared_lines: 5000,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x626632,
         },
         // Mars inverted index: per-core posting-list fragments that fill the
@@ -294,6 +305,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 300,
             shared_lines: 1500,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x6969,
         },
         // Rodinia speckle-reducing anisotropic diffusion, kernel 1.
@@ -314,6 +326,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 300,
             shared_lines: 1024,
             coherent_stream: true,
+            phases: PhaseSpec::STEADY,
             seed: 0x737231,
         },
         // Speckle reduction, kernel 2: slightly more write traffic.
@@ -334,6 +347,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 300,
             shared_lines: 1024,
             coherent_stream: true,
+            phases: PhaseSpec::STEADY,
             seed: 0x737232,
         },
         // Rodinia Needleman-Wunsch: diagonal wavefront dependencies limit
@@ -355,6 +369,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 220,
             shared_lines: 1024,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x6e77,
         },
         // Parboil 7-point stencil: perfectly coherent streaming — the
@@ -376,6 +391,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 96,
             shared_lines: 256,
             coherent_stream: true,
+            phases: PhaseSpec::STEADY,
             seed: 0x7374,
         },
         // Rodinia 2-D discrete wavelet transform: short low-TLP kernels,
@@ -397,6 +413,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 128,
             shared_lines: 512,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x647774,
         },
         // Parboil sum of absolute differences: compute-dominated with
@@ -418,6 +435,7 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 256,
             shared_lines: 512,
             coherent_stream: true,
+            phases: PhaseSpec::STEADY,
             seed: 0x736164,
         },
         // Rodinia leukocyte tracking: compute-bound with a small resident
@@ -440,14 +458,110 @@ pub fn all() -> Vec<WorkloadSpec> {
             hot_lines: 96,
             shared_lines: 256,
             coherent_stream: false,
+            phases: PhaseSpec::STEADY,
             seed: 0x6c6575,
         },
     ]
 }
 
-/// Looks up a workload by its paper abbreviation.
+/// Synthetic stress scenarios beyond Table II: bursty and idle-heavy
+/// phase structures that exercise the event-driven run loop. Kept out of
+/// [`all`] so the paper's 19-benchmark tables stay exactly Table II.
+pub fn extras() -> Vec<WorkloadSpec> {
+    vec![
+        // Alternating compute and memory-storm phases: every warp issues a
+        // 24-instruction storm then runs dependency-chained arithmetic for
+        // the rest of each 240-instruction period, so the memory hierarchy
+        // drains and refills repeatedly (warp-level phase behaviour per
+        // Ausavarungnirun et al.). Low TLP and long chained ALU latencies
+        // keep the cores issue-stalled through most of each lull.
+        WorkloadSpec {
+            name: "burst",
+            suite: Suite::Rodinia,
+            full_name: "Synthetic Burst Phases",
+            warps_per_core: 1,
+            insts_per_warp: 4000,
+            code_lines: 12,
+            mem_fraction: 0.5,
+            write_fraction: 0.10,
+            ilp: 4,
+            alu_latency: 96,
+            alu_dep_fraction: 0.95,
+            accesses_per_mem: 1,
+            mix: AddressMix::new(0.70, 0.20, 0.10),
+            hot_lines: 128,
+            shared_lines: 1024,
+            coherent_stream: false,
+            phases: PhaseSpec {
+                period_insts: 240,
+                storm_insts: 24,
+                active_cores: 0,
+            },
+            seed: 0x6275_7273,
+        },
+        // Idle-heavy: long serial-compute lulls punctuated by short storms.
+        // A single warp per core in fully chained 96-cycle ALU dependences
+        // leaves every core provably quiet for almost all of each lull, and
+        // the drained banks, channels and crossbars let the event core
+        // jump whole machine-wide windows at once.
+        WorkloadSpec {
+            name: "lull",
+            suite: Suite::Rodinia,
+            full_name: "Synthetic Idle Lulls",
+            warps_per_core: 1,
+            insts_per_warp: 6000,
+            code_lines: 8,
+            mem_fraction: 0.6,
+            write_fraction: 0.05,
+            ilp: 8,
+            alu_latency: 96,
+            alu_dep_fraction: 1.0,
+            accesses_per_mem: 1,
+            mix: AddressMix::new(0.80, 0.15, 0.05),
+            hot_lines: 96,
+            shared_lines: 512,
+            coherent_stream: false,
+            phases: PhaseSpec {
+                period_insts: 600,
+                storm_insts: 16,
+                active_cores: 0,
+            },
+            seed: 0x6c75_6c6c,
+        },
+        // Low occupancy: one active cluster runs bursty, dependency-limited
+        // work while the other fourteen cores never issue — the
+        // machine-idle extreme the event core should fast-path.
+        WorkloadSpec {
+            name: "solo",
+            suite: Suite::Mars,
+            full_name: "Synthetic Single Cluster",
+            warps_per_core: 2,
+            insts_per_warp: 8000,
+            code_lines: 8,
+            mem_fraction: 0.35,
+            write_fraction: 0.05,
+            ilp: 4,
+            alu_latency: 64,
+            alu_dep_fraction: 0.9,
+            accesses_per_mem: 1,
+            mix: AddressMix::new(0.60, 0.30, 0.10),
+            hot_lines: 160,
+            shared_lines: 1024,
+            coherent_stream: false,
+            phases: PhaseSpec {
+                period_insts: 320,
+                storm_insts: 32,
+                active_cores: 1,
+            },
+            seed: 0x736f_6c6f,
+        },
+    ]
+}
+
+/// Looks up a workload by its paper abbreviation (Table II entries first,
+/// then the synthetic [`extras`]).
 pub fn by_name(name: &str) -> Option<WorkloadSpec> {
-    all().into_iter().find(|w| w.name == name)
+    all().into_iter().chain(extras()).find(|w| w.name == name)
 }
 
 /// The names of all 19 workloads in Table II order.
@@ -564,6 +678,48 @@ mod tests {
             );
             assert!(total >= 50_000, "{}: too small to congest the GPU", w.name);
         }
+    }
+
+    #[test]
+    fn extras_validate_and_resolve_by_name() {
+        for w in extras() {
+            w.validate().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(by_name(w.name).unwrap().name, w.name);
+            assert!(
+                paper_reference(w.name).is_none(),
+                "{}: extras are not Table II entries",
+                w.name
+            );
+        }
+        assert_eq!(extras().len(), 3);
+        assert!(!names().contains(&"burst"), "extras stay out of Table II");
+    }
+
+    #[test]
+    fn phased_stream_confines_memory_to_storms() {
+        use gmh_simt::inst::{InstKind, InstSource};
+        let w = by_name("lull").unwrap();
+        let phases = w.phases;
+        let mut src = w.source_for_core(0);
+        let mut idx = 0u64;
+        let mut mem_in_storm = 0u64;
+        while let Some(i) = src.next_inst(0) {
+            if matches!(i.kind, InstKind::Load { .. } | InstKind::Store { .. }) {
+                assert!(phases.in_storm(idx), "memory op outside storm at {idx}");
+                mem_in_storm += 1;
+            }
+            idx += 1;
+        }
+        assert!(mem_in_storm > 0, "storms must issue memory");
+    }
+
+    #[test]
+    fn solo_leaves_other_cores_empty() {
+        use gmh_simt::inst::InstSource;
+        let w = by_name("solo").unwrap();
+        assert!(w.source_for_core(0).next_inst(0).is_some());
+        assert!(w.source_for_core(1).next_inst(0).is_none());
+        assert!(w.source_for_core(14).next_inst(0).is_none());
     }
 
     #[test]

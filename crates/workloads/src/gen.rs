@@ -121,6 +121,9 @@ impl InstSource for SyntheticSource {
         if warp >= self.warps.len() {
             return None; // warps beyond the workload's TLP never run
         }
+        if !self.spec.phases.core_active(self.core) {
+            return None; // occupancy-capped core: empty stream
+        }
         if self.warps[warp].done || self.warps[warp].issued >= self.spec.insts_per_warp {
             self.warps[warp].done = true;
             return None;
@@ -152,12 +155,30 @@ impl InstSource for SyntheticSource {
             return Some(inst);
         }
 
-        let is_mem = {
+        // Phase gate first, then the RNG draw: the short-circuit means a
+        // steady-state spec (always in storm) consumes exactly the same
+        // RNG sequence as the pre-phase generator, keeping every catalog
+        // workload bit-identical.
+        let in_storm = self.spec.phases.in_storm(self.warps[warp].issued - 1);
+        let is_mem = in_storm && {
             let f = self.spec.mem_fraction;
             self.warps[warp].rng.chance(f)
         };
         if !is_mem {
-            return Some(Inst::alu(self.spec.alu_latency));
+            let mut inst = Inst::alu(self.spec.alu_latency);
+            // Out-of-storm compute forms RAW chains at the spec's ALU
+            // dependence rate: the lull phases of a bursty workload are
+            // serial arithmetic, not an endless supply of independent
+            // work. Gated on `!in_storm`, so a steady-state spec (always
+            // in storm) draws exactly the classic RNG sequence and every
+            // Table II stream stays bit-identical.
+            if !in_storm && {
+                let f = self.spec.alu_dep_fraction;
+                self.warps[warp].rng.chance(f)
+            } {
+                inst = inst.after_alu();
+            }
+            return Some(inst);
         }
         let is_store = {
             let f = self.spec.write_fraction;

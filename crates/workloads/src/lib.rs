@@ -39,5 +39,5 @@ pub mod spec;
 pub mod trace;
 
 pub use gen::SyntheticSource;
-pub use spec::{AddressMix, Suite, WorkloadSpec};
+pub use spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 pub use trace::{ReplaySource, TraceBundle};

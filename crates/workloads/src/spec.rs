@@ -70,6 +70,47 @@ impl AddressMix {
     }
 }
 
+/// Phase structure of the instruction stream: alternating compute-only
+/// and memory-storm windows, plus an optional occupancy cap.
+///
+/// [`PhaseSpec::STEADY`] (all zeros) reproduces the classic steady-state
+/// generator bit-for-bit: every instruction window is "in storm", so the
+/// memory-fraction draw happens on exactly the same RNG schedule as
+/// before phases existed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// Length of one phase period in per-warp instructions (0 = no
+    /// phasing: the stream is one endless storm).
+    pub period_insts: u64,
+    /// Leading instructions of each period that may issue memory
+    /// operations; the rest of the period is compute-only.
+    pub storm_insts: u64,
+    /// Cores that issue work at all (0 = every core). Cores at or beyond
+    /// this index produce an empty stream — the low-occupancy
+    /// single-cluster scenario where most of the machine sits idle.
+    pub active_cores: usize,
+}
+
+impl PhaseSpec {
+    /// Steady state: no phasing, full occupancy.
+    pub const STEADY: PhaseSpec = PhaseSpec {
+        period_insts: 0,
+        storm_insts: 0,
+        active_cores: 0,
+    };
+
+    /// Whether the 0-based instruction index `idx` falls in a memory-storm
+    /// window.
+    pub fn in_storm(&self, idx: u64) -> bool {
+        self.period_insts == 0 || idx % self.period_insts < self.storm_insts
+    }
+
+    /// Whether `core` issues any instructions under the occupancy cap.
+    pub fn core_active(&self, core: usize) -> bool {
+        self.active_cores == 0 || core < self.active_cores
+    }
+}
+
 /// The complete synthetic signature of one benchmark.
 ///
 /// Calibrated per benchmark in [`crate::catalog`]; see the table in
@@ -113,6 +154,9 @@ pub struct WorkloadSpec {
     /// (coherent streaming, maximal DRAM row locality — e.g. `stencil`)
     /// instead of walking private streams.
     pub coherent_stream: bool,
+    /// Phase structure (bursty storms, occupancy cap);
+    /// [`PhaseSpec::STEADY`] for the classic steady-state stream.
+    pub phases: PhaseSpec,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -144,6 +188,9 @@ impl WorkloadSpec {
         }
         if self.code_lines == 0 {
             return Err(format!("{}: code footprint must be non-zero", self.name));
+        }
+        if self.phases.period_insts > 0 && self.phases.storm_insts > self.phases.period_insts {
+            return Err(format!("{}: storm longer than its period", self.name));
         }
         Ok(())
     }

@@ -5,7 +5,7 @@
 use gmh::core::{GpuConfig, GpuSim, SimStats};
 use gmh::dram::SchedPolicy;
 use gmh::simt::scheduler::WarpSchedPolicy;
-use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use gmh::workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 
 fn small_gpu() -> GpuConfig {
     let mut c = GpuConfig::gtx480_baseline();
@@ -39,6 +39,7 @@ fn streaming() -> WorkloadSpec {
         hot_lines: 64,
         shared_lines: 4096,
         coherent_stream: false,
+        phases: PhaseSpec::STEADY,
         seed: 77,
     }
 }

@@ -9,7 +9,7 @@
 
 use gmh::core::{GpuConfig, GpuSim};
 use gmh::exp::report_json;
-use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use gmh::workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 
 fn small_gpu() -> GpuConfig {
     let mut c = GpuConfig::gtx480_baseline();
@@ -43,6 +43,7 @@ fn workload() -> WorkloadSpec {
         hot_lines: 64,
         shared_lines: 2048,
         coherent_stream: false,
+        phases: PhaseSpec::STEADY,
         seed: 1234,
     }
 }

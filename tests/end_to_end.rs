@@ -3,7 +3,7 @@
 
 use gmh::core::{GpuConfig, GpuSim, MemoryModel, SimStats};
 use gmh::workloads::catalog;
-use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use gmh::workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 
 fn small_gpu() -> GpuConfig {
     let mut c = GpuConfig::gtx480_baseline();
@@ -35,6 +35,7 @@ fn mixed_workload() -> WorkloadSpec {
         hot_lines: 128,
         shared_lines: 1024,
         coherent_stream: false,
+        phases: PhaseSpec::STEADY,
         seed: 99,
     }
 }

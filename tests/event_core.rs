@@ -1,0 +1,254 @@
+//! Event-core equivalence: skipping quiet components is an execution
+//! strategy, not a model change.
+//!
+//! The event-driven run loop (the default) parks components whose
+//! conservative idle probe promises a quiet window and bulk-replays the
+//! skipped ticks at wake time. These tests pin it, byte-for-byte at the
+//! simulator's strictest observable boundaries (exported report, sampled
+//! Chrome trace, fetch-conservation audit), against BOTH oracles:
+//!
+//! - `force_naive_loop` — the one-tick-at-a-time loop: no probes, no
+//!   skips, no fast-forward jumps;
+//! - `force_serial` — the single-shard sweep with the event scheduler on,
+//!   separating "sharding changed results" from "skipping changed
+//!   results".
+//!
+//! The matrix covers all four memory models at 1/2/8 scheduler threads,
+//! the bursty/idle-heavy catalog extras (where the event core actually
+//! jumps), and a property sweep over random phase structures. The CI
+//! perf-smoke job re-runs this file under `GMH_THREADS={1,2,8}`, which
+//! the env-deferring pass below picks up.
+
+use gmh::core::config::MemoryModel;
+use gmh::core::{GpuConfig, GpuSim};
+use gmh::exp::{chrome_trace_json, report_json};
+use gmh::workloads::catalog;
+use gmh::workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
+use proptest::prelude::*;
+
+fn all_models() -> [MemoryModel; 4] {
+    [
+        MemoryModel::Full,
+        MemoryModel::FixedL1MissLatency(120),
+        MemoryModel::InfiniteBw {
+            l2_hit: 120,
+            dram: 220,
+        },
+        MemoryModel::InfiniteDram { latency: 100 },
+    ]
+}
+
+/// A 4-core machine: wide enough to shard, small enough that the full
+/// model × thread × workload matrix stays fast.
+fn small_gpu() -> GpuConfig {
+    let mut c = GpuConfig::gtx480_baseline();
+    c.n_cores = 4;
+    c.n_l2_banks = 4;
+    c.n_channels = 2;
+    c.dram.n_channels = 2;
+    c.l2_bank.set_stride = 4;
+    c.l2_bank.size_bytes = 256 * 1024 / 4;
+    c.max_core_cycles = 120_000;
+    c.trace_sample = 4;
+    c
+}
+
+/// A bursty workload scaled to the 4-core test machine: storms refill the
+/// hierarchy, lulls drain it, so the event core both parks components and
+/// takes machine-wide jumps inside one run.
+fn bursty_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "event-bursty",
+        suite: Suite::Rodinia,
+        full_name: "bursty mix for event-core equivalence",
+        warps_per_core: 2,
+        insts_per_warp: 600,
+        code_lines: 4,
+        mem_fraction: 0.5,
+        write_fraction: 0.1,
+        ilp: 4,
+        alu_latency: 64,
+        alu_dep_fraction: 0.9,
+        accesses_per_mem: 2,
+        mix: AddressMix::new(0.5, 0.25, 0.25),
+        hot_lines: 64,
+        shared_lines: 2048,
+        coherent_stream: false,
+        phases: PhaseSpec {
+            period_insts: 120,
+            storm_insts: 16,
+            active_cores: 0,
+        },
+        seed: 0xE5E7,
+    }
+}
+
+/// Runs one configuration and exports every observable boundary.
+fn observe(cfg: GpuConfig, wl: &WorkloadSpec) -> (String, String, (u64, u64, u64)) {
+    let stats = GpuSim::new(cfg, wl).run();
+    (
+        report_json("gtx480_small", wl.name, &stats),
+        chrome_trace_json(wl.name, &stats.trace),
+        (
+            stats.audit.emitted,
+            stats.audit.returned,
+            stats.audit.absorbed,
+        ),
+    )
+}
+
+#[test]
+fn event_core_matches_both_oracles_on_all_models() {
+    let wl = bursty_workload();
+    for model in all_models() {
+        let mut naive_cfg = small_gpu();
+        naive_cfg.memory_model = model.clone();
+        naive_cfg.force_naive_loop = true;
+        let naive = observe(naive_cfg, &wl);
+        let mut serial_cfg = small_gpu();
+        serial_cfg.memory_model = model.clone();
+        serial_cfg.force_serial = true;
+        let serial = observe(serial_cfg, &wl);
+        assert_eq!(
+            serial, naive,
+            "{model:?}: serial event core must match the naive loop"
+        );
+        for threads in [1usize, 2, 8] {
+            let mut cfg = small_gpu();
+            cfg.memory_model = model.clone();
+            cfg.sim_threads = threads;
+            let got = observe(cfg, &wl);
+            assert_eq!(
+                got, naive,
+                "{model:?} @ {threads} threads: event core must match the naive loop"
+            );
+        }
+    }
+}
+
+#[test]
+fn catalog_bursty_extras_match_the_naive_loop() {
+    // The shipping bursty/idle-heavy workloads on the full GTX 480
+    // machine: exactly what the sim-bench speedup gate times, pinned
+    // bit-identical here (report + trace + audit).
+    for wl in catalog::extras() {
+        let mut naive_cfg = GpuConfig::gtx480_baseline();
+        naive_cfg.max_core_cycles = 60_000;
+        naive_cfg.trace_sample = 4;
+        naive_cfg.force_naive_loop = true;
+        let naive = observe(naive_cfg, &wl);
+        let mut cfg = GpuConfig::gtx480_baseline();
+        cfg.max_core_cycles = 60_000;
+        cfg.trace_sample = 4;
+        let got = observe(cfg, &wl);
+        assert_eq!(
+            got, naive,
+            "{}: event core must match the naive loop",
+            wl.name
+        );
+    }
+}
+
+#[test]
+fn env_thread_count_matches_the_naive_loop() {
+    // `sim_threads = 0` defers to `GMH_SIM_THREADS` / `GMH_THREADS`: the
+    // CI perf-smoke matrix sets GMH_THREADS to 1, 2 and 8 and re-runs
+    // this test, so every matrix leg checks equivalence at its width.
+    let wl = bursty_workload();
+    let mut naive_cfg = small_gpu();
+    naive_cfg.force_naive_loop = true;
+    let naive = observe(naive_cfg, &wl);
+    let mut cfg = small_gpu();
+    cfg.sim_threads = 0;
+    let got = observe(cfg, &wl);
+    assert_eq!(got, naive, "env-width event core must match the naive loop");
+}
+
+/// A tiny machine for the property sweep.
+fn tiny_gpu() -> GpuConfig {
+    let mut c = GpuConfig::gtx480_baseline();
+    c.n_cores = 2;
+    c.n_l2_banks = 2;
+    c.n_channels = 2;
+    c.dram.n_channels = 2;
+    c.l2_bank.set_stride = 2;
+    c.l2_bank.size_bytes = 128 * 1024 / 2;
+    c.max_core_cycles = 300_000;
+    c.trace_sample = 4;
+    c
+}
+
+prop_compose! {
+    /// Random phase structures on top of random instruction mixes: steady
+    /// (storm == period), bursty, idle-heavy, and occupancy-capped specs
+    /// all fall out of the ranges.
+    fn arb_phased_workload()(
+        seed in 0u64..1_000_000,
+        warps in 1usize..6,
+        insts in 40u64..160,
+        mem_pct in 0u32..=70,
+        write_pct in 0u32..=40,
+        ilp in 0u32..8,
+        alu_latency in 1u32..100,
+        dep_pct in 0u32..=100,
+        period in 1u64..200,
+        storm_of_period_pct in 0u32..=100,
+        active_cores in 0usize..=2,
+        stream_pct in 0u32..=100,
+        hot_lines in 8u64..256,
+    ) -> WorkloadSpec {
+        let stream = stream_pct as f64 / 100.0;
+        let storm = (period * u64::from(storm_of_period_pct) / 100).min(period);
+        WorkloadSpec {
+            name: "prop-phased",
+            suite: Suite::Rodinia,
+            full_name: "property-generated phased workload",
+            warps_per_core: warps,
+            insts_per_warp: insts,
+            code_lines: 4,
+            mem_fraction: mem_pct as f64 / 100.0,
+            write_fraction: write_pct as f64 / 100.0,
+            ilp,
+            alu_latency,
+            alu_dep_fraction: dep_pct as f64 / 100.0,
+            accesses_per_mem: 2,
+            mix: AddressMix::new(stream, (1.0 - stream) * 0.5, (1.0 - stream) * 0.5),
+            hot_lines,
+            shared_lines: 1024,
+            coherent_stream: false,
+            phases: PhaseSpec {
+                period_insts: period,
+                storm_insts: storm,
+                active_cores,
+            },
+            seed,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On arbitrary phased workloads under all four memory models, the
+    /// event core at 1, 2 and 8 threads reproduces the naive one-tick
+    /// loop byte-for-byte.
+    #[test]
+    fn event_core_matches_naive_on_arbitrary_phases(wl in arb_phased_workload()) {
+        for model in all_models() {
+            let mut naive_cfg = tiny_gpu();
+            naive_cfg.memory_model = model.clone();
+            naive_cfg.force_naive_loop = true;
+            let naive = observe(naive_cfg, &wl);
+            for threads in [1usize, 2, 8] {
+                let mut cfg = tiny_gpu();
+                cfg.memory_model = model.clone();
+                cfg.sim_threads = threads;
+                let got = observe(cfg, &wl);
+                prop_assert_eq!(
+                    &got, &naive,
+                    "event core under {:?} @ {} threads", model, threads
+                );
+            }
+        }
+    }
+}

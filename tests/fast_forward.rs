@@ -4,7 +4,7 @@
 
 use gmh::core::{GpuConfig, GpuSim, MemoryModel};
 use gmh::exp::report_json;
-use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use gmh::workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 
 fn small_gpu() -> GpuConfig {
     let mut c = GpuConfig::gtx480_baseline();
@@ -36,6 +36,7 @@ fn workload(mem_fraction: f64, warps: usize) -> WorkloadSpec {
         hot_lines: 64,
         shared_lines: 512,
         coherent_stream: false,
+        phases: PhaseSpec::STEADY,
         seed: 77,
     }
 }

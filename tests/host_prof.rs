@@ -13,7 +13,7 @@
 use gmh::core::{GpuConfig, GpuSim};
 use gmh::exp::{chrome_trace_json, report_json, utilization_table};
 use gmh::types::prof::HostPhase;
-use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use gmh::workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 
 /// A machine wide enough for real sharding (4 cores, 4 banks, 2 channels)
 /// while staying fast.
@@ -48,6 +48,7 @@ fn workload() -> WorkloadSpec {
         hot_lines: 64,
         shared_lines: 2048,
         coherent_stream: false,
+        phases: PhaseSpec::STEADY,
         seed: 1234,
     }
 }

@@ -8,7 +8,7 @@
 //! `gmh-exp`.
 
 use gmh::core::{GpuConfig, GpuSim, MemoryModel, SimStats};
-use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use gmh::workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 
 /// A small GPU: 4 cores, 4 L2 banks, 2 DRAM channels — same clock ratios
 /// and per-structure sizes as the baseline, so congestion mechanics are
@@ -73,6 +73,7 @@ fn l2_bound() -> WorkloadSpec {
         hot_lines: 350,
         shared_lines: 512,
         coherent_stream: false,
+        phases: PhaseSpec::STEADY,
         seed: 11,
     }
 }
@@ -96,6 +97,7 @@ fn dram_bound() -> WorkloadSpec {
         hot_lines: 64,
         shared_lines: 128,
         coherent_stream: true,
+        phases: PhaseSpec::STEADY,
         seed: 12,
     }
 }

@@ -13,7 +13,7 @@
 use gmh::core::config::MemoryModel;
 use gmh::core::{GpuConfig, GpuSim};
 use gmh::exp::{chrome_trace_json, report_json};
-use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use gmh::workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 use proptest::prelude::*;
 
 fn all_models() -> [MemoryModel; 4] {
@@ -63,6 +63,7 @@ fn workload() -> WorkloadSpec {
         hot_lines: 64,
         shared_lines: 2048,
         coherent_stream: false,
+        phases: PhaseSpec::STEADY,
         seed: 1234,
     }
 }
@@ -229,6 +230,7 @@ prop_compose! {
             hot_lines,
             shared_lines,
             coherent_stream: coherent,
+            phases: PhaseSpec::STEADY,
             seed,
         }
     }

@@ -3,7 +3,7 @@
 //! is deterministic.
 
 use gmh::core::{GpuConfig, GpuSim, MemoryModel};
-use gmh::workloads::spec::{AddressMix, Suite, WorkloadSpec};
+use gmh::workloads::spec::{AddressMix, PhaseSpec, Suite, WorkloadSpec};
 use proptest::prelude::*;
 
 fn tiny_gpu() -> GpuConfig {
@@ -53,6 +53,7 @@ prop_compose! {
             hot_lines,
             shared_lines,
             coherent_stream: coherent,
+            phases: PhaseSpec::STEADY,
             seed,
         }
     }
